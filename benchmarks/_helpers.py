@@ -1,0 +1,47 @@
+"""Shared formatting/reporting helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper, asserts the
+qualitative shape the paper reports, prints the reproduction next to the
+paper's printed numbers, and appends the rendered table to
+``benchmarks/results/`` so EXPERIMENTS.md can be assembled from real runs.
+"""
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+NS = 1e-9
+
+
+def ns(value: float) -> str:
+    """Format a time in nanoseconds with three significant digits."""
+    return f"{value / NS:.3g}"
+
+
+def render_table(
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[str]],
+) -> str:
+    """Render a monospace table with a title line."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = [title]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def report(name: str, text: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    print("\n" + text + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w",
+              encoding="utf-8") as handle:
+        handle.write(text + "\n")

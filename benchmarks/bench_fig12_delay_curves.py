@@ -1,0 +1,73 @@
+"""Figure 12 reproduction: delay curves vs input rise time.
+
+The paper's Fig. 12 plots the measured 50% delay of the Fig. 1 circuit
+against the input signal's rise time: every curve rises monotonically and
+asymptotically approaches the node's Elmore delay from below (Corollary
+3).  This bench regenerates the three curves (nodes C1, C5, C7), prints
+the series, and asserts monotonicity, the bound, and >= 99% convergence by
+the largest rise time.
+
+The timed kernel is one full delay-curve sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.core import elmore_delay
+from repro.signals import SaturatedRamp
+from repro.workloads import FIG1_PROBES, fig1_tree
+
+from benchmarks._helpers import ns, render_table, report
+
+RISE_TIMES = tuple(float(x) for x in np.geomspace(0.1e-9, 100e-9, 10))
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return fig1_tree()
+
+
+@pytest.fixture(scope="module")
+def analysis(tree):
+    return ExactAnalysis(tree)
+
+
+def delay_curves(analysis):
+    return {
+        node: [
+            measure_delay(analysis, node, SaturatedRamp(tr))
+            for tr in RISE_TIMES
+        ]
+        for node in FIG1_PROBES
+    }
+
+
+def test_fig12(benchmark, tree, analysis):
+    curves = benchmark(delay_curves, analysis)
+    elmore = {node: elmore_delay(tree, node) for node in FIG1_PROBES}
+
+    header = ["node", "T_D"] + [f"tr={ns(tr)}" for tr in RISE_TIMES]
+    rows = [
+        [node, ns(elmore[node])] + [ns(d) for d in curves[node]]
+        for node in FIG1_PROBES
+    ]
+    report(
+        "fig12",
+        render_table(
+            "Fig. 12 — 50% delay vs input rise time (ns); "
+            "each curve approaches T_D from below",
+            header, rows,
+        ),
+    )
+
+    for node in FIG1_PROBES:
+        series = curves[node]
+        td = elmore[node]
+        # Monotone nondecreasing approach from below...
+        assert all(a <= b * (1 + 1e-9) for a, b in zip(series, series[1:]))
+        assert all(d <= td * (1 + 1e-9) for d in series)
+        # ...with >= 99% convergence at the largest rise time...
+        assert series[-1] >= 0.99 * td
+        # ...while the step-like smallest rise time sits clearly below.
+        assert series[0] < 0.95 * td

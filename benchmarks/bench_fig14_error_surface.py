@@ -1,0 +1,88 @@
+"""Figure 14 reproduction: relative Elmore error vs distance and rise time.
+
+Fig. 14 plots the relative error ``|delay - T_D| / delay`` as a function
+of the node's distance from the driving point, one curve per input rise
+time.  This bench regenerates the surface over all 25 nodes of the
+Section IV-B tree at four rise times and asserts the paper's shape:
+
+* at every rise time the error decreases (monotonically, allowing for
+  measurement noise at sub-picosecond delays) with distance;
+* at every node the error decreases with rise time;
+* all errors are positive (the Elmore value never underestimates).
+
+The timed kernel is one error-curve sweep across the tree at one rise
+time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.core import elmore_delays
+from repro.signals import SaturatedRamp
+from repro.workloads import tree25
+
+from benchmarks._helpers import ns, render_table, report
+
+RISE_TIMES = (1e-9, 2e-9, 5e-9, 10e-9)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return tree25()
+
+
+@pytest.fixture(scope="module")
+def analysis(tree):
+    return ExactAnalysis(tree)
+
+
+def error_curve(tree, analysis, elmore, rise_time):
+    signal = SaturatedRamp(rise_time)
+    errors = []
+    for i, node in enumerate(tree.node_names):
+        delay = measure_delay(analysis, node, signal)
+        errors.append((delay - elmore[i]) / delay)
+    return errors
+
+
+def test_fig14(benchmark, tree, analysis):
+    elmore = elmore_delays(tree)
+    surface = {
+        tr: error_curve(tree, analysis, elmore, tr) for tr in RISE_TIMES[1:]
+    }
+    surface[RISE_TIMES[0]] = benchmark(
+        error_curve, tree, analysis, elmore, RISE_TIMES[0]
+    )
+
+    probe_depths = (1, 5, 9, 13, 17, 21, 25)
+    header = ["rise time"] + [f"depth {d}" for d in probe_depths]
+    rows = []
+    for tr in RISE_TIMES:
+        row = [ns(tr) + " ns"]
+        for d in probe_depths:
+            row.append(f"{abs(surface[tr][d - 1]) * 100:.2f}%")
+        rows.append(row)
+    report(
+        "fig14",
+        render_table(
+            "Fig. 14 — relative Elmore error |delay - T_D|/delay vs "
+            "distance from driver, per input rise time",
+            header, rows,
+        ),
+    )
+
+    for tr in RISE_TIMES:
+        errs = np.abs(np.asarray(surface[tr]))
+        # Monotone decay with distance (allow tiny numeric wiggle at the
+        # sub-picosecond-delay nodes near the driver).
+        assert np.all(np.diff(errs) <= 1e-6 + 0.01 * errs[:-1])
+        assert errs[0] > errs[-1]
+    # Error decreases with rise time at every node.
+    for i in range(tree.num_nodes):
+        col = [abs(surface[tr][i]) for tr in RISE_TIMES]
+        assert all(a >= b * (1 - 1e-9) for a, b in zip(col, col[1:]))
+    # The Elmore value never underestimates: signed errors are negative
+    # in the paper's (delay - T_D)/delay convention.
+    for tr in RISE_TIMES:
+        assert all(e <= 1e-12 for e in surface[tr])

@@ -1,0 +1,90 @@
+"""Ablation: incremental Elmore updates vs batch recomputation.
+
+Optimization loops perturb one element and re-query a sink delay.  The
+incremental oracle answers in O(depth) per edit+query; the batch recursion
+pays O(N).  This bench plays an edit/query loop on a deep balanced tree at
+several sizes and asserts the asymptotic gap (the speedup grows with N and
+exceeds 10x at the largest size), while verifying both oracles agree.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuit import balanced_tree
+from repro.core import elmore_delay
+from repro.core.incremental import IncrementalElmore
+
+from benchmarks._helpers import render_table, report
+
+DEPTHS = (6, 9, 12)
+EDITS = 60
+
+
+def make(depth):
+    return balanced_tree(depth, 2, 20.0, 5e-15, leaf_load=3e-15)
+
+
+def incremental_loop(tree, leaf, edits):
+    inc = IncrementalElmore(tree)
+    total = 0.0
+    for k in range(edits):
+        inc.add_capacitance(leaf, 1e-16)
+        total += inc.delay(leaf)
+    return total
+
+
+def batch_loop(tree, leaf, edits):
+    shadow = tree.copy()
+    total = 0.0
+    for k in range(edits):
+        shadow.add_load(leaf, 1e-16)
+        total += elmore_delay(shadow, leaf)
+    return total
+
+
+def _time(fn, *args, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_incremental(benchmark):
+    big = make(DEPTHS[-1])
+    leaf = big.leaves()[0]
+    benchmark(incremental_loop, big, leaf, EDITS)
+
+    rows = []
+    speedups = {}
+    for depth in DEPTHS:
+        tree = make(depth)
+        target = tree.leaves()[0]
+        # Same final answer from both oracles.
+        assert incremental_loop(tree, target, EDITS) == pytest.approx(
+            batch_loop(tree, target, EDITS), rel=1e-12
+        )
+        t_inc = _time(incremental_loop, tree, target, EDITS)
+        t_batch = _time(batch_loop, tree, target, EDITS)
+        speedups[depth] = t_batch / t_inc
+        rows.append([
+            str(tree.num_nodes),
+            f"{t_inc * 1e3:.2f} ms",
+            f"{t_batch * 1e3:.2f} ms",
+            f"{speedups[depth]:.1f}x",
+        ])
+    report(
+        "incremental",
+        render_table(
+            f"Incremental vs batch Elmore in a {EDITS}-edit optimization "
+            "loop (balanced trees)",
+            ["nodes", "incremental", "batch recompute", "speedup"],
+            rows,
+        ),
+    )
+
+    assert speedups[DEPTHS[-1]] > 10.0
+    assert speedups[DEPTHS[-1]] > speedups[DEPTHS[0]]

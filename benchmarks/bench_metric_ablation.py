@@ -1,0 +1,106 @@
+"""Ablation: the delay-metric zoo against exact delays on a tree corpus.
+
+Places the Elmore bound among its alternatives — ``ln2 T_D``, the
+two-moment metrics (lognormal median, D2M), the two-pole fit, and the
+``mu - sigma`` lower bound — on 120 random trees (leaf nodes, step
+inputs).  Reported per metric: mean/max absolute relative error and the
+fraction of nodes where the estimate is optimistic (below the true
+delay).  The paper's claims pinned by assertions:
+
+* Elmore is never optimistic (0% underestimates) — the Theorem;
+* ``mu - sigma`` is never pessimistic — Corollary 1;
+* ``ln2 T_D`` is optimistic at some nodes and pessimistic at others
+  (Sec. II-D) — so it cannot be used as a bound;
+* higher-order fits (two-pole) are more accurate on average than any
+  one-moment metric, which is the accuracy/cost tradeoff the paper
+  frames.
+
+The timed kernel evaluates the whole zoo at one node from precomputed
+moments.
+"""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import AnalysisError, MetricError
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.core.metrics import METRICS
+from repro.core.moments import transfer_moments
+from repro.workloads import random_tree_corpus
+
+from benchmarks._helpers import render_table, report
+
+CORPUS = random_tree_corpus(120, size_range=(4, 30), seed=77)
+ORDER = 8  # enough moments for every metric including awe4
+
+
+def gather():
+    records = {name: [] for name in METRICS}
+    for tree in CORPUS:
+        analysis = ExactAnalysis(tree)
+        moments = transfer_moments(tree, ORDER)
+        for node in tree.leaves()[:2]:
+            actual = measure_delay(analysis, node)
+            if actual <= 0:
+                continue
+            for name, fn in METRICS.items():
+                try:
+                    estimate = fn(moments, node)
+                except (AnalysisError, MetricError):
+                    continue
+                records[name].append((estimate - actual) / actual)
+    return {k: np.asarray(v) for k, v in records.items()}
+
+
+def test_metric_ablation(benchmark):
+    tree = CORPUS[0]
+    moments = transfer_moments(tree, ORDER)
+    node = tree.leaves()[0]
+
+    def kernel():
+        out = {}
+        for name, fn in METRICS.items():
+            try:
+                out[name] = fn(moments, node)
+            except (AnalysisError, MetricError):
+                pass
+        return out
+
+    benchmark(kernel)
+
+    records = gather()
+    rows = []
+    for name in METRICS:
+        err = records[name]
+        rows.append([
+            name,
+            str(err.size),
+            f"{np.mean(np.abs(err)) * 100:.1f}%",
+            f"{np.max(np.abs(err)) * 100:.1f}%",
+            f"{np.mean(err < -1e-12) * 100:.1f}%",
+        ])
+    report(
+        "metric_ablation",
+        render_table(
+            "Metric ablation — signed error vs exact 50% delay at corpus "
+            "leaves (step input)",
+            ["metric", "samples", "mean |err|", "max |err|",
+             "% optimistic"],
+            rows,
+        ),
+    )
+
+    # The Theorem: Elmore never underestimates.
+    assert np.all(records["elmore"] >= -1e-9)
+    # Corollary 1: the lower bound never overestimates.
+    assert np.all(records["lower_bound"] <= 1e-9)
+    # Sec. II-D: ln2*T_D errs in both directions across the corpus.
+    assert np.any(records["ln2_elmore"] < -1e-3)
+    assert np.any(records["ln2_elmore"] > 1e-3)
+    # Two-pole fits beat the scaled-Elmore point estimate on average.
+    assert np.mean(np.abs(records["two_pole"])) < \
+        np.mean(np.abs(records["ln2_elmore"]))
+    # And the 4-pole AWE model is the most accurate of all.
+    mean_awe = np.mean(np.abs(records["awe4"]))
+    for name in ("elmore", "ln2_elmore", "lognormal", "d2m", "two_pole"):
+        assert mean_awe <= np.mean(np.abs(records[name]))

@@ -1,0 +1,126 @@
+"""Ablation: O'Brien-Savarino pi-model fidelity (Lemma 2's machinery).
+
+Lemma 2 reduces every downstream subtree to the three-element pi of
+eq. (26).  This bench quantifies, over a random corpus, how faithful that
+reduction is beyond the three matched moments:
+
+* the first three admittance moments match exactly (asserted to 1e-9);
+* the pi-model's *driving-point step response* converges to the full
+  tree's as the driving resistance grows relative to the tree (the
+  low-frequency moment match becomes a full waveform match once the
+  driver filters the unmatched high-frequency poles);
+* the stage central moments (eqs. 28-29) are nonnegative on every edge.
+
+The timed kernel builds the pi model from a 40-node tree's moments.
+"""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import AnalysisError
+from repro.analysis import ExactAnalysis
+from repro.analysis.admittance import (
+    pi_model,
+    pi_model_from_moments,
+    stage_central_moments,
+    subtree_admittance_moments,
+)
+from repro.circuit import RCTree
+from repro.core.moments import admittance_moments
+from repro.workloads import random_tree_corpus
+
+from benchmarks._helpers import render_table, report
+
+CORPUS = random_tree_corpus(60, size_range=(5, 40), seed=11)
+
+
+def driving_point_deviation(tree, drive_ratio):
+    """Max |v_pi(t) - v_tree(t)| of the node-1-style driving stage: both
+    circuits driven through the same extra resistor, whose value is
+    ``drive_ratio`` times the tree's largest root-path resistance."""
+    r_drive = drive_ratio * float(tree.path_resistances().max())
+    pi = pi_model(tree)
+
+    full = RCTree("in")
+    full.add_node("stage#", "in", r_drive, 0.0)
+    for name in tree.node_names:
+        view = tree.node(name)
+        parent = view.parent if view.parent != tree.input_node else "stage#"
+        full.add_node(name, parent, view.resistance, view.capacitance)
+
+    reduced = RCTree("in")
+    reduced.add_node("stage#", "in", r_drive, pi.c1)
+    if pi.c2 > 0.0 and pi.r2 > 0.0:
+        reduced.add_node("pi2#", "stage#", pi.r2, pi.c2)
+
+    a_full = ExactAnalysis(full)
+    a_red = ExactAnalysis(reduced)
+    horizon = a_full.transfer("stage#").settle_time(1e-9)
+    t = np.linspace(0.0, horizon, 2001)
+    return float(
+        np.max(np.abs(a_full.step_response("stage#", t) -
+                      a_red.step_response("stage#", t)))
+    )
+
+
+def test_pimodel(benchmark):
+    big = CORPUS[0]
+    moments = admittance_moments(big, 3)
+    benchmark(pi_model_from_moments, moments)
+
+    moment_errors = []
+    negative_stages = 0
+    stages = 0
+    ratios = (0.1, 1.0, 10.0)
+    devs = {ratio: [] for ratio in ratios}
+    for tree in CORPUS:
+        pi = pi_model(tree)
+        target = admittance_moments(tree, 3)
+        got = pi.admittance_moments()
+        scale = np.maximum(np.abs(target), 1e-300)
+        moment_errors.append(float(np.max(np.abs(got - target) / scale)))
+        for ratio in ratios:
+            devs[ratio].append(driving_point_deviation(tree, ratio))
+        for name in tree.node_names:
+            try:
+                sub = subtree_admittance_moments(tree, name)
+            except AnalysisError:
+                continue
+            mu2, mu3 = stage_central_moments(
+                tree.node(name).resistance, pi_model_from_moments(sub)
+            )
+            stages += 1
+            if mu2 < 0 or mu3 < 0:
+                negative_stages += 1
+
+    rows = [
+        [
+            f"{ratio:g}x",
+            f"{np.median(devs[ratio]):.4f} V",
+            f"{max(devs[ratio]):.4f} V",
+        ]
+        for ratio in ratios
+    ]
+    rows[0] += [f"{max(moment_errors):.2e}", str(stages),
+                str(negative_stages)]
+    for row in rows[1:]:
+        row += ["", "", ""]
+    report(
+        "pimodel",
+        render_table(
+            "Pi-model fidelity over 60 random trees, by driver/tree "
+            "resistance ratio",
+            ["driver strength", "median waveform dev", "max waveform dev",
+             "max 3-moment rel err", "stages checked", "negative mu2/mu3"],
+            rows,
+        ),
+    )
+
+    assert max(moment_errors) < 1e-9
+    assert negative_stages == 0
+    # The waveform match tightens as the driver dominates the tree...
+    medians = [np.median(devs[r]) for r in ratios]
+    assert medians[0] > medians[1] > medians[2]
+    # ...and is excellent in the driver-dominated (gate-driven) regime.
+    assert medians[2] < 0.01
+    assert max(devs[10.0]) < 0.05

@@ -1,0 +1,72 @@
+"""Ablation: O(N) path tracing vs dense-matrix moment extraction.
+
+Sec. II-C's reason the Elmore delay is "the" metric for synthesis and
+layout: two O(N) traversals per tree versus cubic-cost matrix analysis.
+This bench times
+
+* the O(N) Elmore/path-tracing pipeline (elmore + T_P/T_R constants),
+* the O(N)-per-order moment recursion (orders 1-3), and
+* the dense MNA moment extraction (LU factorization),
+
+on RC lines of increasing length, asserting the asymptotic gap: growing
+the tree 16x grows the path-traced runtime by far less than the dense
+runtime, and the cost ratio at the largest size exceeds 10x.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.mna import mna_transfer_moments
+from repro.circuit import rc_line
+from repro.core import rph_time_constants, transfer_moments
+
+from benchmarks._helpers import render_table, report
+
+SIZES = (64, 256, 1024)
+TREES = {n: rc_line(n, 25.0, 30e-15, driver_resistance=180.0) for n in SIZES}
+
+
+def _time(fn, *args, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_scaling_path_tracing(benchmark):
+    tree = TREES[SIZES[-1]]
+    benchmark(rph_time_constants, tree)
+
+    rows = []
+    ratios = {}
+    for n in SIZES:
+        tree = TREES[n]
+        t_trace = _time(rph_time_constants, tree)
+        t_moments = _time(transfer_moments, tree, 3)
+        t_dense = _time(mna_transfer_moments, tree, 3)
+        ratios[n] = t_dense / t_moments
+        rows.append([
+            str(n),
+            f"{t_trace * 1e3:.3f} ms",
+            f"{t_moments * 1e3:.3f} ms",
+            f"{t_dense * 1e3:.3f} ms",
+            f"{ratios[n]:.1f}x",
+        ])
+    report(
+        "scaling",
+        render_table(
+            "Scaling — path tracing / O(N) moments vs dense MNA moments "
+            "(RC lines)",
+            ["nodes", "elmore+PRH (O(N))", "moments q<=3 (O(N))",
+             "dense MNA", "dense/O(N)"],
+            rows,
+        ),
+    )
+
+    # The dense path falls behind as N grows, decisively at N=1024.
+    assert ratios[SIZES[-1]] > 10.0
+    assert ratios[SIZES[-1]] > ratios[SIZES[0]]

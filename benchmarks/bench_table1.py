@@ -1,0 +1,97 @@
+"""Table I reproduction: delay bounds for the Fig. 1 circuit.
+
+Regenerates every column of the paper's Table I — actual 50% delay, the
+Elmore delay ``T_D``, the ``T_D - sigma`` lower bound, the single-pole
+``ln2 T_D`` estimate and the Penfield-Rubinstein ``t_max``/``t_min`` — and
+asserts the orderings the paper demonstrates:
+
+* lower bound <= actual <= Elmore at every probe;
+* ``t_min <= actual <= t_max`` at every probe;
+* ``t_max = T_D`` exactly at the driving point;
+* the lower bound clips to zero at the driving point and far branch.
+
+The timed kernel is the full bound computation (all columns, all probes):
+the cost a timer pays per net to get certified bounds.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.core import (
+    delay_lower_bound,
+    elmore_delay,
+    prh_delay_interval,
+    transfer_moments,
+)
+from repro.workloads import FIG1_PROBES, TABLE1_PAPER, fig1_tree
+
+from benchmarks._helpers import ns, render_table, report
+
+
+def compute_table1(tree, analysis):
+    moments = transfer_moments(tree, 2)
+    rows = {}
+    for node in FIG1_PROBES:
+        actual = measure_delay(analysis, node)
+        td = moments.mean(node)
+        lower = max(td - moments.sigma(node), 0.0)
+        single = math.log(2.0) * td
+        tmin, tmax = prh_delay_interval(tree, node)
+        rows[node] = (actual, td, lower, single, tmax, tmin)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return fig1_tree()
+
+
+@pytest.fixture(scope="module")
+def analysis(tree):
+    return ExactAnalysis(tree)
+
+
+def test_table1(benchmark, tree, analysis):
+    rows = benchmark(compute_table1, tree, analysis)
+
+    header = [
+        "node", "actual", "(paper)", "T_D", "(paper)", "T_D-sigma",
+        "(paper)", "ln2*T_D", "(paper)", "t_max", "(paper)", "t_min",
+        "(paper)",
+    ]
+    printed = []
+    for node in FIG1_PROBES:
+        got = rows[node]
+        paper = TABLE1_PAPER[node]
+        printed.append([
+            node,
+            ns(got[0]), ns(paper[0]),
+            ns(got[1]), ns(paper[1]),
+            ns(got[2]), ns(paper[2]),
+            ns(got[3]), ns(paper[3]),
+            ns(got[4]), ns(paper[4]),
+            ns(got[5]), ns(paper[5]),
+        ])
+    report(
+        "table1",
+        render_table("Table I — delay bounds for the Fig. 1 circuit (ns)",
+                     header, printed),
+    )
+
+    for node in FIG1_PROBES:
+        actual, td, lower, single, tmax, tmin = rows[node]
+        # The paper's certified orderings.
+        assert lower <= actual <= td
+        assert tmin <= actual <= tmax
+        # Column-by-column agreement with the printed table.
+        paper = TABLE1_PAPER[node]
+        assert actual == pytest.approx(paper[0], rel=2e-2)
+        assert td == pytest.approx(paper[1], rel=1e-2)
+        assert tmax == pytest.approx(paper[4], rel=2e-2)
+    # t_max = T_D at the driving point; lower bound clips at 0 there.
+    assert rows["n1"][4] == pytest.approx(rows["n1"][1], rel=1e-12)
+    assert rows["n1"][2] == 0.0
+    assert rows["n7"][2] == 0.0
+    assert rows["n5"][2] == pytest.approx(0.2e-9, rel=5e-2)

@@ -1,0 +1,97 @@
+"""Table II reproduction: Elmore error vs rise time on the 25-node tree.
+
+Regenerates the delays and relative errors at probes A (near the driver),
+B (mid-tree) and C (leaf) for saturated-ramp inputs of 1/5/10 ns rise
+time, and asserts the paper's two monotonicities: the error falls with
+rise time at every probe, and falls with distance from the driver at every
+rise time.
+
+The timed kernel is the 9-entry delay-measurement sweep on the exact
+engine.
+"""
+
+import pytest
+
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.core import elmore_delay
+from repro.signals import SaturatedRamp
+from repro.workloads import (
+    TABLE2_PAPER,
+    TABLE2_RISE_TIMES,
+    TREE25_PROBES,
+    tree25,
+)
+
+from benchmarks._helpers import ns, render_table, report
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return tree25()
+
+
+@pytest.fixture(scope="module")
+def analysis(tree):
+    return ExactAnalysis(tree)
+
+
+def sweep(analysis, elmore):
+    out = {}
+    for probe, node in TREE25_PROBES.items():
+        entries = []
+        for rise in TABLE2_RISE_TIMES:
+            delay = measure_delay(analysis, node, SaturatedRamp(rise))
+            error = (delay - elmore[probe]) / delay
+            entries.append((delay, error))
+        out[probe] = entries
+    return out
+
+
+def test_table2(benchmark, tree, analysis):
+    elmore = {
+        probe: elmore_delay(tree, node)
+        for probe, node in TREE25_PROBES.items()
+    }
+    rows = benchmark(sweep, analysis, elmore)
+
+    header = ["node", "Elmore", "(paper)"]
+    for k, rise in enumerate(TABLE2_RISE_TIMES):
+        label = f"tr={ns(rise)}ns"
+        header += [f"{label} delay", "(paper)", f"{label} %err", "(paper)"]
+    printed = []
+    for probe in ("A", "B", "C"):
+        paper = TABLE2_PAPER[probe]
+        row = [probe, ns(elmore[probe]), ns(paper["elmore"])]
+        for k in range(3):
+            delay, error = rows[probe][k]
+            row += [
+                ns(delay), ns(paper["delays"][k]),
+                f"{abs(error) * 100:.1f}%",
+                f"{abs(paper['errors'][k]) * 100:.1f}%",
+            ]
+        printed.append(row)
+    report(
+        "table2",
+        render_table(
+            "Table II — delay and relative Elmore error vs rise time "
+            "(25-node tree)",
+            header, printed,
+        ),
+    )
+
+    for probe in ("A", "B", "C"):
+        errors = [abs(e) for _, e in rows[probe]]
+        # Error falls with rise time (Corollary 3).
+        assert errors[0] > errors[1] > errors[2]
+        # Delays never exceed the Elmore bound.
+        for delay, _ in rows[probe]:
+            assert delay <= elmore[probe] * (1 + 1e-9)
+        # Each entry is near the printed value.
+        for k in range(3):
+            assert rows[probe][k][0] == pytest.approx(
+                TABLE2_PAPER[probe]["delays"][k], rel=0.12
+            )
+    # Error falls with distance from the driver at every rise time.
+    for k in range(3):
+        errs = [abs(rows[p][k][1]) for p in ("A", "B", "C")]
+        assert errs[0] > errs[1] > errs[2]

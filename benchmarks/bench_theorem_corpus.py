@@ -1,0 +1,85 @@
+"""Corpus sweep: the paper's claims on hundreds of random RC trees.
+
+Not a figure in the paper, but its strongest implicit claim: the Theorem
+and Corollary 1 hold for *every* RC tree.  This bench sweeps a seeded
+200-tree corpus (sizes 3-40, element values over several decades),
+measures the exact 50% delay at every node, and counts violations of
+
+    max(T_D - sigma, 0) <= delay <= T_D        (step inputs)
+
+plus the PRH interval.  The assertion is zero violations across the
+corpus (~4000 node measurements).  The timed kernel verifies one
+mid-sized tree end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.core import prh_bounds, transfer_moments
+from repro.workloads import random_tree_corpus
+
+from benchmarks._helpers import render_table, report
+
+CORPUS = random_tree_corpus(200, size_range=(3, 40), seed=1995)
+
+
+def check_tree(tree):
+    analysis = ExactAnalysis(tree)
+    moments = transfer_moments(tree, 2)
+    bounds = prh_bounds(tree)
+    violations = 0
+    checked = 0
+    slackness = []
+    for name in tree.node_names:
+        actual = measure_delay(analysis, name)
+        td = moments.mean(name)
+        lower = max(td - moments.sigma(name), 0.0)
+        b = bounds[name]
+        checked += 1
+        ok = (
+            lower * (1 - 1e-9) <= actual <= td * (1 + 1e-9)
+            and b.t_min(0.5) <= actual * (1 + 1e-9) + 1e-30
+            and actual <= b.t_max(0.5) * (1 + 1e-9) + 1e-30
+        )
+        if not ok:
+            violations += 1
+        if td > 0:
+            slackness.append(actual / td)
+    return checked, violations, slackness
+
+
+def test_theorem_corpus(benchmark):
+    benchmark(check_tree, CORPUS[0])
+
+    total = 0
+    violations = 0
+    ratios = []
+    for tree in CORPUS:
+        c, v, s = check_tree(tree)
+        total += c
+        violations += v
+        ratios.extend(s)
+    ratios = np.asarray(ratios)
+
+    report(
+        "theorem_corpus",
+        render_table(
+            "Theorem sweep — 200 random RC trees, every node checked "
+            "against all three bounds",
+            ["nodes checked", "violations", "delay/T_D min",
+             "delay/T_D median", "delay/T_D max"],
+            [[
+                str(total), str(violations),
+                f"{ratios.min():.3f}", f"{np.median(ratios):.3f}",
+                f"{ratios.max():.3f}",
+            ]],
+        ),
+    )
+
+    assert violations == 0
+    # delay/T_D < 1 everywhere (strict bound) and spans a wide range —
+    # the bound is tight at some nodes, loose at others.
+    assert ratios.max() <= 1.0 + 1e-9
+    assert ratios.min() < 0.3
+    assert ratios.max() > 0.75

@@ -1,0 +1,70 @@
+"""Clock-tree skew analysis with certified Elmore bounds.
+
+A clock distribution tree wants *matched* delays at every sink; skew is
+the spread.  This example builds a balanced H-tree-style clock skeleton,
+perturbs one branch with extra load (a hot macro), and analyzes the skew
+three ways:
+
+* Elmore delays (the certified upper bounds at each sink),
+* the `max(T_D - sigma, 0)` lower bounds, giving a *bounded interval*
+  for the skew without any simulation, and
+* exact pole/residue delays to show the truth lies inside.
+
+Because the same proof holds at every sink, `skew <= max(upper) -
+min(lower)` is a certificate usable inside a clock-tree synthesizer's
+inner loop at O(N) cost.
+
+Run:  python examples/clock_skew.py
+"""
+
+from repro import ExactAnalysis, delay_bounds, measure_delay
+from repro.circuit import balanced_tree
+
+PS = 1e-12
+
+
+def main():
+    tree = balanced_tree(
+        depth=5, fanout=2,
+        resistance=45.0, capacitance=25e-15,
+        driver_resistance=120.0, leaf_load=18e-15,
+    )
+    # A hot macro loads two leaves of one quadrant.
+    victims = [leaf for leaf in tree.leaves() if leaf.startswith("t.0.0")]
+    for leaf in victims:
+        tree.add_load(leaf, 40e-15)
+
+    print(f"clock tree: {tree.num_nodes} nodes, "
+          f"{len(tree.leaves())} sinks, "
+          f"{len(victims)} overloaded sink(s)\n")
+
+    analysis = ExactAnalysis(tree)
+    bounds = delay_bounds(tree)
+    rows = []
+    for leaf in tree.leaves():
+        b = bounds[leaf]
+        exact = measure_delay(analysis, leaf)
+        rows.append((leaf, b.lower, exact, b.upper))
+
+    print(f"{'sink':<12} {'lower':>8} {'exact':>8} {'elmore':>8}   (ps)")
+    for leaf, lo, exact, hi in sorted(rows, key=lambda r: r[2]):
+        flag = "  <- overloaded" if leaf in victims else ""
+        print(f"{leaf:<12} {lo / PS:8.2f} {exact / PS:8.2f} "
+              f"{hi / PS:8.2f}{flag}")
+        assert lo <= exact <= hi
+
+    exact_delays = [r[2] for r in rows]
+    skew_exact = max(exact_delays) - min(exact_delays)
+    skew_bound = max(r[3] for r in rows) - min(r[1] for r in rows)
+    elmore_spread = max(r[3] for r in rows) - min(r[3] for r in rows)
+    print(f"\nexact skew:                  {skew_exact / PS:8.2f} ps")
+    print(f"Elmore-only skew estimate:   {elmore_spread / PS:8.2f} ps")
+    print(f"certified skew bound:        {skew_bound / PS:8.2f} ps")
+    assert skew_exact <= skew_bound
+    print("\nThe O(N) interval certifies the skew without simulating — "
+          "and the\nElmore spread alone already localizes the overloaded "
+          "quadrant.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Repeater insertion: van Ginneken's algorithm on the Elmore metric.
+
+A 4 mm wire is hopeless without repeaters — Elmore delay grows with the
+square of length.  This example:
+
+1. builds the long wire from the geometric technology model,
+2. runs optimal buffer insertion (van Ginneken DP, Elmore objective),
+3. re-evaluates the buffered net stage by stage, and
+4. shows the classic result: delay becomes ~linear in length once
+   repeaters split the wire, and the Elmore-chosen solution also improves
+   the *exact* (pole/residue) delay.
+
+Run:  python examples/repeater_insertion.py
+"""
+
+from repro.analysis import measure_delay
+from repro.circuit import RCTree, rc_line, wire_rc
+from repro.opt import (
+    BufferSink,
+    BufferType,
+    buffered_stage_delays,
+    insert_buffers,
+)
+
+NS = 1e-9
+MM = 1e-3
+
+BUF = BufferType("REPEATER", input_capacitance=15e-15,
+                 output_resistance=90.0, intrinsic_delay=30e-12)
+DRIVER_RES = 250.0
+SINK_CAP = 20e-15
+SEGMENT_LEN = 0.2 * MM  # candidate repeater sites every 200 um
+
+
+def wire(length_mm):
+    """An RC line for a wire of the given length, one node per site."""
+    n = max(2, round(length_mm * MM / SEGMENT_LEN))
+    r_seg, c_seg = wire_rc(length_mm * MM / n, 1e-6)
+    return rc_line(n, r_seg, c_seg, prefix="w"), f"w{n}"
+
+
+def exact_staged_delay(tree, sink_node, buffer_nodes):
+    """Exact 50% delay of the buffered net, stage by stage."""
+    order = {name: k for k, name in enumerate(tree.node_names)}
+    cuts = sorted(buffer_nodes, key=order.get)
+    names = list(tree.node_names)
+    segments, start = [], 0
+    for cut in cuts + [sink_node]:
+        end = names.index(cut)
+        segments.append(names[start:end + 1])
+        start = end + 1
+    total, drive = 0.0, DRIVER_RES
+    for k, seg in enumerate(segments):
+        stage = RCTree("in")
+        stage.add_node("drv#", "in", drive, 0.0)
+        prev = "drv#"
+        for name in seg:
+            view = tree.node(name)
+            stage.add_node(name, prev, view.resistance, view.capacitance)
+            prev = name
+        last = seg[-1]
+        is_last = k == len(segments) - 1
+        stage.add_load(last, SINK_CAP if is_last else BUF.input_capacitance)
+        total += measure_delay(stage, last)
+        if not is_last:
+            total += BUF.intrinsic_delay
+            drive = BUF.output_resistance
+    return total
+
+
+def main():
+    print("Repeater insertion on wires of growing length "
+          "(1 um wide, 0.2 mm repeater pitch)\n")
+    print(f"{'length':>8} {'unbuffered':>12} {'buffered':>10} "
+          f"{'#bufs':>6} {'exact unbuf':>12} {'exact buf':>10}")
+    for length_mm in (0.5, 1.0, 2.0, 4.0):
+        tree, sink = wire(length_mm)
+        sinks = [BufferSink(sink, SINK_CAP)]
+        result = insert_buffers(tree, sinks, BUF, DRIVER_RES)
+        buffered = buffered_stage_delays(
+            tree, sinks, BUF, DRIVER_RES, result.buffer_nodes
+        )[sink]
+        exact_unbuf = exact_staged_delay(tree, sink, [])
+        exact_buf = exact_staged_delay(tree, sink, result.buffer_nodes)
+        print(
+            f"{length_mm:6.1f}mm "
+            f"{-result.unbuffered_required / NS:11.3f}n "
+            f"{buffered / NS:9.3f}n "
+            f"{len(result.buffer_nodes):6d} "
+            f"{exact_unbuf / NS:11.3f}n "
+            f"{exact_buf / NS:9.3f}n"
+        )
+        assert exact_buf <= buffered  # the Elmore number stays a bound
+    print("\nUnbuffered delay grows quadratically with length; the "
+          "repeatered wire grows ~linearly.\nEvery buffered Elmore number "
+          "still upper-bounds its exact delay (the paper's Theorem, "
+          "stage by stage).")
+
+
+if __name__ == "__main__":
+    main()

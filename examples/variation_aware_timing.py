@@ -1,0 +1,82 @@
+"""Variation-aware interconnect timing in closed form.
+
+Process variation turns every delay into a distribution.  Because the
+Elmore delay is bilinear in the element values, its mean and standard
+deviation under independent elementwise variation are *closed-form*
+(see ``repro.core.variation``) — no Monte Carlo needed — and because the
+Theorem holds pointwise in process space, ``mean + z * std`` of the
+Elmore value is a statistical upper bound on the true delay's
+corresponding quantile behaviour.
+
+This example:
+
+1. takes the paper's Fig. 1 net with 12%/8% R/C variation,
+2. prints the closed-form statistics next to a Monte-Carlo check,
+3. shows 3-sigma corner planning per node, and
+4. demonstrates that sampled true delays stay below sampled Elmore
+   values, sample by sample.
+
+Run:  python examples/variation_aware_timing.py
+"""
+
+import numpy as np
+
+from repro import ExactAnalysis, measure_delay
+from repro.circuit import RCTree
+from repro.core.variation import (
+    VariationModel,
+    elmore_statistics,
+    monte_carlo_elmore,
+)
+from repro.workloads import fig1_tree
+
+NS = 1e-9
+MODEL = VariationModel(resistance_sigma=0.12, capacitance_sigma=0.08)
+
+
+def perturbed_copy(tree, rng):
+    """One process sample of the tree."""
+    sample = RCTree(tree.input_node)
+    for name in tree.node_names:
+        view = tree.node(name)
+        r = view.resistance * (1 + float(np.clip(rng.normal(0, 0.12),
+                                                 -0.9, 0.9)))
+        c = view.capacitance * (1 + float(np.clip(rng.normal(0, 0.08),
+                                                  -0.9, 0.9)))
+        sample.add_node(name, view.parent, r, c)
+    return sample
+
+
+def main():
+    tree = fig1_tree()
+    print("Fig. 1 net under 12% R / 8% C independent variation\n")
+    print(f"{'node':>5} {'nominal':>9} {'std':>8} {'MC std':>8} "
+          f"{'3-sigma':>9}   (ns)")
+    for node in ("n1", "n5", "n7"):
+        stats = elmore_statistics(tree, node, MODEL)
+        samples = monte_carlo_elmore(tree, node, MODEL, samples=4000,
+                                     seed=2)
+        print(
+            f"{node:>5} {stats.mean / NS:9.3f} {stats.std / NS:8.4f} "
+            f"{np.std(samples) / NS:8.4f} "
+            f"{stats.quantile_bound(3.0) / NS:9.3f}"
+        )
+
+    print("\nPointwise bound check: 8 process samples at n5")
+    rng = np.random.default_rng(13)
+    print(f"{'sample':>7} {'elmore':>9} {'true delay':>11}   bound holds")
+    for k in range(8):
+        sample = perturbed_copy(tree, rng)
+        from repro.core import elmore_delay
+        td = elmore_delay(sample, "n5")
+        actual = measure_delay(sample, "n5")
+        print(f"{k:>7} {td / NS:9.3f} {actual / NS:11.3f}   "
+              f"{'yes' if actual <= td else 'NO'}")
+        assert actual <= td
+    print("\nThe Theorem holds at every process corner — so statistical "
+          "Elmore\nplanning is certified sample-by-sample, not just on "
+          "average.")
+
+
+if __name__ == "__main__":
+    main()

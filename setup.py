@@ -1,0 +1,10 @@
+"""Setup shim for environments whose setuptools lacks PEP 517 wheel support.
+
+All metadata lives in ``pyproject.toml``; install with
+``pip install -e . --no-build-isolation`` (add ``--no-use-pep517`` on very
+old setuptools).
+"""
+
+from setuptools import setup
+
+setup()

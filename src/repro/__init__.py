@@ -1,0 +1,168 @@
+"""repro — reproduction of "The Elmore Delay as a Bound for RC Trees with
+Generalized Input Signals" (Gupta, Tutuianu, Pileggi; DAC'95 / TCAD'97).
+
+The package proves-by-construction the paper's results on real circuits:
+
+* :mod:`repro.circuit` — RC-tree model, builders, wire geometry, SPICE I/O;
+* :mod:`repro.core` — moments, the Elmore upper bound and ``mu - sigma``
+  lower bound, Penfield–Rubinstein bounds, delay metrics, verification;
+* :mod:`repro.analysis` — exact pole/residue analysis ("the SPICE"),
+  transient simulation, pi-models;
+* :mod:`repro.awe` — single/two/q-pole moment-matching baselines;
+* :mod:`repro.signals` — step, ramps, exponential, PWL input waveforms;
+* :mod:`repro.sta` — a miniature static timing analyzer on top of the
+  Elmore metric;
+* :mod:`repro.routing` — pin-to-tree rectilinear routing substrate;
+* :mod:`repro.workloads` — the paper's circuits and benchmark generators.
+
+Quick start::
+
+    from repro import RCTree, elmore_delay, delay_bounds, actual_delay
+
+    tree = RCTree("in")
+    tree.add_node("n1", "in", resistance=100.0, capacitance=50e-15)
+    tree.add_node("n2", "n1", resistance=200.0, capacitance=80e-15)
+
+    td = elmore_delay(tree, "n2")          # the Elmore upper bound
+    b = delay_bounds(tree, "n2")           # upper + lower bound pair
+    d = actual_delay(tree, "n2").delay     # exact 50% delay
+    assert b.lower <= d <= b.upper
+"""
+
+from repro._exceptions import (
+    AnalysisError,
+    ConvergenceError,
+    MetricError,
+    NetlistError,
+    ReproError,
+    RoutingError,
+    SignalError,
+    TimingGraphError,
+    TopologyError,
+    ValidationError,
+)
+from repro.analysis import (
+    ExactAnalysis,
+    PoleResidueTransfer,
+    actual_delay,
+    measure_delay,
+    output_rise_time,
+    pi_model,
+    sample_waveform,
+    simulate,
+    simulate_step_response,
+    threshold_crossing,
+)
+from repro.awe import awe_delay, one_pole_delay, two_pole_delay
+from repro.circuit import (
+    RCTree,
+    balanced_tree,
+    parse_rc_tree,
+    random_tree,
+    rc_line,
+    star_tree,
+    tree_to_netlist,
+)
+from repro.core import (
+    METRICS,
+    DelayBounds,
+    PRHBounds,
+    delay_bounds,
+    delay_lower_bound,
+    delay_upper_bound,
+    elmore_delay,
+    elmore_delays,
+    evaluate_metrics,
+    prh_bounds,
+    prh_delay_interval,
+    rise_time_estimate,
+    transfer_moments,
+    verify_tree,
+)
+from repro.core import elmore_sensitivity
+from repro.opt import (
+    BufferSink,
+    BufferType,
+    SizableSegment,
+    SizingProblem,
+    insert_buffers,
+    size_wires,
+)
+from repro.signals import (
+    ExponentialInput,
+    PWLSignal,
+    RaisedCosineRamp,
+    SaturatedRamp,
+    SmoothstepRamp,
+    StepInput,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # circuit
+    "RCTree",
+    "rc_line",
+    "balanced_tree",
+    "star_tree",
+    "random_tree",
+    "parse_rc_tree",
+    "tree_to_netlist",
+    # core
+    "transfer_moments",
+    "elmore_delay",
+    "elmore_delays",
+    "delay_bounds",
+    "DelayBounds",
+    "delay_upper_bound",
+    "delay_lower_bound",
+    "rise_time_estimate",
+    "prh_bounds",
+    "PRHBounds",
+    "prh_delay_interval",
+    "METRICS",
+    "evaluate_metrics",
+    "verify_tree",
+    # analysis
+    "ExactAnalysis",
+    "PoleResidueTransfer",
+    "actual_delay",
+    "measure_delay",
+    "threshold_crossing",
+    "output_rise_time",
+    "sample_waveform",
+    "simulate",
+    "simulate_step_response",
+    "pi_model",
+    # awe
+    "one_pole_delay",
+    "two_pole_delay",
+    "awe_delay",
+    # optimization
+    "elmore_sensitivity",
+    "insert_buffers",
+    "BufferType",
+    "BufferSink",
+    "size_wires",
+    "SizingProblem",
+    "SizableSegment",
+    # signals
+    "StepInput",
+    "SaturatedRamp",
+    "RaisedCosineRamp",
+    "SmoothstepRamp",
+    "ExponentialInput",
+    "PWLSignal",
+    # exceptions
+    "ReproError",
+    "TopologyError",
+    "ValidationError",
+    "NetlistError",
+    "AnalysisError",
+    "ConvergenceError",
+    "SignalError",
+    "MetricError",
+    "TimingGraphError",
+    "RoutingError",
+]

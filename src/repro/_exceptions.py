@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the library with a single ``except`` clause
+while still discriminating finer-grained failure classes when needed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "ValidationError",
+    "NetlistError",
+    "AnalysisError",
+    "ConvergenceError",
+    "SignalError",
+    "MetricError",
+    "TimingGraphError",
+    "RoutingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """An operation would violate the RC-tree topology invariants.
+
+    Raised e.g. when adding a node whose parent does not exist, adding a
+    duplicate node name, or creating a cycle.
+    """
+
+
+class ValidationError(ReproError):
+    """An RC tree or circuit failed semantic validation.
+
+    Raised e.g. for non-positive resistances, negative capacitances, or a
+    tree with no capacitance at all (which has no meaningful delay).
+    """
+
+
+class NetlistError(ReproError):
+    """A SPICE-subset netlist could not be parsed or does not describe
+    a valid RC tree."""
+
+
+class AnalysisError(ReproError):
+    """A numerical analysis step failed (singular system, no crossing
+    found, invalid configuration of an analysis object)."""
+
+
+class ConvergenceError(AnalysisError):
+    """An iterative procedure (threshold search, adaptive stepping,
+    curve fitting) failed to converge within its budget."""
+
+
+class SignalError(ReproError):
+    """An input signal specification is invalid (e.g. non-positive rise
+    time) or an operation is unsupported for the signal class."""
+
+
+class MetricError(ReproError):
+    """A delay metric could not be evaluated (e.g. moments violate the
+    realizability conditions the metric assumes)."""
+
+
+class TimingGraphError(ReproError):
+    """The static-timing-analysis graph is malformed (cycles, dangling
+    pins, unknown cells)."""
+
+
+class RoutingError(ReproError):
+    """Net routing failed (e.g. fewer than two pins, duplicate pin
+    coordinates where a tree cannot be formed)."""

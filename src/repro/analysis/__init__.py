@@ -1,0 +1,56 @@
+"""Exact/numerical analysis substrate: MNA, pole/residue, transient, pi-model."""
+
+from repro.analysis.admittance import (
+    PiModel,
+    pi_model,
+    pi_model_from_moments,
+    stage_central_moments,
+    subtree_admittance_moments,
+)
+from repro.analysis.distributed import DistributedLine
+from repro.analysis.general import GeneralAnalysis, GeneralRCNetwork
+from repro.analysis.mna import MNASystem, build_mna, mna_transfer_moments
+from repro.analysis.reduction import collapse_subtree, reduce_tree
+from repro.analysis.responses import (
+    DelayMeasurement,
+    actual_delay,
+    measure_delay,
+    output_rise_time,
+    sample_waveform,
+    threshold_crossing,
+)
+from repro.analysis.state_space import ExactAnalysis, PoleResidueTransfer
+from repro.analysis.transient import (
+    TransientResult,
+    simulate,
+    simulate_adaptive,
+    simulate_step_response,
+)
+
+__all__ = [
+    "DistributedLine",
+    "MNASystem",
+    "build_mna",
+    "mna_transfer_moments",
+    "ExactAnalysis",
+    "PoleResidueTransfer",
+    "TransientResult",
+    "simulate",
+    "simulate_adaptive",
+    "simulate_step_response",
+    "DelayMeasurement",
+    "actual_delay",
+    "measure_delay",
+    "output_rise_time",
+    "sample_waveform",
+    "threshold_crossing",
+    "PiModel",
+    "pi_model",
+    "pi_model_from_moments",
+    "stage_central_moments",
+    "subtree_admittance_moments",
+    "collapse_subtree",
+    "reduce_tree",
+    "GeneralRCNetwork",
+    "GeneralAnalysis",
+]

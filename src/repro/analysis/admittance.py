@@ -1,0 +1,164 @@
+"""Driving-point admittance analysis and the O'Brien–Savarino pi-model.
+
+Lemma 2 of the paper rests on reducing the tree seen from a node to the
+three-moment-equivalent pi circuit of Fig. 8(b) ([14], eq. (26)):
+
+    R2 = -m3(Y)^2 / m2(Y)^3
+    C1 = m1(Y) - m2(Y)^2 / m3(Y)
+    C2 = m2(Y)^2 / m3(Y)
+
+where ``m_k(Y)`` are the Maclaurin coefficients of the driving-point
+admittance.  For a (nondegenerate) RC tree ``m1 > 0``, ``m2 < 0``,
+``m3 > 0``, which makes all three pi elements nonnegative.
+
+The module also provides the closed-form central moments of the
+"resistor + pi" stage (Appendix B, eqs. (28)-(29)) used in the induction
+step of Lemma 2:
+
+    mu2 = R1^2 (C1 + C2)^2 + 2 R1 R2 C2^2                           >= 0
+    mu3 = 6 R1 R2 C2^2 [R1 (C1 + C2) + R2 C2] + 2 [R1 (C1 + C2)]^3  >= 0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro._exceptions import AnalysisError
+from repro.circuit.rctree import RCTree
+from repro.core.moments import admittance_moments
+
+__all__ = [
+    "PiModel",
+    "pi_model",
+    "pi_model_from_moments",
+    "stage_central_moments",
+    "subtree_admittance_moments",
+]
+
+
+@dataclass(frozen=True)
+class PiModel:
+    """Three-element pi reduction of a driving-point admittance.
+
+    ``C1`` is the near capacitor, ``R2`` the series resistor, ``C2`` the
+    far capacitor; the model matches the first three admittance moments of
+    the original circuit exactly.
+    """
+
+    c1: float
+    r2: float
+    c2: float
+
+    def admittance_moments(self) -> np.ndarray:
+        """First three admittance moments ``(m0=0, m1, m2, m3)`` of the pi.
+
+        ``Y(s) = s C1 + s C2 / (1 + s R2 C2)`` expands to
+        ``m1 = C1 + C2``, ``m2 = -R2 C2^2``, ``m3 = R2^2 C2^3``.
+        """
+        return np.array([
+            0.0,
+            self.c1 + self.c2,
+            -self.r2 * self.c2**2,
+            self.r2**2 * self.c2**3,
+        ])
+
+    @property
+    def total_capacitance(self) -> float:
+        """``C1 + C2`` (equals the tree's total capacitance)."""
+        return self.c1 + self.c2
+
+
+def pi_model_from_moments(moments: np.ndarray) -> PiModel:
+    """Build the pi model from admittance moments ``[m0, m1, m2, m3]``.
+
+    A degenerate ``m3 = 0`` (single lumped capacitor seen through zero
+    resistance) yields the pure-capacitor pi ``(C1 = m1, R2 = 0, C2 = 0)``.
+    """
+    moments = np.asarray(moments, dtype=np.float64)
+    if moments.shape[0] < 4:
+        raise AnalysisError("need admittance moments up to order 3")
+    _, m1, m2, m3 = moments[:4]
+    if m1 <= 0.0:
+        raise AnalysisError(
+            f"first admittance moment must be positive, got {m1!r}"
+        )
+    if m3 == 0.0 or m2 == 0.0:
+        return PiModel(c1=float(m1), r2=0.0, c2=0.0)
+    if m2 > 0.0 or m3 < 0.0:
+        raise AnalysisError(
+            "admittance moments are not RC-realizable: expected "
+            f"m2 <= 0 <= m3, got m2={m2!r}, m3={m3!r}"
+        )
+    c2 = m2**2 / m3
+    c1 = m1 - c2
+    r2 = -(m3**2) / m2**3
+    # c1 can dip microscopically negative from roundoff on degenerate trees.
+    if c1 < 0.0:
+        if c1 < -1e-9 * m1:
+            raise AnalysisError(
+                f"pi-model near capacitor came out negative (C1={c1!r}); "
+                "moments are inconsistent with an RC driving point"
+            )
+        c1 = 0.0
+    return PiModel(c1=float(c1), r2=float(r2), c2=float(c2))
+
+
+def pi_model(tree: RCTree) -> PiModel:
+    """Pi model of the tree's driving-point admittance (eq. (26))."""
+    return pi_model_from_moments(admittance_moments(tree, 3))
+
+
+def subtree_admittance_moments(tree: RCTree, node: str, order: int = 3) -> np.ndarray:
+    """Admittance moments of the subtree hanging below ``node``.
+
+    This is the ``Y_{k+1}`` of Figs. 7/9 of the paper: the downstream tree
+    re-rooted at ``node``, used by the induction steps of Lemmas 1 and 2.
+    """
+    sub = RCTree(node)
+    for name in tree.subtree_nodes(node):
+        if name == node:
+            continue
+        view = tree.node(name)
+        sub.add_node(name, view.parent, view.resistance, view.capacitance)
+    cap_here = tree.node(node).capacitance
+    if sub.num_nodes == 0 and cap_here == 0.0:
+        raise AnalysisError(
+            f"subtree at {node!r} carries no capacitance; "
+            "its admittance is identically zero"
+        )
+    if sub.num_nodes == 0:
+        # Bare capacitor: Y = s C.
+        out = np.zeros(order + 1, dtype=np.float64)
+        if order >= 1:
+            out[1] = cap_here
+        return out
+    # The node's own capacitor adds s*C to the downstream admittance.
+    moments = admittance_moments(sub, order) if sub.total_capacitance() > 0 \
+        else np.zeros(order + 1)
+    if order >= 1:
+        moments = moments.copy()
+        moments[1] += cap_here
+    return moments
+
+
+def stage_central_moments(
+    r1: float, pi: PiModel
+) -> Tuple[float, float]:
+    """Closed-form ``(mu2, mu3)`` of the transfer function at node 1 of the
+    "R1 feeding a pi" stage (Fig. 8(b); Appendix B, eqs. (28)-(29)).
+
+    Both are manifestly nonnegative for nonnegative element values, which
+    is the computational heart of Lemma 2.
+    """
+    if r1 <= 0.0:
+        raise AnalysisError(f"stage resistance must be > 0, got {r1!r}")
+    c1, r2, c2 = pi.c1, pi.r2, pi.c2
+    mu2 = r1**2 * (c1 + c2) ** 2 + 2.0 * r1 * r2 * c2**2
+    mu3 = (
+        6.0 * r1 * r2 * c2**2 * (r1 * (c1 + c2) + r2 * c2)
+        + 2.0 * (r1 * (c1 + c2)) ** 3
+    )
+    return float(mu2), float(mu3)

@@ -1,0 +1,111 @@
+"""Hierarchical model-order reduction of RC trees via pi-collapse.
+
+Lemma 2's engine — the three-moment pi equivalent of a driving-point
+admittance (eq. 26) — doubles as a *reduction* tool: replacing a subtree
+by its pi model preserves the first three moments of the admittance the
+rest of the tree sees, and therefore preserves **every upstream node's
+transfer moments up to order 3 exactly** (Appendix A: ``m_0..m_3`` of an
+upstream transfer function depend on the downstream tree only through
+``m_0..m_3`` of its admittance).
+
+Consequences, all tested:
+
+* upstream Elmore delays, variances and third central moments — hence
+  the paper's upper and lower bounds — are *bit-identical* after
+  collapsing any set of disjoint subtrees;
+* huge flat trees (e.g. million-segment wire models) can be bounded at
+  selected observation nodes after collapsing everything else to a
+  handful of pi sections.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from repro._exceptions import AnalysisError, ValidationError
+from repro.analysis.admittance import (
+    pi_model_from_moments,
+    subtree_admittance_moments,
+)
+from repro.circuit.rctree import RCTree
+
+__all__ = ["collapse_subtree", "reduce_tree"]
+
+
+def collapse_subtree(tree: RCTree, node: str) -> RCTree:
+    """Return a copy of ``tree`` with the subtree below ``node`` replaced
+    by its three-moment pi equivalent.
+
+    The node itself survives; it receives the pi's near capacitance
+    ``C1`` (on top of nothing — its own wire cap is part of the collapsed
+    admittance) and, when the pi has a far section, one synthetic child
+    ``<node>#pi`` carrying ``(R2, C2)``.
+
+    Raises
+    ------
+    AnalysisError
+        If the subtree carries no capacitance (nothing to model).
+    """
+    if node not in tree or node == tree.input_node:
+        raise ValidationError(f"cannot collapse at {node!r}")
+    moments = subtree_admittance_moments(tree, node, order=3)
+    pi = pi_model_from_moments(moments)
+
+    keep: Set[str] = set(tree.node_names) - set(tree.subtree_nodes(node))
+    keep.add(node)
+    reduced = RCTree(tree.input_node)
+    for name in tree.node_names:
+        if name not in keep:
+            continue
+        view = tree.node(name)
+        cap = pi.c1 if name == node else view.capacitance
+        reduced.add_node(name, view.parent, view.resistance, cap)
+    if pi.r2 > 0.0 and pi.c2 > 0.0:
+        reduced.add_node(f"{node}#pi", node, pi.r2, pi.c2)
+    return reduced
+
+
+def reduce_tree(
+    tree: RCTree,
+    observed: Sequence[str],
+) -> RCTree:
+    """Collapse everything not needed to observe ``observed`` nodes.
+
+    Keeps the union of root paths to the observed nodes; every maximal
+    subtree hanging off that spine is replaced by its pi model.  All
+    moments up to order 3 — hence Elmore, sigma, skewness, and both of
+    the paper's bounds — at the observed nodes are preserved exactly.
+
+    Parameters
+    ----------
+    tree:
+        The tree to reduce.
+    observed:
+        Nodes whose timing must be preserved (>= 1).
+    """
+    if not observed:
+        raise ValidationError("need at least one observed node")
+    spine: Set[str] = set()
+    for name in observed:
+        if name not in tree or name == tree.input_node:
+            raise ValidationError(f"cannot observe {name!r}")
+        spine.update(tree.path_to_root(name))
+
+    reduced = tree
+    # Collapse the highest off-spine nodes (children of spine nodes).
+    for name in list(spine):
+        for child in tree.children_of(name):
+            if child in spine:
+                continue
+            try:
+                reduced = collapse_subtree(reduced, child)
+            except AnalysisError:
+                continue  # capless subtree: leave it (it is tiny anyway)
+    # Also collapse off-spine children of the input node.
+    for child in tree.children_of(tree.input_node):
+        if child not in spine:
+            try:
+                reduced = collapse_subtree(reduced, child)
+            except AnalysisError:
+                continue
+    return reduced

@@ -1,0 +1,70 @@
+"""Single-pole (dominant time constant) approximation (Sec. II-D).
+
+When no low-frequency zeros exist, ``T_D ~ b_1 = sum 1/p_j``; when one pole
+dominates, ``T_D ~ 1/p_d`` and the step response is fitted by
+``v(t) = 1 - exp(-t / T_D)`` whose 50% crossing is ``ln(2) T_D`` — the
+column (5) entries of Table I.  The paper's point (Sec. II-D) is that this
+single-pole estimate can be *optimistic or pessimistic at different nodes
+of the same tree*, unlike the Elmore bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro._exceptions import AnalysisError
+from repro.analysis.state_space import PoleResidueTransfer
+from repro.circuit.rctree import RCTree
+from repro.core.moments import TransferMoments, transfer_moments
+
+__all__ = [
+    "dominant_time_constant",
+    "one_pole_model",
+    "one_pole_delay",
+    "LN2",
+]
+
+#: The ln(2) ~ 0.693 factor that converts a time constant into a 50% delay.
+LN2 = math.log(2.0)
+
+
+def dominant_time_constant(
+    source: Union[RCTree, TransferMoments], node: str
+) -> float:
+    """The Elmore value used as a dominant time constant (eq. (11)-(13))."""
+    if isinstance(source, RCTree):
+        source = transfer_moments(source, 1)
+    return source.mean(node)
+
+
+def one_pole_model(
+    source: Union[RCTree, TransferMoments], node: str
+) -> PoleResidueTransfer:
+    """``v(t) = 1 - exp(-t / T_D)`` as a pole/residue object (eq. (14))."""
+    tau = dominant_time_constant(source, node)
+    if tau <= 0.0:
+        raise AnalysisError(
+            f"node {node!r} has nonpositive Elmore delay {tau!r}"
+        )
+    lam = 1.0 / tau
+    return PoleResidueTransfer(
+        poles=np.array([lam]), residues=np.array([lam]), direct=0.0
+    )
+
+
+def one_pole_delay(
+    source: Union[RCTree, TransferMoments],
+    node: str,
+    threshold: float = 0.5,
+) -> float:
+    """Threshold delay of the single-pole fit: ``-T_D ln(1 - threshold)``.
+
+    At ``threshold = 0.5`` this is the classic ``ln(2) T_D`` scaling.
+    """
+    if not (0.0 < threshold < 1.0):
+        raise AnalysisError(f"threshold must be inside (0, 1), got {threshold!r}")
+    tau = dominant_time_constant(source, node)
+    return float(-tau * math.log1p(-threshold))

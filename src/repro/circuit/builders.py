@@ -1,0 +1,212 @@
+"""Programmatic RC-tree builders for common interconnect topologies.
+
+These construct the generic structures used throughout the tests and
+benchmarks; the paper-specific calibrated circuits (Fig. 1's seven-node tree
+and the 25-node tree of Section IV-B) live in :mod:`repro.workloads.paper`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._exceptions import ValidationError
+from repro.circuit.rctree import RCTree
+
+__all__ = [
+    "rc_line",
+    "rc_line_segments",
+    "balanced_tree",
+    "random_tree",
+    "star_tree",
+]
+
+
+def rc_line(
+    num_segments: int,
+    resistance: float,
+    capacitance: float,
+    driver_resistance: Optional[float] = None,
+    load_capacitance: float = 0.0,
+    input_node: str = "in",
+    prefix: str = "n",
+) -> RCTree:
+    """A uniform RC ladder: the lumped model of a distributed RC wire.
+
+    ``in -R- n1 -R- n2 - ... -R- n<num_segments>`` with capacitance
+    ``capacitance`` at every internal node.
+
+    Parameters
+    ----------
+    num_segments:
+        Number of RC sections (>= 1).
+    resistance, capacitance:
+        Per-section resistance (ohms) and capacitance (farads).
+    driver_resistance:
+        If given, the first section's resistance is replaced by
+        ``driver_resistance`` (models a linearized driving gate).
+    load_capacitance:
+        Extra capacitance added at the far-end node (receiver pin load).
+    """
+    if num_segments < 1:
+        raise ValidationError("rc_line needs at least one segment")
+    tree = RCTree(input_node)
+    parent = input_node
+    for k in range(1, num_segments + 1):
+        r = resistance
+        if k == 1 and driver_resistance is not None:
+            r = driver_resistance
+        name = f"{prefix}{k}"
+        tree.add_node(name, parent, r, capacitance)
+        parent = name
+    if load_capacitance:
+        tree.add_load(parent, load_capacitance)
+    return tree
+
+
+def rc_line_segments(
+    resistances: Sequence[float],
+    capacitances: Sequence[float],
+    input_node: str = "in",
+    prefix: str = "n",
+) -> RCTree:
+    """A nonuniform RC ladder from explicit per-section values."""
+    if len(resistances) != len(capacitances):
+        raise ValidationError(
+            "resistances and capacitances must have equal length"
+        )
+    if not resistances:
+        raise ValidationError("rc_line_segments needs at least one segment")
+    tree = RCTree(input_node)
+    parent = input_node
+    for k, (r, c) in enumerate(zip(resistances, capacitances), start=1):
+        name = f"{prefix}{k}"
+        tree.add_node(name, parent, r, c)
+        parent = name
+    return tree
+
+
+def balanced_tree(
+    depth: int,
+    fanout: int,
+    resistance: float,
+    capacitance: float,
+    driver_resistance: Optional[float] = None,
+    leaf_load: float = 0.0,
+    input_node: str = "in",
+) -> RCTree:
+    """A balanced H-tree-like clock distribution skeleton.
+
+    Every internal level branches ``fanout`` ways; each edge has the same
+    resistance and each node the same capacitance.  Level-1 consists of a
+    single trunk node (the clock driver's output), so the total node count
+    is ``1 + fanout + fanout^2 + ... + fanout^(depth-1)``.
+
+    Parameters
+    ----------
+    depth:
+        Number of levels including the trunk (>= 1).
+    fanout:
+        Branching factor at each internal node (>= 1).
+    leaf_load:
+        Extra capacitance at every leaf (clock sink load).
+    """
+    if depth < 1:
+        raise ValidationError("balanced_tree needs depth >= 1")
+    if fanout < 1:
+        raise ValidationError("balanced_tree needs fanout >= 1")
+    tree = RCTree(input_node)
+    trunk_r = driver_resistance if driver_resistance is not None else resistance
+    tree.add_node("t", input_node, trunk_r, capacitance)
+    frontier = ["t"]
+    for level in range(1, depth):
+        next_frontier = []
+        for parent in frontier:
+            for b in range(fanout):
+                name = f"{parent}.{b}"
+                tree.add_node(name, parent, resistance, capacitance)
+                next_frontier.append(name)
+        frontier = next_frontier
+    if leaf_load:
+        for leaf in frontier:
+            tree.add_load(leaf, leaf_load)
+    return tree
+
+
+def star_tree(
+    num_branches: int,
+    branch_length: int,
+    resistance: float,
+    capacitance: float,
+    driver_resistance: Optional[float] = None,
+    input_node: str = "in",
+) -> RCTree:
+    """A hub node with ``num_branches`` identical RC-line branches.
+
+    Models a net fanning out from a single trunk to several receivers.
+    """
+    if num_branches < 1:
+        raise ValidationError("star_tree needs at least one branch")
+    if branch_length < 1:
+        raise ValidationError("star_tree branches need at least one segment")
+    tree = RCTree(input_node)
+    trunk_r = driver_resistance if driver_resistance is not None else resistance
+    tree.add_node("hub", input_node, trunk_r, capacitance)
+    for b in range(num_branches):
+        parent = "hub"
+        for k in range(1, branch_length + 1):
+            name = f"b{b}.{k}"
+            tree.add_node(name, parent, resistance, capacitance)
+            parent = name
+    return tree
+
+
+def random_tree(
+    num_nodes: int,
+    seed: Optional[int] = None,
+    r_range: tuple = (10.0, 1000.0),
+    c_range: tuple = (1e-15, 1e-12),
+    input_node: str = "in",
+    rng: Optional[np.random.Generator] = None,
+) -> RCTree:
+    """A random RC tree with log-uniform element values.
+
+    Each new node attaches to a uniformly random existing node (including
+    the input node), producing the full variety of shapes from near-lines
+    to near-stars.  Log-uniform R and C sampling exercises many decades of
+    time constants, which is what stresses the bound proofs.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of internal nodes (>= 1).
+    seed:
+        Seed for a fresh :class:`numpy.random.Generator`; ignored when
+        ``rng`` is given.
+    r_range, c_range:
+        ``(low, high)`` bounds for the log-uniform element distributions.
+    rng:
+        Optional generator to draw from (lets callers share a stream).
+    """
+    if num_nodes < 1:
+        raise ValidationError("random_tree needs at least one node")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    r_lo, r_hi = r_range
+    c_lo, c_hi = c_range
+    if not (0 < r_lo <= r_hi):
+        raise ValidationError("r_range must satisfy 0 < low <= high")
+    if not (0 < c_lo <= c_hi):
+        raise ValidationError("c_range must satisfy 0 < low <= high")
+
+    tree = RCTree(input_node)
+    names = [input_node]
+    for k in range(1, num_nodes + 1):
+        parent = names[int(rng.integers(0, len(names)))]
+        r = float(np.exp(rng.uniform(np.log(r_lo), np.log(r_hi))))
+        c = float(np.exp(rng.uniform(np.log(c_lo), np.log(c_hi))))
+        name = f"n{k}"
+        tree.add_node(name, parent, r, c)
+        names.append(name)
+    return tree

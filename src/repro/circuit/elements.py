@@ -1,0 +1,146 @@
+"""Primitive circuit elements used by the RC-tree model and netlists.
+
+These are deliberately small immutable records.  The library's analyses all
+operate on :class:`repro.circuit.rctree.RCTree`, which stores elements in a
+flat array form; the classes here exist for netlist interchange (SPICE
+parsing/writing) and for user-facing construction code that prefers an
+object-per-element style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._exceptions import ValidationError
+
+__all__ = ["Resistor", "Capacitor", "VoltageSource", "GROUND"]
+
+#: Canonical name of the ground node in netlists ("0" as in SPICE).
+GROUND = "0"
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A two-terminal linear resistor.
+
+    Parameters
+    ----------
+    name:
+        Element name, e.g. ``"R1"``.
+    node_a, node_b:
+        Terminal node names.
+    resistance:
+        Resistance in ohms; must be strictly positive.
+    """
+
+    name: str
+    node_a: str
+    node_b: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("resistor needs a non-empty name")
+        if self.node_a == self.node_b:
+            raise ValidationError(
+                f"resistor {self.name!r} shorts node {self.node_a!r} to itself"
+            )
+        if not (self.resistance > 0.0):
+            raise ValidationError(
+                f"resistor {self.name!r} must have R > 0, got {self.resistance!r}"
+            )
+
+    def spice_card(self) -> str:
+        """Render the element as a SPICE card."""
+        return f"{self.name} {self.node_a} {self.node_b} {self.resistance:.12g}"
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A two-terminal linear capacitor.
+
+    In a valid RC tree every capacitor has one terminal on ground.
+
+    Parameters
+    ----------
+    name:
+        Element name, e.g. ``"C3"``.
+    node_a, node_b:
+        Terminal node names (one of them must be :data:`GROUND` for RC
+        trees; the dataclass itself does not enforce that so generic RC
+        netlists can also be represented).
+    capacitance:
+        Capacitance in farads; must be nonnegative.
+    """
+
+    name: str
+    node_a: str
+    node_b: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("capacitor needs a non-empty name")
+        if self.node_a == self.node_b:
+            raise ValidationError(
+                f"capacitor {self.name!r} connects node {self.node_a!r} to itself"
+            )
+        if self.capacitance < 0.0:
+            raise ValidationError(
+                f"capacitor {self.name!r} must have C >= 0, got {self.capacitance!r}"
+            )
+
+    @property
+    def grounded(self) -> bool:
+        """True when one terminal is the ground node."""
+        return GROUND in (self.node_a, self.node_b)
+
+    @property
+    def signal_node(self) -> str:
+        """The non-ground terminal of a grounded capacitor."""
+        if not self.grounded:
+            raise ValidationError(
+                f"capacitor {self.name!r} is floating (no ground terminal)"
+            )
+        return self.node_b if self.node_a == GROUND else self.node_a
+
+    def spice_card(self) -> str:
+        """Render the element as a SPICE card."""
+        return f"{self.name} {self.node_a} {self.node_b} {self.capacitance:.12g}"
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """An ideal independent voltage source (the tree's driver).
+
+    Only DC/step sources are represented structurally; time-varying input
+    shapes are modelled separately by :mod:`repro.signals` at analysis time.
+
+    Parameters
+    ----------
+    name:
+        Element name, e.g. ``"VIN"``.
+    node_pos:
+        Positive terminal (the RC tree's input node).
+    node_neg:
+        Negative terminal (ground for RC trees).
+    value:
+        Source amplitude in volts (final value of the applied signal).
+    """
+
+    name: str
+    node_pos: str
+    node_neg: str = GROUND
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("voltage source needs a non-empty name")
+        if self.node_pos == self.node_neg:
+            raise ValidationError(
+                f"voltage source {self.name!r} shorts its own terminals"
+            )
+
+    def spice_card(self) -> str:
+        """Render the element as a SPICE card."""
+        return f"{self.name} {self.node_pos} {self.node_neg} DC {self.value:.12g}"

@@ -1,0 +1,216 @@
+"""Geometric wire model: routed net geometry -> lumped RC tree.
+
+The paper motivates the Elmore delay as "the only delay metric which is
+easily measured in terms of net widths and lengths" (Sec. I).  This module
+supplies that measurement path: a simple per-layer technology description
+(sheet resistance, area and fringe capacitance) converts wire segments of
+given length/width into RC sections, and a builder chains the sections into
+an :class:`~repro.circuit.rctree.RCTree`.
+
+Units are SI throughout: lengths in meters, resistance in ohms, capacitance
+in farads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._exceptions import ValidationError
+from repro.circuit.rctree import RCTree
+
+__all__ = ["WireTechnology", "WireSegment", "wire_rc", "tree_from_segments"]
+
+
+@dataclass(frozen=True)
+class WireTechnology:
+    """Per-layer electrical parameters of a routing layer.
+
+    Parameters
+    ----------
+    sheet_resistance:
+        Ohms per square of the layer.
+    area_capacitance:
+        Farads per square meter of wire area (parallel-plate component).
+    fringe_capacitance:
+        Farads per meter of wire edge (two edges are counted per segment).
+    min_width:
+        Minimum legal wire width (meters), used for validation.
+    name:
+        Layer name (informational).
+    """
+
+    sheet_resistance: float
+    area_capacitance: float
+    fringe_capacitance: float
+    min_width: float = 0.0
+    name: str = "metal"
+
+    def __post_init__(self) -> None:
+        if self.sheet_resistance <= 0:
+            raise ValidationError("sheet_resistance must be > 0")
+        if self.area_capacitance < 0 or self.fringe_capacitance < 0:
+            raise ValidationError("capacitance coefficients must be >= 0")
+        if self.min_width < 0:
+            raise ValidationError("min_width must be >= 0")
+
+    def segment_resistance(self, length: float, width: float) -> float:
+        """Resistance of a ``length x width`` rectangle of this layer."""
+        self._check_geometry(length, width)
+        return self.sheet_resistance * length / width
+
+    def segment_capacitance(self, length: float, width: float) -> float:
+        """Total grounded capacitance of a wire rectangle (area + fringe)."""
+        self._check_geometry(length, width)
+        return (
+            self.area_capacitance * length * width
+            + 2.0 * self.fringe_capacitance * length
+        )
+
+    def _check_geometry(self, length: float, width: float) -> None:
+        if length <= 0:
+            raise ValidationError(f"wire length must be > 0, got {length!r}")
+        if width <= 0:
+            raise ValidationError(f"wire width must be > 0, got {width!r}")
+        if self.min_width and width < self.min_width:
+            raise ValidationError(
+                f"wire width {width:g} below layer minimum {self.min_width:g}"
+            )
+
+
+#: A reasonable mid-1990s aluminum layer, matching the technology era of the
+#: paper: 40 mohm/sq sheet resistance, ~30 aF/um^2 area cap, ~40 aF/um
+#: fringe cap.  Exposed so examples have a one-line starting point.
+DEFAULT_TECHNOLOGY = WireTechnology(
+    sheet_resistance=0.04,
+    area_capacitance=3e-5,
+    fringe_capacitance=4e-11,
+    min_width=0.5e-6,
+    name="M2-al",
+)
+
+__all__.append("DEFAULT_TECHNOLOGY")
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """One routed wire piece between two topological nodes of a net.
+
+    Parameters
+    ----------
+    parent, child:
+        Node names; ``parent`` is electrically closer to the driver.
+    length, width:
+        Segment geometry in meters.
+    technology:
+        Layer the segment is routed on.
+    """
+
+    parent: str
+    child: str
+    length: float
+    width: float
+    technology: WireTechnology = DEFAULT_TECHNOLOGY
+
+    def resistance(self) -> float:
+        """Lumped resistance of this segment."""
+        return self.technology.segment_resistance(self.length, self.width)
+
+    def capacitance(self) -> float:
+        """Lumped grounded capacitance of this segment."""
+        return self.technology.segment_capacitance(self.length, self.width)
+
+
+def wire_rc(
+    length: float,
+    width: float,
+    technology: WireTechnology = DEFAULT_TECHNOLOGY,
+) -> Tuple[float, float]:
+    """Return ``(R, C)`` of a wire rectangle on ``technology``."""
+    return (
+        technology.segment_resistance(length, width),
+        technology.segment_capacitance(length, width),
+    )
+
+
+def tree_from_segments(
+    segments: Sequence[WireSegment],
+    driver_resistance: float,
+    pin_loads: Optional[Dict[str, float]] = None,
+    input_node: str = "in",
+    driver_node: str = "drv",
+    sections_per_segment: int = 1,
+) -> RCTree:
+    """Build an RC tree for a routed net.
+
+    The driver is modelled as a linear resistance ``driver_resistance`` from
+    the input node to ``driver_node`` (the net's source pin), per the
+    linearization of Fig. 1/2 in the paper.  Each wire segment becomes
+    ``sections_per_segment`` lumped RC sections using the pi-like split:
+    half of each section's capacitance at each end, which converges to the
+    distributed-line behaviour as sections increase.
+
+    Parameters
+    ----------
+    segments:
+        Wire pieces; their parent/child names must form a tree rooted at
+        ``driver_node``.
+    driver_resistance:
+        Linearized driving-gate output resistance (ohms).
+    pin_loads:
+        Optional map from node name to receiver input capacitance.
+    sections_per_segment:
+        Number of RC sections per wire segment (>= 1); more sections model
+        the distributed wire more faithfully.
+    """
+    if driver_resistance <= 0:
+        raise ValidationError("driver_resistance must be > 0")
+    if sections_per_segment < 1:
+        raise ValidationError("sections_per_segment must be >= 1")
+    if not segments:
+        raise ValidationError("net has no wire segments")
+
+    # Order segments topologically from the driver.
+    by_parent: Dict[str, List[WireSegment]] = {}
+    for seg in segments:
+        by_parent.setdefault(seg.parent, []).append(seg)
+
+    tree = RCTree(input_node)
+    tree.add_node(driver_node, input_node, driver_resistance, 0.0)
+
+    visited = {driver_node}
+    stack = [driver_node]
+    placed = 0
+    while stack:
+        parent = stack.pop()
+        for seg in by_parent.get(parent, ()):
+            if seg.child in visited:
+                raise ValidationError(
+                    f"net geometry is not a tree: node {seg.child!r} "
+                    "reached twice"
+                )
+            r_total = seg.resistance()
+            c_total = seg.capacitance()
+            n = sections_per_segment
+            attach = parent
+            for k in range(1, n + 1):
+                name = seg.child if k == n else f"{seg.child}.s{k}"
+                # Split each section's capacitance half at each end (pi
+                # sections); ``attach`` is never the input node because the
+                # driver node is always interposed first.
+                tree.add_node(name, attach, r_total / n, c_total / (2 * n))
+                tree.add_load(attach, c_total / (2 * n))
+                attach = name
+            visited.add(seg.child)
+            stack.append(seg.child)
+            placed += 1
+    if placed != len(segments):
+        unreached = [s.child for s in segments if s.child not in visited]
+        raise ValidationError(
+            f"segments unreachable from driver {driver_node!r}: {unreached}"
+        )
+
+    if pin_loads:
+        for node, load in pin_loads.items():
+            tree.add_load(node, load)
+    return tree

@@ -1,0 +1,336 @@
+"""Command-line interface: bound analysis of SPICE RC-tree netlists.
+
+Usage::
+
+    python -m repro analyze NETLIST.sp [--nodes n5,n7] [--signal ramp:2ns]
+    python -m repro verify NETLIST.sp
+    python -m repro waveform NETLIST.sp NODE [--signal ramp:2ns]
+                                             [--csv out.csv]
+    python -m repro table1
+    python -m repro table2
+
+``analyze`` prints, per node, the measured 50% delay plus every bound the
+library implements.  ``verify`` checks the paper's claims (Lemmas 1-2,
+Theorem, Corollary 1) numerically on the given circuit.  ``waveform``
+renders the exact output waveform as ASCII art (and optionally CSV).
+``table1`` and ``table2`` regenerate the paper's tables from the
+reconstructed circuits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro._exceptions import ReproError
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.circuit import parse_rc_tree
+from repro.core import (
+    prh_bounds,
+    transfer_moments,
+    verify_tree,
+)
+from repro.signals import (
+    ExponentialInput,
+    RaisedCosineRamp,
+    SaturatedRamp,
+    Signal,
+    SmoothstepRamp,
+    StepInput,
+)
+
+__all__ = ["main", "parse_signal_spec"]
+
+_TIME_SUFFIXES = {"s": 1.0, "ms": 1e-3, "us": 1e-6, "ns": 1e-9, "ps": 1e-12,
+                  "fs": 1e-15}
+
+
+def _parse_time(token: str) -> float:
+    token = token.strip().lower()
+    for suffix in sorted(_TIME_SUFFIXES, key=len, reverse=True):
+        if token.endswith(suffix):
+            return float(token[: -len(suffix)]) * _TIME_SUFFIXES[suffix]
+    return float(token)
+
+
+def parse_signal_spec(spec: str) -> Signal:
+    """Parse a ``kind[:param]`` signal spec, e.g. ``ramp:2ns``.
+
+    Kinds: ``step``, ``ramp`` (saturated), ``cosine`` (raised cosine),
+    ``smoothstep``, ``exp`` (exponential; the parameter is ``tau``).
+    """
+    kind, _, param = spec.partition(":")
+    kind = kind.strip().lower()
+    if kind == "step":
+        return StepInput()
+    if not param:
+        raise argparse.ArgumentTypeError(
+            f"signal {kind!r} needs a time parameter, e.g. '{kind}:2ns'"
+        )
+    value = _parse_time(param)
+    if kind == "ramp":
+        return SaturatedRamp(value)
+    if kind == "cosine":
+        return RaisedCosineRamp(value)
+    if kind == "smoothstep":
+        return SmoothstepRamp(value)
+    if kind == "exp":
+        return ExponentialInput(value)
+    raise argparse.ArgumentTypeError(f"unknown signal kind {kind!r}")
+
+
+def _format_ns(value: float) -> str:
+    return f"{value / 1e-9:.4g}"
+
+
+def _cmd_analyze(args) -> int:
+    with open(args.netlist, encoding="utf-8") as handle:
+        tree, _ = parse_rc_tree(handle.read())
+    signal = args.signal
+    nodes = args.nodes.split(",") if args.nodes else list(tree.node_names)
+    for node in nodes:
+        if node not in tree:
+            print(f"error: node {node!r} not in netlist", file=sys.stderr)
+            return 2
+
+    analysis = ExactAnalysis(tree)
+    moments = transfer_moments(tree, 3)
+    from repro.core import delay_bounds
+    prh = prh_bounds(tree) if isinstance(signal, StepInput) else None
+
+    header = f"{'node':>10} {'delay':>9} {'elmore':>9} {'lower':>9}"
+    if prh is not None:
+        header += f" {'prh_min':>9} {'prh_max':>9}"
+    print(f"input: {signal.describe()}   (times in ns)")
+    print(header)
+    for node in nodes:
+        delay = measure_delay(analysis, node, signal)
+        bounds = delay_bounds(tree, node, signal=signal, moments=moments)
+        line = (
+            f"{node:>10} {_format_ns(delay):>9} "
+            f"{_format_ns(bounds.upper):>9} {_format_ns(bounds.lower):>9}"
+        )
+        if prh is not None:
+            tmin, tmax = prh[node].delay_interval(0.5)
+            line += f" {_format_ns(tmin):>9} {_format_ns(tmax):>9}"
+        print(line)
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    with open(args.netlist, encoding="utf-8") as handle:
+        tree, _ = parse_rc_tree(handle.read())
+    verdict = verify_tree(tree)
+    for node in verdict.nodes:
+        status = "ok" if node.all_hold else "FAIL"
+        print(
+            f"{node.node:>10}  unimodal={node.unimodal}  "
+            f"gamma>=0={node.skew_nonnegative}  "
+            f"ordering={node.ordering_holds}  "
+            f"bounds={node.upper_bound_holds and node.lower_bound_holds}  "
+            f"[{status}]"
+        )
+    if verdict.all_hold:
+        print("all claims hold")
+        return 0
+    print("CLAIM VIOLATIONS FOUND", file=sys.stderr)
+    return 1
+
+
+def _cmd_waveform(args) -> int:
+    import numpy as np
+
+    with open(args.netlist, encoding="utf-8") as handle:
+        tree, _ = parse_rc_tree(handle.read())
+    if args.node not in tree:
+        print(f"error: node {args.node!r} not in netlist", file=sys.stderr)
+        return 2
+    signal = args.signal
+    analysis = ExactAnalysis(tree)
+    transfer = analysis.transfer(args.node)
+    horizon = max(signal.settle_time, 0.0) + transfer.settle_time(1e-6)
+    t = np.linspace(0.0, horizon, args.points)
+    vin = signal.value(t)
+    vout = transfer.response(signal, t)
+
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write("time_s,input_v,output_v\n")
+            for row in zip(t, vin, vout):
+                handle.write(f"{row[0]:.9e},{row[1]:.9e},{row[2]:.9e}\n")
+        print(f"wrote {args.points} samples to {args.csv}")
+
+    # ASCII rendering: 'i' = input, 'o' = output, 'x' = both.
+    width, height = 72, 18
+    print(f"waveform at {args.node} ({signal.describe()}); "
+          f"horizon {horizon / 1e-9:.3g} ns")
+    columns = np.linspace(0, t.size - 1, width).astype(int)
+    grid = [[" "] * width for _ in range(height)]
+    for col, idx in enumerate(columns):
+        for value, mark in ((vin[idx], "i"), (vout[idx], "o")):
+            row = height - 1 - int(
+                np.clip(round(value * (height - 1)), 0, height - 1)
+            )
+            grid[row][col] = "x" if grid[row][col] not in (" ", mark) \
+                else mark
+    for row in grid:
+        print("|" + "".join(row) + "|")
+    print("+" + "-" * width + "+")
+    delay = measure_delay(analysis, args.node, signal)
+    print(f"50% delay (from input midpoint): {delay / 1e-9:.4g} ns")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.core.variation import VariationModel, elmore_statistics
+
+    with open(args.netlist, encoding="utf-8") as handle:
+        tree, _ = parse_rc_tree(handle.read())
+    nodes = args.nodes.split(",") if args.nodes else list(tree.node_names)
+    for node in nodes:
+        if node not in tree:
+            print(f"error: node {node!r} not in netlist", file=sys.stderr)
+            return 2
+    model = VariationModel(
+        resistance_sigma=args.rsigma, capacitance_sigma=args.csigma
+    )
+    print(f"variation: R +-{args.rsigma * 100:.0f}%  "
+          f"C +-{args.csigma * 100:.0f}%   (times in ns)")
+    print(f"{'node':>10} {'nominal':>9} {'std':>9} {'3-sigma':>9}")
+    for node in nodes:
+        stats = elmore_statistics(tree, node, model)
+        print(
+            f"{node:>10} {_format_ns(stats.mean):>9} "
+            f"{_format_ns(stats.std):>9} "
+            f"{_format_ns(stats.quantile_bound(3.0)):>9}"
+        )
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    from repro.workloads import FIG1_PROBES, fig1_tree
+    tree = fig1_tree()
+    analysis = ExactAnalysis(tree)
+    moments = transfer_moments(tree, 2)
+    print(f"{'node':>6} {'actual':>8} {'elmore':>8} {'lower':>8} "
+          f"{'ln2*TD':>8} {'t_max':>8} {'t_min':>8}   (ns)")
+    prh = prh_bounds(tree)
+    for node in FIG1_PROBES:
+        actual = measure_delay(analysis, node)
+        td = moments.mean(node)
+        lower = max(td - moments.sigma(node), 0.0)
+        tmin, tmax = prh[node].delay_interval(0.5)
+        print(
+            f"{node:>6} {_format_ns(actual):>8} {_format_ns(td):>8} "
+            f"{_format_ns(lower):>8} {_format_ns(math.log(2) * td):>8} "
+            f"{_format_ns(tmax):>8} {_format_ns(tmin):>8}"
+        )
+    return 0
+
+
+def _cmd_table2(_args) -> int:
+    from repro.workloads import TABLE2_RISE_TIMES, TREE25_PROBES, tree25
+    tree = tree25()
+    analysis = ExactAnalysis(tree)
+    moments = transfer_moments(tree, 1)
+    print(f"{'node':>6} {'elmore':>8}", end="")
+    for rise in TABLE2_RISE_TIMES:
+        print(f" {'d@' + _format_ns(rise) + 'ns':>10} {'%err':>7}", end="")
+    print("   (ns)")
+    for probe, node in TREE25_PROBES.items():
+        td = moments.mean(node)
+        print(f"{probe:>6} {_format_ns(td):>8}", end="")
+        for rise in TABLE2_RISE_TIMES:
+            delay = measure_delay(analysis, node, SaturatedRamp(rise))
+            err = abs((delay - td) / delay) * 100
+            print(f" {_format_ns(delay):>10} {err:6.1f}%", end="")
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Elmore delay bounds for RC trees "
+                    "(Gupta/Tutuianu/Pileggi reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="bound analysis of a SPICE RC-tree netlist"
+    )
+    analyze.add_argument("netlist", help="path to the netlist file")
+    analyze.add_argument(
+        "--nodes", default="", help="comma-separated node subset"
+    )
+    analyze.add_argument(
+        "--signal", type=parse_signal_spec, default=StepInput(),
+        help="input signal spec: step | ramp:2ns | cosine:1ns | "
+             "smoothstep:1ns | exp:500ps",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    verify = sub.add_parser(
+        "verify", help="numerically verify the paper's claims on a netlist"
+    )
+    verify.add_argument("netlist", help="path to the netlist file")
+    verify.set_defaults(func=_cmd_verify)
+
+    stats = sub.add_parser(
+        "stats", help="Elmore statistics under process variation"
+    )
+    stats.add_argument("netlist", help="path to the netlist file")
+    stats.add_argument(
+        "--nodes", default="", help="comma-separated node subset"
+    )
+    stats.add_argument(
+        "--rsigma", type=float, default=0.1,
+        help="relative sigma of every resistance (default 0.1)",
+    )
+    stats.add_argument(
+        "--csigma", type=float, default=0.1,
+        help="relative sigma of every capacitance (default 0.1)",
+    )
+    stats.set_defaults(func=_cmd_stats)
+
+    waveform = sub.add_parser(
+        "waveform", help="render a node's exact output waveform"
+    )
+    waveform.add_argument("netlist", help="path to the netlist file")
+    waveform.add_argument("node", help="node to observe")
+    waveform.add_argument(
+        "--signal", type=parse_signal_spec, default=StepInput(),
+        help="input signal spec (see 'analyze')",
+    )
+    waveform.add_argument(
+        "--points", type=int, default=501, help="sample count"
+    )
+    waveform.add_argument("--csv", default="", help="write samples to CSV")
+    waveform.set_defaults(func=_cmd_waveform)
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
+    table1.set_defaults(func=_cmd_table1)
+    table2 = sub.add_parser("table2", help="regenerate the paper's Table II")
+    table2.set_defaults(func=_cmd_table2)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""The paper's contribution: moments, Elmore bounds, PRH bounds, metrics."""
+
+from repro.core.bounds import (
+    DelayBounds,
+    area_theorem_delay,
+    delay_bounds,
+    delay_lower_bound,
+    delay_upper_bound,
+    output_derivative_moments,
+    rise_time_estimate,
+)
+from repro.core.elmore import (
+    RPHTimeConstants,
+    downstream_capacitance,
+    elmore_delay,
+    elmore_delay_quadratic,
+    elmore_delays,
+    rph_time_constants,
+)
+from repro.core.metrics import (
+    METRICS,
+    MetricReport,
+    d2m_metric,
+    elmore_metric,
+    evaluate_metrics,
+    lognormal_metric,
+    lower_bound_metric,
+    scaled_elmore_metric,
+    two_pole_metric,
+)
+from repro.core.moments import (
+    TransferMoments,
+    admittance_moments,
+    central_moments_from_raw,
+    distribution_from_transfer,
+    transfer_from_distribution,
+    transfer_moments,
+)
+from repro.core.penfield_rubinstein import (
+    PRHBounds,
+    prh_bounds,
+    prh_delay_interval,
+)
+from repro.core.combined import CombinedBounds, combined_delay_bounds
+from repro.core.incremental import IncrementalElmore
+from repro.core.sensitivity import (
+    ElmoreSensitivity,
+    elmore_sensitivity,
+    total_elmore_gradient,
+)
+from repro.core.variation import (
+    DelayStatistics,
+    VariationModel,
+    elmore_statistics,
+    monte_carlo_elmore,
+)
+from repro.core.statistics import (
+    WaveformStats,
+    is_unimodal,
+    numeric_median,
+    numeric_mode,
+    numeric_raw_moments,
+    waveform_stats,
+)
+from repro.core.verification import (
+    NodeVerdict,
+    TreeVerdict,
+    verify_area_theorem,
+    verify_tree,
+)
+
+__all__ = [
+    "transfer_moments",
+    "TransferMoments",
+    "admittance_moments",
+    "distribution_from_transfer",
+    "transfer_from_distribution",
+    "central_moments_from_raw",
+    "elmore_delay",
+    "elmore_delays",
+    "elmore_delay_quadratic",
+    "downstream_capacitance",
+    "rph_time_constants",
+    "RPHTimeConstants",
+    "delay_bounds",
+    "DelayBounds",
+    "delay_upper_bound",
+    "delay_lower_bound",
+    "rise_time_estimate",
+    "output_derivative_moments",
+    "area_theorem_delay",
+    "prh_bounds",
+    "PRHBounds",
+    "prh_delay_interval",
+    "METRICS",
+    "MetricReport",
+    "evaluate_metrics",
+    "elmore_metric",
+    "scaled_elmore_metric",
+    "lower_bound_metric",
+    "d2m_metric",
+    "lognormal_metric",
+    "two_pole_metric",
+    "waveform_stats",
+    "WaveformStats",
+    "is_unimodal",
+    "numeric_median",
+    "numeric_mode",
+    "numeric_raw_moments",
+    "verify_tree",
+    "verify_area_theorem",
+    "TreeVerdict",
+    "NodeVerdict",
+    "ElmoreSensitivity",
+    "elmore_sensitivity",
+    "total_elmore_gradient",
+    "IncrementalElmore",
+    "CombinedBounds",
+    "combined_delay_bounds",
+    "VariationModel",
+    "DelayStatistics",
+    "elmore_statistics",
+    "monte_carlo_elmore",
+]

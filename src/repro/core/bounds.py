@@ -1,0 +1,231 @@
+"""The paper's delay bounds (Theorem, Corollaries 1-3).
+
+For the impulse response ``h(t)`` at any node of an RC tree the paper
+proves ``Mode <= Median <= Mean``.  The 50% step-response delay is the
+median of ``h`` and the Elmore delay ``T_D`` is its mean, hence:
+
+* **Upper bound** (Theorem):  ``t_50 <= T_D``.
+* **Lower bound** (Corollary 1):  ``t_50 >= max(T_D - sigma, 0)`` with
+  ``sigma = sqrt(mu_2(h))`` (one-sided Chebyshev inequality, eq. (36)).
+* **Generalized inputs** (Corollary 2): for a monotonic input with a
+  unimodal derivative the same ordering holds for the output's derivative
+  density, whose mean is ``T_D + mean(v_i')`` and whose central moments
+  are the sums of the input-derivative and impulse-response central
+  moments (eq. (41)).
+* **Asymptotics** (Corollary 3): for symmetric-derivative inputs the
+  measured delay approaches ``T_D`` from below as the rise time grows,
+  because the output-derivative skewness ``gamma -> 0`` (eq. (46)).
+
+Everything here is O(N) per tree on top of the moment recursion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro._exceptions import AnalysisError
+from repro.circuit.rctree import RCTree
+from repro.core.moments import TransferMoments, transfer_moments
+from repro.signals.base import Signal
+from repro.signals.step import StepInput
+
+# numpy renamed trapz -> trapezoid in 2.0; support both.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+__all__ = [
+    "DelayBounds",
+    "delay_bounds",
+    "delay_upper_bound",
+    "delay_lower_bound",
+    "rise_time_estimate",
+    "output_derivative_moments",
+    "area_theorem_delay",
+]
+
+
+@dataclass(frozen=True)
+class DelayBounds:
+    """The paper's bound pair for one node and one input signal.
+
+    Attributes
+    ----------
+    node:
+        Node name.
+    upper:
+        Upper bound on the 50% delay measured from the input's 50%
+        crossing.  For steps and symmetric-derivative inputs this is
+        exactly the Elmore delay ``T_D``.
+    lower:
+        ``max(mean - sigma, 0)`` of the output derivative density,
+        re-referenced to the input's 50% crossing and floored at zero
+        (causality: the output of a nonnegative-impulse-response system
+        never leads its input).
+    mean:
+        Mean of the output derivative density measured from the input's
+        50% crossing (``T_D`` plus the input's median-to-mean gap).
+    sigma:
+        Standard deviation of the output derivative density.
+    skewness:
+        Its coefficient of skewness ``gamma >= 0`` — the quantity whose
+        decay drives Corollary 3.
+    signal:
+        Description of the input signal.
+    """
+
+    node: str
+    upper: float
+    lower: float
+    mean: float
+    sigma: float
+    skewness: float
+    signal: str
+
+    @property
+    def width(self) -> float:
+        """Bound gap ``upper - lower``."""
+        return self.upper - self.lower
+
+    def contains(self, delay: float, rel_tol: float = 1e-9) -> bool:
+        """True when ``delay`` lies inside ``[lower, upper]`` (with a
+        small relative cushion for numerical delay measurements)."""
+        pad = rel_tol * max(abs(self.upper), abs(self.lower), 1e-300)
+        return (self.lower - pad) <= delay <= (self.upper + pad)
+
+
+def output_derivative_moments(
+    moments: TransferMoments,
+    node: Union[str, int],
+    signal: Optional[Signal] = None,
+) -> Dict[str, float]:
+    """Mean and central moments of the *output* derivative density.
+
+    Under convolution (eq. (41)): mean adds, ``mu_2`` adds, ``mu_3`` adds.
+    Returns a dict with keys ``mean``, ``mu2``, ``mu3``.
+    """
+    if signal is None:
+        signal = StepInput()
+    din = signal.derivative_moments()
+    mean = moments.mean(node) + din.mean
+    mu2 = moments.variance(node) + din.mu2
+    mu3 = moments.third_central_moment(node) + din.mu3
+    return {"mean": float(mean), "mu2": float(mu2), "mu3": float(mu3)}
+
+
+def delay_bounds(
+    tree: RCTree,
+    node: Optional[str] = None,
+    signal: Optional[Signal] = None,
+    moments: Optional[TransferMoments] = None,
+) -> Union[DelayBounds, Dict[str, DelayBounds]]:
+    """Compute the paper's upper/lower delay bounds.
+
+    Parameters
+    ----------
+    tree:
+        The RC tree.
+    node:
+        Node name, or ``None`` for a map over all nodes.
+    signal:
+        Input signal; defaults to the ideal step.  The signal's derivative
+        must be unimodal (Corollary 2's hypothesis); a non-unimodal
+        derivative raises :class:`AnalysisError` because the bound proof
+        does not apply.
+    moments:
+        Optional precomputed transfer moments (order >= 3) to reuse across
+        nodes/signals.
+    """
+    if signal is None:
+        signal = StepInput()
+    if not signal.derivative_unimodal:
+        raise AnalysisError(
+            "the Elmore bound is only proven for inputs with unimodal "
+            f"derivatives; {signal.describe()} does not qualify"
+        )
+    if moments is None:
+        moments = transfer_moments(tree, 3)
+    if node is not None:
+        return _bounds_at(moments, node, signal)
+    return {
+        name: _bounds_at(moments, name, signal) for name in tree.node_names
+    }
+
+
+def _bounds_at(
+    moments: TransferMoments, node: str, signal: Signal
+) -> DelayBounds:
+    out = output_derivative_moments(moments, node, signal)
+    sigma = math.sqrt(max(out["mu2"], 0.0))
+    t50_in = signal.t50
+    # Absolute bounds on the output's 50% crossing (median of v_o'):
+    #   median <= mean             (Theorem / Corollary 2)
+    #   median >= max(mean - sigma, 0)   (Corollary 1's argument)
+    upper_abs = out["mean"]
+    lower_abs = max(out["mean"] - sigma, 0.0)
+    # Re-reference to the input's 50% crossing; the measured delay is also
+    # nonnegative (output of a causal averaging system lags the input).
+    upper = upper_abs - t50_in
+    lower = max(lower_abs - t50_in, 0.0)
+    if out["mu2"] > 0.0:
+        gamma = out["mu3"] / out["mu2"] ** 1.5
+    else:
+        gamma = 0.0
+    return DelayBounds(
+        node=node,
+        upper=float(upper),
+        lower=float(lower),
+        mean=float(out["mean"] - t50_in),
+        sigma=float(sigma),
+        skewness=float(gamma),
+        signal=signal.describe(),
+    )
+
+
+def delay_upper_bound(tree: RCTree, node: str) -> float:
+    """The Theorem's step-input upper bound: the Elmore delay ``T_D``."""
+    return transfer_moments(tree, 1).mean(node)
+
+
+def delay_lower_bound(
+    tree: RCTree, node: str, moments: Optional[TransferMoments] = None
+) -> float:
+    """Corollary 1's step-input lower bound ``max(T_D - sigma, 0)``."""
+    if moments is None:
+        moments = transfer_moments(tree, 2)
+    return max(moments.mean(node) - moments.sigma(node), 0.0)
+
+
+def rise_time_estimate(
+    tree: RCTree, node: str, moments: Optional[TransferMoments] = None
+) -> float:
+    """Section III-B's output transition-time estimate ``sigma``.
+
+    Elmore's "radius of gyration": the 10-90% output rise time is
+    proportional to ``sqrt(mu_2)`` of the impulse response.
+    """
+    if moments is None:
+        moments = transfer_moments(tree, 2)
+    return moments.sigma(node)
+
+
+def area_theorem_delay(
+    times: np.ndarray,
+    input_values: np.ndarray,
+    output_values: np.ndarray,
+) -> float:
+    """The area between input and output waveforms (eq. (48)).
+
+    For unit-final-value waveforms this trapezoidal integral converges to
+    ``T_D`` exactly, regardless of the input shape — the Lin & Mead area
+    interpretation of the Elmore delay.  The waveform tails must be
+    settled within the provided window for the quadrature to be accurate.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    vin = np.asarray(input_values, dtype=np.float64)
+    vout = np.asarray(output_values, dtype=np.float64)
+    if times.shape != vin.shape or times.shape != vout.shape:
+        raise AnalysisError("times/input/output must have matching shapes")
+    return float(_trapezoid(vin - vout, times))

@@ -1,0 +1,173 @@
+"""Elmore delay and the path-traced time constants of RC trees.
+
+Implements eq. (4) of the paper,
+
+    T_D_i = sum_k R_ki C_k,
+
+with the classic pair of O(N) tree traversals (Sec. II-C), plus the three
+time constants of the Penfield–Rubinstein bounds (eq. (16)):
+
+    T_P   = sum_k R_kk C_k            (one value per tree)
+    T_D_i = sum_k R_ki C_k            (the Elmore delay)
+    T_R_i = sum_k R_ki^2 C_k / R_ii   (rise-time constant)
+
+``R_ki`` is the resistance of the portion of the input-to-``i`` path that is
+common with the input-to-``k`` path; ``R_kk`` is the full path resistance to
+node ``k``.  All three are computed for every node in O(N) total.
+
+A deliberately naive O(N^2) evaluation of eq. (4) is also provided as a
+cross-check oracle for the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.circuit.rctree import RCTree
+
+__all__ = [
+    "elmore_delay",
+    "elmore_delays",
+    "elmore_delay_quadratic",
+    "downstream_capacitance",
+    "RPHTimeConstants",
+    "rph_time_constants",
+]
+
+
+def downstream_capacitance(tree: RCTree) -> np.ndarray:
+    """Total capacitance in the subtree rooted at each node.
+
+    ``downstream_capacitance(tree)[i]`` is ``sum of C_k over k in
+    subtree(i)`` — the "capacitance seen looking downstream" through node
+    ``i``'s feeding resistor.
+    """
+    parent = tree.parents
+    out = tree.capacitances.copy()
+    for i in range(tree.num_nodes - 1, -1, -1):
+        p = parent[i]
+        if p >= 0:
+            out[p] += out[i]
+    return out
+
+
+def elmore_delays(tree: RCTree) -> np.ndarray:
+    """Elmore delay ``T_D`` at every node, in node-index order.
+
+    Two O(N) traversals: a post-order pass accumulates downstream
+    capacitance, a pre-order pass accumulates ``R_i * Cdown_i`` along each
+    root path.
+    """
+    tree.validate()
+    cdown = downstream_capacitance(tree)
+    parent = tree.parents
+    res = tree.resistances
+    out = np.empty(tree.num_nodes, dtype=np.float64)
+    for i in range(tree.num_nodes):
+        p = parent[i]
+        upstream = out[p] if p >= 0 else 0.0
+        out[i] = upstream + res[i] * cdown[i]
+    return out
+
+
+def elmore_delay(
+    tree: RCTree, node: Optional[str] = None
+) -> Union[float, Dict[str, float]]:
+    """Elmore delay at ``node``, or at every node when ``node`` is None.
+
+    Returns a single float for a named node, else a ``{name: T_D}`` map.
+    """
+    delays = elmore_delays(tree)
+    if node is not None:
+        return float(delays[tree.index_of(node)])
+    return {name: float(delays[i]) for i, name in enumerate(tree.node_names)}
+
+
+def elmore_delay_quadratic(tree: RCTree, node: str) -> float:
+    """Direct O(N^2) evaluation of eq. (4): ``sum_k R_ki C_k``.
+
+    Exists as an independent oracle for testing the O(N) traversals; do not
+    use on large trees.
+    """
+    caps = tree.capacitances
+    total = 0.0
+    for k, name_k in enumerate(tree.node_names):
+        if caps[k] == 0.0:
+            continue
+        total += tree.shared_path_resistance(name_k, node) * caps[k]
+    return float(total)
+
+
+@dataclass(frozen=True)
+class RPHTimeConstants:
+    """The three path-traced time constants of eq. (16), for every node.
+
+    Attributes
+    ----------
+    tree:
+        The analyzed tree.
+    t_p:
+        ``T_P = sum_k R_kk C_k`` (scalar, same for all nodes).
+    t_d:
+        Elmore delays ``T_D_i`` in node-index order.
+    t_r:
+        Rise-time constants ``T_R_i`` in node-index order.
+    """
+
+    tree: RCTree
+    t_p: float
+    t_d: np.ndarray
+    t_r: np.ndarray
+
+    def at(self, node: str) -> "RPHNodeConstants":
+        """The ``(T_P, T_D, T_R)`` triple at a named node."""
+        i = self.tree.index_of(node)
+        return RPHNodeConstants(
+            t_p=self.t_p, t_d=float(self.t_d[i]), t_r=float(self.t_r[i])
+        )
+
+
+@dataclass(frozen=True)
+class RPHNodeConstants:
+    """``(T_P, T_D, T_R)`` at a single node (inputs to eq. (15))."""
+
+    t_p: float
+    t_d: float
+    t_r: float
+
+
+def rph_time_constants(tree: RCTree) -> RPHTimeConstants:
+    """Compute ``T_P`` and per-node ``T_D_i``, ``T_R_i`` in O(N) total.
+
+    ``T_R_i`` uses the recursion
+    ``W_i = W_parent + (P_i^2 - P_parent^2) * Cdown_i`` where
+    ``W_i = sum_k R_ki^2 C_k`` and ``P_i = R_ii`` is the root-path
+    resistance; then ``T_R_i = W_i / P_i``.  Nodes ``k`` outside the
+    subtree of ``i`` share their lowest common ancestor with ``i``'s
+    parent, so only subtree terms change between parent and child.
+    """
+    tree.validate()
+    caps = tree.capacitances
+    parent = tree.parents
+    path_res = tree.path_resistances()
+    cdown = downstream_capacitance(tree)
+
+    t_p = float(np.dot(path_res, caps))
+    n = tree.num_nodes
+    t_d = np.empty(n, dtype=np.float64)
+    w = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        p = parent[i]
+        p_here = path_res[i]
+        if p >= 0:
+            p_up = path_res[p]
+            t_d[i] = t_d[p] + (p_here - p_up) * cdown[i]
+            w[i] = w[p] + (p_here**2 - p_up**2) * cdown[i]
+        else:
+            t_d[i] = p_here * cdown[i]
+            w[i] = p_here**2 * cdown[i]
+    t_r = w / path_res
+    return RPHTimeConstants(tree=tree, t_p=t_p, t_d=t_d, t_r=t_r)

@@ -1,0 +1,270 @@
+"""Moment computation for RC trees (the engine behind the paper's math).
+
+Two kinds of "moments" appear in the paper and are both provided here, with
+the paper's naming:
+
+* **Transfer-function coefficients** ``m_q`` — the coefficients of the
+  Maclaurin expansion ``H(s) = sum_q m_q s^q`` of a node's voltage transfer
+  function (eq. (8)-(9)).  These are what path-tracing algorithms compute;
+  ``m_0 = 1`` and ``m_1 = -T_D`` (minus the Elmore delay).
+
+* **Distribution moments** ``M_q = integral t^q h(t) dt`` — the moments of
+  the impulse response treated as a probability density.  They relate to
+  the transfer coefficients by ``M_q = (-1)^q q! m_q`` (eq. (9)).
+
+Central moments ``mu_k`` and the coefficient of skewness ``gamma`` follow
+from the distribution moments exactly as in eq. (27).
+
+All per-node computations run in O(N) per moment order using the classic
+two-traversal recursion (RICE [22] / path tracing [18]): writing
+``V_i(s) = sum_q m_q^(i) s^q`` for the node voltages of a tree driven by a
+unit source, KCL gives
+
+    m_q^(i) = m_q^(parent(i)) - R_i * sum_{j in subtree(i)} C_j m_{q-1}^(j)
+
+with ``m_q = 0`` (q >= 1) at the input node.  The q = 1 case collapses to
+Elmore's formula (eq. (4)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+from repro._exceptions import AnalysisError, ValidationError
+from repro.circuit.rctree import RCTree
+
+__all__ = [
+    "TransferMoments",
+    "transfer_moments",
+    "admittance_moments",
+    "distribution_from_transfer",
+    "transfer_from_distribution",
+    "central_moments_from_raw",
+    "moments_of_impulse_train",
+]
+
+
+def transfer_moments(tree: RCTree, order: int) -> "TransferMoments":
+    """Compute transfer-function coefficients ``m_0..m_order`` at all nodes.
+
+    Parameters
+    ----------
+    tree:
+        The RC tree (validated: must carry capacitance).
+    order:
+        Highest moment order ``q`` to compute (>= 1).
+
+    Returns
+    -------
+    TransferMoments
+        Container exposing coefficients, distribution moments, central
+        moments and skewness per node.
+    """
+    if order < 1:
+        raise ValidationError(f"order must be >= 1, got {order!r}")
+    tree.validate()
+    n = tree.num_nodes
+    parent = tree.parents
+    res = tree.resistances
+    cap = tree.capacitances
+
+    coeffs = np.zeros((order + 1, n), dtype=np.float64)
+    coeffs[0, :] = 1.0
+    for q in range(1, order + 1):
+        weighted = cap * coeffs[q - 1]
+        # Post-order accumulation of subtree capacitive "currents".
+        subtree = weighted.copy()
+        for i in range(n - 1, -1, -1):
+            p = parent[i]
+            if p >= 0:
+                subtree[p] += subtree[i]
+        # Pre-order propagation from the input node (m_q = 0 there).
+        mq = coeffs[q]
+        for i in range(n):
+            p = parent[i]
+            upstream = mq[p] if p >= 0 else 0.0
+            mq[i] = upstream - res[i] * subtree[i]
+    return TransferMoments(tree, coeffs)
+
+
+def admittance_moments(tree: RCTree, order: int) -> np.ndarray:
+    """Moments ``m_0..m_order`` of the driving-point admittance ``Y(s)``.
+
+    ``Y(s) = sum_j s C_j V_j(s)`` with a unit source, hence ``m_0(Y) = 0``
+    and ``m_k(Y) = sum_j C_j m_{k-1}^(j)`` (used by Lemma 2 and the
+    O'Brien–Savarino pi-model, eq. (26)).
+    """
+    if order < 1:
+        raise ValidationError(f"order must be >= 1, got {order!r}")
+    if order == 1:
+        tree.validate()
+        return np.array([0.0, tree.total_capacitance()])
+    tm = transfer_moments(tree, order - 1)
+    cap = tree.capacitances
+    out = np.zeros(order + 1, dtype=np.float64)
+    for k in range(1, order + 1):
+        out[k] = float(np.dot(cap, tm.coefficients[k - 1]))
+    return out
+
+
+def distribution_from_transfer(coeffs: Sequence[float]) -> np.ndarray:
+    """Convert transfer coefficients ``m_q`` to distribution moments
+    ``M_q = (-1)^q q! m_q`` (eq. (9))."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    q = np.arange(coeffs.shape[0])
+    signs = np.where(q % 2 == 0, 1.0, -1.0)
+    factorials = np.array([math.factorial(int(v)) for v in q], dtype=np.float64)
+    return signs * factorials * coeffs
+
+
+def transfer_from_distribution(raw: Sequence[float]) -> np.ndarray:
+    """Inverse of :func:`distribution_from_transfer`."""
+    raw = np.asarray(raw, dtype=np.float64)
+    q = np.arange(raw.shape[0])
+    signs = np.where(q % 2 == 0, 1.0, -1.0)
+    factorials = np.array([math.factorial(int(v)) for v in q], dtype=np.float64)
+    return signs * raw / factorials
+
+
+def central_moments_from_raw(raw: Sequence[float]) -> np.ndarray:
+    """Central moments ``mu_0..mu_n`` from raw moments ``M_0..M_n``.
+
+    Requires ``M_0 != 0``; the moments are normalized by ``M_0`` first so
+    unnormalized densities are accepted.  Uses the binomial expansion
+    ``mu_k = sum_j C(k, j) M_j (-mean)^(k-j)``.
+    """
+    raw = np.asarray(raw, dtype=np.float64)
+    if raw.shape[0] < 1 or raw[0] == 0.0:
+        raise AnalysisError("raw moments need a nonzero zeroth moment")
+    norm = raw / raw[0]
+    mean = norm[1] if norm.shape[0] > 1 else 0.0
+    n = raw.shape[0]
+    out = np.zeros(n, dtype=np.float64)
+    out[0] = 1.0
+    for k in range(1, n):
+        acc = 0.0
+        for j in range(k + 1):
+            acc += math.comb(k, j) * norm[j] * (-mean) ** (k - j)
+        out[k] = acc
+    return out
+
+
+def moments_of_impulse_train(
+    times: np.ndarray, weights: np.ndarray, order: int
+) -> np.ndarray:
+    """Raw moments of a discrete density ``sum_k w_k delta(t - t_k)``.
+
+    Utility for tests that compare analytic moments against sampled
+    waveforms integrated numerically.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if times.shape != weights.shape:
+        raise ValidationError("times and weights must have the same shape")
+    return np.array(
+        [float(np.sum(weights * times**q)) for q in range(order + 1)]
+    )
+
+
+@dataclass
+class TransferMoments:
+    """Per-node transfer-function coefficients of an RC tree.
+
+    Attributes
+    ----------
+    tree:
+        The analyzed tree.
+    coefficients:
+        Array of shape ``(order + 1, num_nodes)``: ``coefficients[q, i]``
+        is ``m_q`` at node index ``i``; row 0 is all ones.
+    """
+
+    tree: RCTree
+    coefficients: np.ndarray
+
+    @property
+    def order(self) -> int:
+        """Highest computed moment order."""
+        return self.coefficients.shape[0] - 1
+
+    def _node_index(self, node: Union[str, int]) -> int:
+        if isinstance(node, str):
+            return self.tree.index_of(node)
+        return int(node)
+
+    def at(self, node: Union[str, int]) -> np.ndarray:
+        """Transfer coefficients ``m_0..m_order`` at ``node``."""
+        return self.coefficients[:, self._node_index(node)].copy()
+
+    def raw_moments(self, node: Union[str, int]) -> np.ndarray:
+        """Distribution moments ``M_0..M_order`` of ``h(t)`` at ``node``."""
+        return distribution_from_transfer(self.at(node))
+
+    def central_moments(self, node: Union[str, int]) -> np.ndarray:
+        """Central moments ``mu_0..mu_order`` of ``h(t)`` at ``node``."""
+        return central_moments_from_raw(self.raw_moments(node))
+
+    def mean(self, node: Union[str, int]) -> float:
+        """Mean of ``h(t)`` = the Elmore delay ``T_D`` at ``node``."""
+        return float(-self.coefficients[1, self._node_index(node)])
+
+    def elmore_delays(self) -> np.ndarray:
+        """Elmore delay at every node (index order) — ``-m_1``."""
+        return -self.coefficients[1].copy()
+
+    def variance(self, node: Union[str, int]) -> float:
+        """Second central moment ``mu_2`` of ``h(t)`` at ``node``.
+
+        Requires order >= 2.  Equals ``2 m_2 - m_1^2`` (eq. (27)).
+        """
+        self._require_order(2)
+        i = self._node_index(node)
+        m1 = self.coefficients[1, i]
+        m2 = self.coefficients[2, i]
+        return float(2.0 * m2 - m1 * m1)
+
+    def sigma(self, node: Union[str, int]) -> float:
+        """Standard deviation ``sigma = sqrt(mu_2)`` of ``h(t)``.
+
+        The paper uses this both for the delay lower bound (Corollary 1)
+        and as an output rise-time estimate (Sec. III-B).  For valid RC
+        trees ``mu_2 >= 0`` (Lemma 2); tiny negative values from roundoff
+        are clipped to zero.
+        """
+        return float(math.sqrt(max(self.variance(node), 0.0)))
+
+    def third_central_moment(self, node: Union[str, int]) -> float:
+        """Third central moment ``mu_3 = -6 m_3 + 6 m_1 m_2 - 2 m_1^3``."""
+        self._require_order(3)
+        i = self._node_index(node)
+        m1, m2, m3 = self.coefficients[1:4, i]
+        return float(-6.0 * m3 + 6.0 * m1 * m2 - 2.0 * m1**3)
+
+    def skewness(self, node: Union[str, int]) -> float:
+        """Coefficient of skewness ``gamma = mu_3 / mu_2^(3/2)`` (Def. 5).
+
+        Lemma 2 proves ``gamma >= 0`` for every node of an RC tree.
+        """
+        mu2 = self.variance(node)
+        mu3 = self.third_central_moment(node)
+        if mu2 <= 0.0:
+            if mu3 == 0.0:
+                return 0.0
+            raise AnalysisError(
+                "skewness undefined: zero variance with nonzero mu_3"
+            )
+        return float(mu3 / mu2**1.5)
+
+    def as_dict(self) -> Dict[str, np.ndarray]:
+        """Map node name -> transfer coefficients (for reporting)."""
+        return {name: self.at(name) for name in self.tree.node_names}
+
+    def _require_order(self, q: int) -> None:
+        if self.order < q:
+            raise AnalysisError(
+                f"moment order {q} requested but only {self.order} computed"
+            )

@@ -1,0 +1,179 @@
+"""Distribution statistics of sampled impulse responses.
+
+The paper's theorem is about the mean, median and mode of ``h(t)`` treated
+as a density (Definitions 1-5).  This module measures those quantities —
+and unimodality and skewness — *numerically* from sampled waveforms, so the
+analytic claims (Lemmas 1-2, the Theorem) can be verified independently of
+the moment algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._exceptions import AnalysisError
+
+# numpy renamed trapz -> trapezoid in 2.0; support both.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+__all__ = [
+    "WaveformStats",
+    "waveform_stats",
+    "is_unimodal",
+    "numeric_median",
+    "numeric_mode",
+    "numeric_raw_moments",
+]
+
+
+def is_unimodal(values: np.ndarray, rel_tol: float = 1e-9) -> bool:
+    """Check Definition 4 on a sampled density: nondecreasing up to some
+    peak, nonincreasing after it.
+
+    ``rel_tol`` (relative to the peak value) absorbs sampling noise.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.shape[0] < 2:
+        raise AnalysisError("need a 1-D array of at least two samples")
+    peak = float(np.max(values))
+    if peak <= 0.0:
+        return False
+    tol = rel_tol * peak
+    diffs = np.diff(values)
+    rising = True
+    for d in diffs:
+        if rising:
+            if d < -tol:
+                rising = False
+        else:
+            if d > tol:
+                return False
+    return True
+
+
+def numeric_mode(times: np.ndarray, values: np.ndarray) -> float:
+    """Location of the sampled density's maximum, refined by fitting a
+    parabola through the peak sample and its neighbors."""
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    k = int(np.argmax(values))
+    if k == 0 or k == values.shape[0] - 1:
+        return float(times[k])
+    t0, t1, t2 = times[k - 1 : k + 2]
+    v0, v1, v2 = values[k - 1 : k + 2]
+    denom = (v0 - 2.0 * v1 + v2)
+    if denom >= 0.0:  # flat or non-concave: keep the raw sample
+        return float(times[k])
+    # Uniform-grid parabola vertex.
+    h = 0.5 * (t2 - t0)
+    shift = 0.5 * (v0 - v2) / denom
+    return float(t1 + shift * h)
+
+
+def numeric_median(times: np.ndarray, values: np.ndarray) -> float:
+    """Median of the sampled density via trapezoidal CDF inversion."""
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if times.shape != values.shape or times.ndim != 1 or times.shape[0] < 2:
+        raise AnalysisError("need matching 1-D times/values (len >= 2)")
+    increments = 0.5 * (values[1:] + values[:-1]) * np.diff(times)
+    cdf = np.concatenate(([0.0], np.cumsum(increments)))
+    total = cdf[-1]
+    if total <= 0.0:
+        raise AnalysisError("density has nonpositive total mass")
+    target = 0.5 * total
+    k = int(np.searchsorted(cdf, target))
+    if k == 0:
+        return float(times[0])
+    # Invert the quadratic CDF piece (density linear on the segment).
+    t0, t1 = times[k - 1], times[k]
+    v0, v1 = values[k - 1], values[k]
+    need = target - cdf[k - 1]
+    h = t1 - t0
+    if abs(v1 - v0) < 1e-300:
+        if v0 <= 0.0:
+            return float(t1)
+        return float(t0 + need / v0)
+    slope = (v1 - v0) / h
+    # Solve v0 x + slope x^2 / 2 = need for x in [0, h].
+    disc = v0 * v0 + 2.0 * slope * need
+    x = (-v0 + np.sqrt(max(disc, 0.0))) / slope
+    return float(t0 + np.clip(x, 0.0, h))
+
+
+def numeric_raw_moments(
+    times: np.ndarray, values: np.ndarray, order: int
+) -> np.ndarray:
+    """Trapezoidal raw moments ``M_0..M_order`` of a sampled density."""
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    return np.array([
+        float(_trapezoid(values * times**q, times)) for q in range(order + 1)
+    ])
+
+
+@dataclass(frozen=True)
+class WaveformStats:
+    """Numerically measured statistics of a sampled density.
+
+    All attributes follow the paper's definitions; ``mass`` is the total
+    integral (1.0 for a properly normalized impulse response).
+    """
+
+    mass: float
+    mean: float
+    median: float
+    mode: float
+    mu2: float
+    mu3: float
+    unimodal: bool
+
+    @property
+    def sigma(self) -> float:
+        """``sqrt(mu2)``."""
+        return float(np.sqrt(max(self.mu2, 0.0)))
+
+    @property
+    def skewness(self) -> float:
+        """``mu3 / mu2^(3/2)`` (0 when the variance vanishes)."""
+        if self.mu2 <= 0.0:
+            return 0.0
+        return float(self.mu3 / self.mu2**1.5)
+
+    @property
+    def ordering_holds(self) -> bool:
+        """The paper's Theorem: ``Mode <= Median <= Mean`` (with a small
+        numerical cushion proportional to sigma)."""
+        slack = 1e-6 * max(self.sigma, abs(self.mean), 1e-300)
+        return (self.mode <= self.median + slack) and (
+            self.median <= self.mean + slack
+        )
+
+
+def waveform_stats(times: np.ndarray, values: np.ndarray) -> WaveformStats:
+    """Measure mean/median/mode/central moments of a sampled density.
+
+    The density need not be normalized; moments are normalized by the
+    measured mass.  Accuracy is limited by the sampling grid — these
+    numbers are for *verifying* the analytic machinery, not replacing it.
+    """
+    raw = numeric_raw_moments(times, values, 3)
+    mass = raw[0]
+    if mass <= 0.0:
+        raise AnalysisError("density has nonpositive total mass")
+    mean = raw[1] / mass
+    m2 = raw[2] / mass
+    m3 = raw[3] / mass
+    mu2 = m2 - mean**2
+    mu3 = m3 - 3.0 * mean * m2 + 2.0 * mean**3
+    return WaveformStats(
+        mass=float(mass),
+        mean=float(mean),
+        median=numeric_median(times, values),
+        mode=numeric_mode(times, values),
+        mu2=float(mu2),
+        mu3=float(mu3),
+        unimodal=is_unimodal(values, rel_tol=1e-7),
+    )

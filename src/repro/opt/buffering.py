@@ -1,0 +1,369 @@
+"""Van Ginneken buffer insertion on RC trees under the Elmore model.
+
+The most celebrated Elmore-powered optimization: given a routed net and a
+buffer type, choose buffer locations that maximize the worst-sink slack
+(equivalently minimize the worst Elmore delay for uniform required times).
+Van Ginneken's dynamic program walks the tree bottom-up carrying
+``(load capacitance, required arrival time)`` options, pruning dominated
+pairs, and is optimal for a single buffer type under the Elmore model —
+whose bound property (this paper's Theorem) certifies that the optimized
+objective still upper-bounds the true delay of the final buffered net.
+
+Wire representation matches :class:`~repro.circuit.rctree.RCTree`: each
+edge carries a resistance and the edge's wire capacitance is lumped at its
+child node, so the Elmore delay across an edge is ``R_e * Cdown(e)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro._exceptions import AnalysisError, ValidationError
+from repro.circuit.rctree import RCTree
+from repro.core.elmore import elmore_delays
+
+__all__ = [
+    "BufferType",
+    "BufferSink",
+    "BufferingResult",
+    "insert_buffers",
+    "buffered_stage_delays",
+]
+
+
+@dataclass(frozen=True)
+class BufferType:
+    """A repeater cell for insertion.
+
+    Parameters
+    ----------
+    name:
+        Type name.
+    input_capacitance:
+        Load presented upstream when inserted (farads, > 0).
+    output_resistance:
+        Linearized drive resistance (ohms, > 0).
+    intrinsic_delay:
+        Fixed cell delay (seconds, >= 0).
+    """
+
+    name: str
+    input_capacitance: float
+    output_resistance: float
+    intrinsic_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.input_capacitance <= 0 or self.output_resistance <= 0:
+            raise ValidationError(
+                "buffer needs positive input capacitance and output "
+                "resistance"
+            )
+        if self.intrinsic_delay < 0:
+            raise ValidationError("buffer intrinsic delay must be >= 0")
+
+    def stage_delay(self, load: float) -> float:
+        """Delay added by this buffer when driving ``load`` farads."""
+        return self.intrinsic_delay + self.output_resistance * load
+
+
+@dataclass(frozen=True)
+class BufferSink:
+    """A receiving pin on the net.
+
+    ``required_time`` is the latest acceptable arrival (seconds); with
+    uniform required times, maximizing slack minimizes the worst delay.
+    """
+
+    node: str
+    capacitance: float
+    required_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise ValidationError("sink capacitance must be >= 0")
+
+
+@dataclass(frozen=True)
+class _Option:
+    """One Pareto point of the DP: load seen upstream vs required time."""
+
+    capacitance: float
+    required: float
+    buffers: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class BufferingResult:
+    """Outcome of :func:`insert_buffers`.
+
+    Attributes
+    ----------
+    buffer_nodes:
+        Chosen insertion locations (names of tree nodes; the buffer is
+        placed at the node, driving that node's subtree).
+    required_at_driver:
+        Optimized worst-case required time seen at the driver's output,
+        *after* subtracting the driver-stage Elmore delay.  With uniform
+        zero required times this equals minus the minimized worst delay.
+    unbuffered_required:
+        Same quantity with no buffers, for comparison.
+    options_kept:
+        Size of the surviving Pareto frontier at the root (a diagnostic
+        of how much pruning did).
+    """
+
+    buffer_nodes: Tuple[str, ...]
+    required_at_driver: float
+    unbuffered_required: float
+    options_kept: int
+
+    @property
+    def improvement(self) -> float:
+        """Worst-delay reduction achieved by the insertion (seconds)."""
+        return self.required_at_driver - self.unbuffered_required
+
+
+def _prune(options: List[_Option]) -> List[_Option]:
+    """Keep the Pareto frontier: increasing capacitance must buy strictly
+    increasing required time."""
+    options.sort(key=lambda o: (o.capacitance, -o.required))
+    kept: List[_Option] = []
+    best_required = float("-inf")
+    for option in options:
+        if option.required > best_required + 0.0:
+            kept.append(option)
+            best_required = option.required
+    return kept
+
+
+def insert_buffers(
+    tree: RCTree,
+    sinks: Sequence[BufferSink],
+    buffer: BufferType,
+    driver_resistance: float,
+    candidates: Optional[Sequence[str]] = None,
+    max_options: int = 4096,
+) -> BufferingResult:
+    """Optimal single-buffer-type insertion under the Elmore model.
+
+    Parameters
+    ----------
+    tree:
+        The *wire* topology: an RC tree rooted at the driver output (its
+        input node is the driver's ideal source; the first edge usually
+        models the driver landing pad).  Node capacitances are the lumped
+        wire caps.
+    sinks:
+        Receiving pins; every sink node must exist in the tree.
+    buffer:
+        The repeater type available.
+    driver_resistance:
+        Drive resistance of the net's source gate.
+    candidates:
+        Nodes where insertion is permitted (default: every tree node).
+    max_options:
+        Safety cap on the per-node Pareto frontier.
+
+    Returns
+    -------
+    BufferingResult
+        Chosen buffer nodes and the achieved/unbuffered required times.
+    """
+    if driver_resistance <= 0:
+        raise ValidationError("driver_resistance must be > 0")
+    if not sinks:
+        raise ValidationError("net has no sinks")
+    sink_map: Dict[str, BufferSink] = {}
+    for sink in sinks:
+        if sink.node not in tree:
+            raise ValidationError(f"sink node {sink.node!r} not in tree")
+        if sink.node in sink_map:
+            raise ValidationError(f"duplicate sink at {sink.node!r}")
+        sink_map[sink.node] = sink
+    allowed = set(candidates) if candidates is not None \
+        else set(tree.node_names)
+    for name in allowed:
+        if name not in tree:
+            raise ValidationError(f"candidate {name!r} not in tree")
+
+    # Bottom-up DP over nodes in reverse topological order (children are
+    # processed before their parents, iteratively — deep wires exceed the
+    # interpreter's recursion limit otherwise).
+    #
+    # Convention: a buffer at node ``v`` drives ``v``'s children subtrees
+    # only — the node's own wire cap and any sink pin at the node stay on
+    # the buffer's *input* net (matching :func:`buffered_stage_delays`).
+    node_options: Dict[str, List[_Option]] = {}
+    for name in reversed(tree.node_names):
+        # 1) Combine the children (what a buffer at this node would drive).
+        merged: List[_Option] = [_Option(0.0, float("inf"), frozenset())]
+        for child in tree.children_of(name):
+            child_options = node_options.pop(child)
+            edge_r = tree.node(child).resistance
+            # Traverse the edge: required time pays R_edge * C_downstream.
+            arrived = [
+                _Option(
+                    o.capacitance,
+                    o.required - edge_r * o.capacitance,
+                    o.buffers,
+                )
+                for o in child_options
+            ]
+            combined = [
+                _Option(
+                    m.capacitance + a.capacitance,
+                    min(m.required, a.required),
+                    m.buffers | a.buffers,
+                )
+                for m in merged
+                for a in arrived
+            ]
+            merged = _prune(combined)
+            if len(merged) > max_options:
+                raise AnalysisError(
+                    "Pareto frontier exceeded max_options; raise the cap "
+                    "or restrict candidates"
+                )
+        # 2) Optional buffer at this node, decoupling the children.
+        if name in allowed:
+            with_buffer = [
+                _Option(
+                    buffer.input_capacitance,
+                    o.required - buffer.stage_delay(o.capacitance),
+                    o.buffers | {name},
+                )
+                for o in merged
+            ]
+            merged = _prune(merged + with_buffer)
+        # 3) Add the node's own wire cap and sink pin (upstream of any
+        # buffer placed here).
+        view = tree.node(name)
+        base_cap = view.capacitance
+        base_req = float("inf")
+        sink = sink_map.get(name)
+        if sink is not None:
+            base_cap += sink.capacitance
+            base_req = sink.required_time
+        node_options[name] = _prune([
+            _Option(
+                o.capacitance + base_cap,
+                min(o.required, base_req),
+                o.buffers,
+            )
+            for o in merged
+        ])
+
+    root_options: List[_Option] = [_Option(0.0, float("inf"), frozenset())]
+    for child in tree.children_of(tree.input_node):
+        child_options = node_options.pop(child)
+        edge_r = tree.node(child).resistance
+        arrived = [
+            _Option(o.capacitance, o.required - edge_r * o.capacitance,
+                    o.buffers)
+            for o in child_options
+        ]
+        root_options = _prune([
+            _Option(m.capacitance + a.capacitance,
+                    min(m.required, a.required),
+                    m.buffers | a.buffers)
+            for m in root_options
+            for a in arrived
+        ])
+
+    def driver_quality(option: _Option) -> float:
+        return option.required - driver_resistance * option.capacitance
+
+    best = max(root_options, key=driver_quality)
+    unbuffered = _unbuffered_required(tree, sink_map, driver_resistance)
+    return BufferingResult(
+        buffer_nodes=tuple(sorted(best.buffers)),
+        required_at_driver=driver_quality(best),
+        unbuffered_required=unbuffered,
+        options_kept=len(root_options),
+    )
+
+
+def _unbuffered_required(tree, sink_map, driver_resistance):
+    loaded = tree.copy()
+    for sink in sink_map.values():
+        loaded.add_load(sink.node, sink.capacitance)
+    # Replace/augment the first edges' upstream with the driver: the
+    # driver resistance adds R_drv * C_total to every sink delay.
+    delays = elmore_delays(loaded)
+    total_cap = loaded.total_capacitance()
+    worst = float("inf")
+    for sink in sink_map.values():
+        delay = delays[loaded.index_of(sink.node)] + \
+            driver_resistance * total_cap
+        worst = min(worst, sink.required_time - delay)
+    return worst
+
+
+def buffered_stage_delays(
+    tree: RCTree,
+    sinks: Sequence[BufferSink],
+    buffer: BufferType,
+    driver_resistance: float,
+    buffer_nodes: Sequence[str],
+) -> Dict[str, float]:
+    """Evaluate a buffered net: Elmore arrival delay at every sink.
+
+    Splits the tree into stages at ``buffer_nodes`` (a buffer at node
+    ``b`` drives the subtree below ``b``; its input becomes a sink load on
+    the upstream stage), evaluates each stage's Elmore delays, and chains
+    them.  Returns ``{sink node: total delay}`` — the quantity the DP's
+    required time is measured against (up to sign/required offsets).
+    """
+    buffer_set = set(buffer_nodes)
+    for name in buffer_set:
+        if name not in tree:
+            raise ValidationError(f"buffer node {name!r} not in tree")
+    sink_map = {s.node: s for s in sinks}
+
+    # Build each stage as its own RCTree.
+    def stage_root_children(root: Optional[str]):
+        return tree.children_of(root if root is not None
+                                else tree.input_node)
+
+    def build_stage(root: Optional[str]) -> Tuple[RCTree, List[str], List[str]]:
+        """Stage driven from ``root`` (None = the net driver).  Returns
+        (stage tree, member sinks, downstream buffer nodes)."""
+        stage = RCTree("in")
+        stage_sinks: List[str] = []
+        stage_buffers: List[str] = []
+        stack = [(child, "in") for child in stage_root_children(root)]
+        while stack:
+            name, parent = stack.pop()
+            view = tree.node(name)
+            stage.add_node(name, parent, view.resistance, view.capacitance)
+            if name in sink_map:
+                stage.add_load(name, sink_map[name].capacitance)
+                stage_sinks.append(name)
+            if name in buffer_set:
+                stage.add_load(name, buffer.input_capacitance)
+                stage_buffers.append(name)
+                continue  # downstream of a buffer is another stage
+            stack.extend((c, name) for c in tree.children_of(name))
+        return stage, stage_sinks, stage_buffers
+
+    arrival: Dict[str, float] = {}
+
+    def process(root: Optional[str], t0: float, drive_r: float) -> None:
+        stage, stage_sinks, stage_buffers = build_stage(root)
+        if stage.num_nodes == 0:
+            return
+        delays = elmore_delays(stage)
+        base = t0 + drive_r * stage.total_capacitance()
+        for name in stage_sinks:
+            arrival[name] = base + delays[stage.index_of(name)]
+        for name in stage_buffers:
+            t_in = base + delays[stage.index_of(name)]
+            process(name, t_in + buffer.intrinsic_delay,
+                    buffer.output_resistance)
+
+    process(None, 0.0, driver_resistance)
+    missing = [s.node for s in sinks if s.node not in arrival]
+    if missing:
+        raise AnalysisError(f"sinks unreachable in staged net: {missing}")
+    return arrival

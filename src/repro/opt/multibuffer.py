@@ -1,0 +1,276 @@
+"""Van Ginneken with a buffer *library* (the Lillis extension).
+
+Real flows choose among several repeater sizes: big buffers drive hard
+but load the upstream wire; small ones are cheap but weak.  Extending the
+DP of :mod:`repro.opt.buffering` is straightforward — at every candidate
+node, one buffered option is generated *per type* — and remains optimal
+under the Elmore model with Pareto pruning on ``(capacitance, required)``.
+
+The single-type module stays untouched (its enumeration-validated tests
+anchor correctness); this module's tests pin the multi-type DP against it
+(a one-type library must match exactly) and against brute-force
+enumeration over types and positions on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro._exceptions import AnalysisError, ValidationError
+from repro.circuit.rctree import RCTree
+from repro.core.elmore import elmore_delays
+from repro.opt.buffering import BufferSink, BufferType
+
+__all__ = [
+    "MultiBufferingResult",
+    "insert_buffers_multi",
+    "assigned_stage_delays",
+]
+
+
+@dataclass(frozen=True)
+class _TypedOption:
+    """Pareto point carrying typed assignments."""
+
+    capacitance: float
+    required: float
+    assignments: FrozenSet[Tuple[str, str]]  # (node, type name)
+
+
+def _prune_typed(options: List[_TypedOption]) -> List[_TypedOption]:
+    options.sort(key=lambda o: (o.capacitance, -o.required))
+    kept: List[_TypedOption] = []
+    best = float("-inf")
+    for option in options:
+        if option.required > best:
+            kept.append(option)
+            best = option.required
+    return kept
+
+
+@dataclass(frozen=True)
+class MultiBufferingResult:
+    """Outcome of :func:`insert_buffers_multi`.
+
+    Attributes
+    ----------
+    assignments:
+        ``{node: BufferType}`` for every chosen insertion.
+    required_at_driver:
+        Optimized worst slack at the driver output.
+    unbuffered_required:
+        The no-insertion slack, for comparison.
+    options_kept:
+        Surviving root Pareto-frontier size.
+    """
+
+    assignments: Dict[str, BufferType]
+    required_at_driver: float
+    unbuffered_required: float
+    options_kept: int
+
+    @property
+    def improvement(self) -> float:
+        """Worst-slack gain over the unbuffered net (seconds)."""
+        return self.required_at_driver - self.unbuffered_required
+
+
+def insert_buffers_multi(
+    tree: RCTree,
+    sinks: Sequence[BufferSink],
+    buffers: Sequence[BufferType],
+    driver_resistance: float,
+    candidates: Optional[Sequence[str]] = None,
+    max_options: int = 8192,
+) -> MultiBufferingResult:
+    """Optimal insertion from a library of buffer types.
+
+    Same conventions as :func:`repro.opt.buffering.insert_buffers`; at
+    each candidate node every type in ``buffers`` is considered.
+    """
+    if driver_resistance <= 0:
+        raise ValidationError("driver_resistance must be > 0")
+    if not sinks:
+        raise ValidationError("net has no sinks")
+    if not buffers:
+        raise ValidationError("buffer library is empty")
+    names = [b.name for b in buffers]
+    if len(set(names)) != len(names):
+        raise ValidationError("buffer type names must be unique")
+    by_name = {b.name: b for b in buffers}
+    sink_map: Dict[str, BufferSink] = {}
+    for sink in sinks:
+        if sink.node not in tree:
+            raise ValidationError(f"sink node {sink.node!r} not in tree")
+        if sink.node in sink_map:
+            raise ValidationError(f"duplicate sink at {sink.node!r}")
+        sink_map[sink.node] = sink
+    allowed = set(candidates) if candidates is not None \
+        else set(tree.node_names)
+    for name in allowed:
+        if name not in tree:
+            raise ValidationError(f"candidate {name!r} not in tree")
+
+    # Iterative bottom-up DP (children before parents) — recursion-free
+    # so arbitrarily deep wires work.
+    node_options: Dict[str, List[_TypedOption]] = {}
+    for name in reversed(tree.node_names):
+        merged: List[_TypedOption] = [
+            _TypedOption(0.0, float("inf"), frozenset())
+        ]
+        for child in tree.children_of(name):
+            child_options = node_options.pop(child)
+            edge_r = tree.node(child).resistance
+            arrived = [
+                _TypedOption(
+                    o.capacitance,
+                    o.required - edge_r * o.capacitance,
+                    o.assignments,
+                )
+                for o in child_options
+            ]
+            merged = _prune_typed([
+                _TypedOption(
+                    m.capacitance + a.capacitance,
+                    min(m.required, a.required),
+                    m.assignments | a.assignments,
+                )
+                for m in merged
+                for a in arrived
+            ])
+            if len(merged) > max_options:
+                raise AnalysisError(
+                    "Pareto frontier exceeded max_options; raise the cap "
+                    "or restrict candidates"
+                )
+        if name in allowed:
+            buffered = [
+                _TypedOption(
+                    buffer.input_capacitance,
+                    o.required - buffer.stage_delay(o.capacitance),
+                    o.assignments | {(name, buffer.name)},
+                )
+                for o in merged
+                for buffer in buffers
+            ]
+            merged = _prune_typed(merged + buffered)
+        view = tree.node(name)
+        base_cap = view.capacitance
+        base_req = float("inf")
+        sink = sink_map.get(name)
+        if sink is not None:
+            base_cap += sink.capacitance
+            base_req = sink.required_time
+        node_options[name] = _prune_typed([
+            _TypedOption(
+                o.capacitance + base_cap,
+                min(o.required, base_req),
+                o.assignments,
+            )
+            for o in merged
+        ])
+
+    root_options: List[_TypedOption] = [
+        _TypedOption(0.0, float("inf"), frozenset())
+    ]
+    for child in tree.children_of(tree.input_node):
+        child_options = node_options.pop(child)
+        edge_r = tree.node(child).resistance
+        arrived = [
+            _TypedOption(o.capacitance,
+                         o.required - edge_r * o.capacitance,
+                         o.assignments)
+            for o in child_options
+        ]
+        root_options = _prune_typed([
+            _TypedOption(m.capacitance + a.capacitance,
+                         min(m.required, a.required),
+                         m.assignments | a.assignments)
+            for m in root_options
+            for a in arrived
+        ])
+
+    best = max(
+        root_options,
+        key=lambda o: o.required - driver_resistance * o.capacitance,
+    )
+    loaded = tree.copy()
+    for sink in sink_map.values():
+        loaded.add_load(sink.node, sink.capacitance)
+    delays = elmore_delays(loaded)
+    total_cap = loaded.total_capacitance()
+    unbuffered = min(
+        sink.required_time
+        - (delays[loaded.index_of(sink.node)]
+           + driver_resistance * total_cap)
+        for sink in sink_map.values()
+    )
+    return MultiBufferingResult(
+        assignments={node: by_name[type_name]
+                     for node, type_name in best.assignments},
+        required_at_driver=(
+            best.required - driver_resistance * best.capacitance
+        ),
+        unbuffered_required=unbuffered,
+        options_kept=len(root_options),
+    )
+
+
+def assigned_stage_delays(
+    tree: RCTree,
+    sinks: Sequence[BufferSink],
+    assignments: Dict[str, BufferType],
+    driver_resistance: float,
+) -> Dict[str, float]:
+    """Elmore arrival at every sink for a typed buffer assignment.
+
+    The typed analog of
+    :func:`repro.opt.buffering.buffered_stage_delays`.
+    """
+    for name in assignments:
+        if name not in tree:
+            raise ValidationError(f"buffer node {name!r} not in tree")
+    sink_map = {s.node: s for s in sinks}
+    arrival: Dict[str, float] = {}
+
+    def build_stage(root):
+        stage = RCTree("in")
+        stage_sinks: List[str] = []
+        stage_buffers: List[str] = []
+        base = tree.children_of(root if root is not None
+                                else tree.input_node)
+        stack = [(child, "in") for child in base]
+        while stack:
+            name, parent = stack.pop()
+            view = tree.node(name)
+            stage.add_node(name, parent, view.resistance, view.capacitance)
+            if name in sink_map:
+                stage.add_load(name, sink_map[name].capacitance)
+                stage_sinks.append(name)
+            if name in assignments:
+                stage.add_load(name, assignments[name].input_capacitance)
+                stage_buffers.append(name)
+                continue
+            stack.extend((c, name) for c in tree.children_of(name))
+        return stage, stage_sinks, stage_buffers
+
+    def process(root, t0, drive_r):
+        stage, s_sinks, s_buffers = build_stage(root)
+        if stage.num_nodes == 0:
+            return
+        delays = elmore_delays(stage)
+        base = t0 + drive_r * stage.total_capacitance()
+        for name in s_sinks:
+            arrival[name] = base + delays[stage.index_of(name)]
+        for name in s_buffers:
+            buffer = assignments[name]
+            t_in = base + delays[stage.index_of(name)]
+            process(name, t_in + buffer.intrinsic_delay,
+                    buffer.output_resistance)
+
+    process(None, 0.0, driver_resistance)
+    missing = [s.node for s in sinks if s.node not in arrival]
+    if missing:
+        raise AnalysisError(f"sinks unreachable in staged net: {missing}")
+    return arrival

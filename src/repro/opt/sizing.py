@@ -1,0 +1,274 @@
+"""Elmore-driven wire sizing.
+
+The classic use of the Elmore metric in layout optimization: per-segment
+wire widths of a routed net are chosen to minimize a (weighted) Elmore
+delay objective.  Each segment of width ``w`` contributes
+
+    R(w) = r_unit / w          (resistance falls with width)
+    C(w) = c_area * w + c_fringe   (capacitance grows with width)
+
+so the objective is posynomial in the widths and has a unique optimum over
+a box; we solve it with projected coordinate descent using the exact
+closed-form per-coordinate minimizer (each coordinate's objective is
+``a w + b / w + const``, minimized at ``w* = sqrt(b / a)``).
+
+Because the Elmore delay upper-bounds the true delay (the paper's
+Theorem), minimizing it minimizes a certified bound on the real critical
+delay — the property that justified decades of Elmore-based sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro._exceptions import AnalysisError, ValidationError
+from repro.circuit.rctree import RCTree
+from repro.core.elmore import elmore_delays
+
+__all__ = ["SizableSegment", "SizingProblem", "SizingResult", "size_wires"]
+
+
+@dataclass(frozen=True)
+class SizableSegment:
+    """One wire segment whose width is a free variable.
+
+    Parameters
+    ----------
+    parent, child:
+        Topological endpoints (``parent`` is nearer the driver).
+    unit_resistance:
+        Ohms at unit width (``R = unit_resistance / w``).
+    area_capacitance:
+        Farads per unit width (``C = area_capacitance * w + fringe``).
+    fringe_capacitance:
+        Width-independent capacitance, farads.
+    min_width, max_width:
+        Width box constraints (dimensionless width units).
+    """
+
+    parent: str
+    child: str
+    unit_resistance: float
+    area_capacitance: float
+    fringe_capacitance: float = 0.0
+    min_width: float = 0.5
+    max_width: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.unit_resistance <= 0 or self.area_capacitance <= 0:
+            raise ValidationError(
+                "unit resistance and area capacitance must be positive"
+            )
+        if self.fringe_capacitance < 0:
+            raise ValidationError("fringe capacitance must be >= 0")
+        if not (0 < self.min_width <= self.max_width):
+            raise ValidationError("need 0 < min_width <= max_width")
+
+
+@dataclass
+class SizingProblem:
+    """A sizing instance: segments + driver + sink loads + objective.
+
+    Parameters
+    ----------
+    segments:
+        Wire segments forming a tree rooted at ``driver_node``.
+    driver_resistance:
+        Fixed driver output resistance.
+    sink_weights:
+        ``{sink node: weight}``; the objective is the weighted Elmore sum.
+        Weights must be nonnegative with at least one positive.
+    sink_loads:
+        Fixed pin capacitance per sink node.
+    """
+
+    segments: Sequence[SizableSegment]
+    driver_resistance: float
+    sink_weights: Dict[str, float]
+    sink_loads: Dict[str, float]
+    driver_node: str = "drv"
+    input_node: str = "in"
+
+    def __post_init__(self) -> None:
+        if self.driver_resistance <= 0:
+            raise ValidationError("driver_resistance must be > 0")
+        if not self.segments:
+            raise ValidationError("no segments to size")
+        if not self.sink_weights or all(
+            w <= 0 for w in self.sink_weights.values()
+        ):
+            raise ValidationError("need at least one positive sink weight")
+        if any(w < 0 for w in self.sink_weights.values()):
+            raise ValidationError("sink weights must be >= 0")
+
+    def build_tree(self, widths: Sequence[float]) -> RCTree:
+        """Instantiate the RC tree for a width assignment."""
+        if len(widths) != len(self.segments):
+            raise AnalysisError("width vector length mismatch")
+        tree = RCTree(self.input_node)
+        tree.add_node(self.driver_node, self.input_node,
+                      self.driver_resistance, 0.0)
+        # Segments may be in any order; insert topologically.
+        remaining = list(zip(self.segments, widths))
+        while remaining:
+            progressed = False
+            still = []
+            for seg, w in remaining:
+                if seg.parent in tree:
+                    r = seg.unit_resistance / w
+                    c = seg.area_capacitance * w + seg.fringe_capacitance
+                    tree.add_node(seg.child, seg.parent, r, c / 2.0)
+                    tree.add_load(seg.parent, c / 2.0)
+                    progressed = True
+                else:
+                    still.append((seg, w))
+            if not progressed:
+                orphans = [s.child for s, _ in still]
+                raise ValidationError(
+                    f"segments do not form a tree from the driver: {orphans}"
+                )
+            remaining = still
+        for node, load in self.sink_loads.items():
+            tree.add_load(node, load)
+        for node in self.sink_weights:
+            if node not in tree:
+                raise ValidationError(f"unknown sink {node!r}")
+        return tree
+
+    def objective(self, widths: Sequence[float]) -> float:
+        """Weighted Elmore objective at a width assignment."""
+        tree = self.build_tree(widths)
+        delays = elmore_delays(tree)
+        return float(sum(
+            weight * delays[tree.index_of(node)]
+            for node, weight in self.sink_weights.items()
+        ))
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Outcome of :func:`size_wires`.
+
+    Attributes
+    ----------
+    widths:
+        Optimized width per segment (same order as the problem's list).
+    objective:
+        Final weighted Elmore objective value.
+    initial_objective:
+        Objective at the all-min-width start.
+    iterations:
+        Coordinate-descent sweeps performed.
+    converged:
+        True when the last sweep moved the objective by < tolerance.
+    """
+
+    widths: np.ndarray
+    objective: float
+    initial_objective: float
+    iterations: int
+    converged: bool
+
+    @property
+    def improvement(self) -> float:
+        """Fractional objective reduction versus the starting point."""
+        if self.initial_objective <= 0:
+            return 0.0
+        return 1.0 - self.objective / self.initial_objective
+
+
+def size_wires(
+    problem: SizingProblem,
+    max_sweeps: int = 60,
+    tolerance: float = 1e-10,
+    initial_widths: Optional[Sequence[float]] = None,
+) -> SizingResult:
+    """Minimize the weighted Elmore objective over segment widths.
+
+    Exact coordinate descent: with all other widths fixed, the objective
+    as a function of one width ``w`` is ``a w + b / w + const`` where
+
+    * ``b`` = (weighted downstream-capacitance)  * unit resistance terms
+      the segment's resistance multiplies, and
+    * ``a`` = (weighted upstream shared resistance) * the segment's area
+      capacitance;
+
+    both are recovered numerically from two probe evaluations (the
+    objective is exactly of that form, so two probes identify ``a`` and
+    ``b``), and the coordinate minimizer ``sqrt(b/a)`` is projected onto
+    the width box.  The objective is jointly posynomial, so sweeps
+    converge monotonically.
+    """
+    n = len(problem.segments)
+    if initial_widths is None:
+        widths = np.array([s.min_width for s in problem.segments])
+    else:
+        widths = np.asarray(initial_widths, dtype=np.float64).copy()
+        if widths.shape != (n,):
+            raise AnalysisError("initial_widths length mismatch")
+        for w, seg in zip(widths, problem.segments):
+            if not (seg.min_width <= w <= seg.max_width):
+                raise AnalysisError(
+                    f"initial width {w!r} outside segment box"
+                )
+
+    initial = problem.objective(widths)
+    value = initial
+    converged = False
+    sweeps = 0
+    for sweeps in range(1, max_sweeps + 1):
+        previous = value
+        for k, seg in enumerate(problem.segments):
+            w0 = widths[k]
+            # Two probes at w0 and 2*w0 identify f(w) = a w + b/w + c0,
+            # together with the current value f(w0).
+            f0 = value
+            widths[k] = min(2.0 * w0, seg.max_width * 2.0)
+            f1 = problem.objective(widths)
+            w1 = widths[k]
+            # Solve [w0 1/w0; w1 1/w1] [a, b] = [f0 - c, f1 - c]; the
+            # constant cancels out of the difference when using three
+            # points, but two suffice because c is recoverable from the
+            # known structure: probe a third point only if degenerate.
+            widths[k] = w0 / 2.0 if w0 / 2.0 >= 1e-12 else w0
+            f2 = problem.objective(widths)
+            w2 = widths[k]
+            # Fit a, b, c through three points (exact for this objective).
+            matrix = np.array([
+                [w0, 1.0 / w0, 1.0],
+                [w1, 1.0 / w1, 1.0],
+                [w2, 1.0 / w2, 1.0],
+            ])
+            try:
+                a, b, _ = np.linalg.solve(matrix, np.array([f0, f1, f2]))
+            except np.linalg.LinAlgError:
+                widths[k] = w0
+                value = problem.objective(widths)
+                continue
+            if a <= 0.0 or b <= 0.0:
+                # Degenerate coordinate (e.g. no downstream load):
+                # monotone in w, pick the favorable box edge.
+                candidate = seg.max_width if a < 0 else seg.min_width
+            else:
+                candidate = float(np.sqrt(b / a))
+            widths[k] = float(
+                np.clip(candidate, seg.min_width, seg.max_width)
+            )
+            value = problem.objective(widths)
+            if value > f0 + 1e-18:
+                # Numerical safety: never accept a worse point.
+                widths[k] = w0
+                value = f0
+        if previous - value <= tolerance * max(previous, 1e-300):
+            converged = True
+            break
+    return SizingResult(
+        widths=widths.copy(),
+        objective=value,
+        initial_objective=initial,
+        iterations=sweeps,
+        converged=converged,
+    )

@@ -1,0 +1,24 @@
+"""Input-signal library for generalized-input delay analysis (Sec. IV)."""
+
+from repro.signals.base import DerivativeMoments, Signal, exp_convolve_pwl
+from repro.signals.exponential import ExponentialInput
+from repro.signals.fitted import DelayedSignal, fitted_ramp, stage_output_model
+from repro.signals.pwl import PWLSignal
+from repro.signals.ramp import SaturatedRamp
+from repro.signals.smooth import RaisedCosineRamp, SmoothstepRamp
+from repro.signals.step import StepInput
+
+__all__ = [
+    "Signal",
+    "DerivativeMoments",
+    "exp_convolve_pwl",
+    "StepInput",
+    "SaturatedRamp",
+    "RaisedCosineRamp",
+    "SmoothstepRamp",
+    "ExponentialInput",
+    "PWLSignal",
+    "DelayedSignal",
+    "fitted_ramp",
+    "stage_output_model",
+]

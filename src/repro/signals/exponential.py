@@ -1,0 +1,80 @@
+"""Exponential (RC-shaped) input: the output of an upstream RC stage.
+
+Unlike the ramps, the exponential's derivative is *asymmetric* (positively
+skewed), so it exercises Corollary 2 (the bound still holds for unimodal
+derivatives) without the symmetric-derivative hypothesis of Corollary 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._exceptions import SignalError
+from repro.signals.base import DerivativeMoments, Signal
+
+__all__ = ["ExponentialInput"]
+
+
+class ExponentialInput(Signal):
+    """``v(t) = 1 - exp(-t / tau)`` for ``t >= 0``.
+
+    The derivative density is the exponential distribution with rate
+    ``1/tau``: unimodal (mode at 0) with
+
+        mean = tau,   mu2 = tau^2,   mu3 = 2 tau^3  (skewness 2).
+
+    Parameters
+    ----------
+    tau:
+        Time constant in seconds (> 0).  The 10-90% rise time is
+        ``tau ln 9`` and the 50% crossing is at ``tau ln 2``.
+    """
+
+    derivative_unimodal = True
+    derivative_symmetric = False
+
+    def __init__(self, tau: float) -> None:
+        if not (tau > 0.0) or not np.isfinite(tau):
+            raise SignalError(f"tau must be finite and > 0, got {tau!r}")
+        self.tau = float(tau)
+
+    def value(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return np.where(t >= 0.0, 1.0 - np.exp(-np.maximum(t, 0.0) / self.tau), 0.0)
+
+    def derivative(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return np.where(
+            t >= 0.0, np.exp(-np.maximum(t, 0.0) / self.tau) / self.tau, 0.0
+        )
+
+    def derivative_moments(self) -> DerivativeMoments:
+        tau = self.tau
+        return DerivativeMoments(mean=tau, mu2=tau * tau, mu3=2.0 * tau**3)
+
+    @property
+    def t50(self) -> float:
+        return float(self.tau * np.log(2.0))
+
+    @property
+    def settle_time(self) -> float:
+        # 1 - v < 1e-12 beyond ~27.6 tau.
+        return float(self.tau * np.log(1e12))
+
+    def exp_convolution(self, lam: float, t: np.ndarray) -> np.ndarray:
+        if lam <= 0.0:
+            raise SignalError(f"pole rate must be positive, got {lam!r}")
+        t = np.asarray(t, dtype=np.float64)
+        tp = np.maximum(t, 0.0)
+        rate = 1.0 / self.tau
+        step_part = (1.0 - np.exp(-lam * tp)) / lam
+        delta = lam - rate
+        if abs(delta) < 1e-9 * max(lam, rate):
+            # Degenerate pole: (e^{-rate t} - e^{-lam t})/(lam - rate) -> t e^{-lam t}.
+            expo_part = tp * np.exp(-lam * tp)
+        else:
+            expo_part = (np.exp(-rate * tp) - np.exp(-lam * tp)) / delta
+        return np.where(t <= 0.0, 0.0, step_part - expo_part)
+
+    def describe(self) -> str:
+        return f"exponential input (tau = {self.tau:g} s)"

@@ -1,0 +1,134 @@
+"""Moment-fitted input models and signal composition helpers.
+
+Timing analyzers characterize a stage's output waveform by a couple of
+numbers (delay + transition) and re-launch the next stage with a synthetic
+input of that shape.  The paper's moment machinery makes this principled:
+the output derivative's mean and variance are exactly
+
+    mean = T_D + mean(v_i'),     mu_2 = mu_2(h) + mu_2(v_i')      (eq. 41)
+
+so a *saturated ramp matched to those two moments* — centered at ``mean``
+with ``t_r = sqrt(12 mu_2)`` — is the natural two-parameter surrogate for
+the stage output.  Chaining stages through this surrogate keeps the
+Elmore bound machinery applicable at every stage boundary.
+
+:class:`DelayedSignal` shifts any signal in time (for stage-to-stage
+hand-off); :func:`fitted_ramp` and :func:`stage_output_model` build the
+moment-matched surrogate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro._exceptions import SignalError
+from repro.circuit.rctree import RCTree
+from repro.core.moments import TransferMoments, transfer_moments
+from repro.signals.base import DerivativeMoments, Signal
+from repro.signals.ramp import SaturatedRamp
+
+__all__ = ["DelayedSignal", "fitted_ramp", "stage_output_model"]
+
+
+class DelayedSignal(Signal):
+    """Any signal shifted right by ``delay`` seconds.
+
+    Shifting adds ``delay`` to the derivative's mean and leaves its
+    central moments untouched, so all bound machinery composes.
+    """
+
+    def __init__(self, inner: Signal, delay: float) -> None:
+        if delay < 0.0 or not np.isfinite(delay):
+            raise SignalError(f"delay must be finite and >= 0, got {delay!r}")
+        self.inner = inner
+        self.delay = float(delay)
+        self.derivative_unimodal = inner.derivative_unimodal
+        self.derivative_symmetric = inner.derivative_symmetric
+
+    def value(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return self.inner.value(t - self.delay)
+
+    def derivative(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return self.inner.derivative(t - self.delay)
+
+    def derivative_moments(self) -> DerivativeMoments:
+        dm = self.inner.derivative_moments()
+        return DerivativeMoments(
+            mean=dm.mean + self.delay, mu2=dm.mu2, mu3=dm.mu3
+        )
+
+    @property
+    def t50(self) -> float:
+        return self.inner.t50 + self.delay
+
+    @property
+    def settle_time(self) -> float:
+        return self.inner.settle_time + self.delay
+
+    def exp_convolution(self, lam: float, t: np.ndarray) -> np.ndarray:
+        """Shift property: ``E_delayed(t) = E(t - delay)`` (the integrand
+        is zero before the shift)."""
+        t = np.asarray(t, dtype=np.float64)
+        shifted = self.inner.exp_convolution(lam, np.maximum(t - self.delay,
+                                                             0.0))
+        return np.where(t <= self.delay, 0.0, shifted)
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()} delayed {self.delay:g} s"
+
+
+def fitted_ramp(mean: float, mu2: float) -> DelayedSignal:
+    """The saturated ramp whose derivative matches ``(mean, mu2)``.
+
+    A uniform density on ``[t0, t0 + t_r]`` has variance ``t_r^2 / 12``
+    and mean ``t0 + t_r/2``, so ``t_r = sqrt(12 mu2)`` and
+    ``t0 = mean - t_r/2``.  Raises when the fit would need to start before
+    ``t = 0`` (a stage output cannot lead its input; in that case the
+    surrogate's variance exceeds what a causal ramp can carry and callers
+    should shrink ``mu2`` or accept the step surrogate).
+    """
+    if mu2 < 0.0:
+        raise SignalError(f"mu2 must be >= 0, got {mu2!r}")
+    t_r = math.sqrt(12.0 * mu2)
+    if t_r == 0.0:
+        raise SignalError("zero variance: use StepInput delayed by `mean`")
+    t0 = mean - t_r / 2.0
+    if t0 < 0.0:
+        raise SignalError(
+            f"fitted ramp would start at t={t0:g} < 0; the (mean, mu2) "
+            "pair is not realizable by a causal ramp"
+        )
+    return DelayedSignal(SaturatedRamp(t_r), t0)
+
+
+def stage_output_model(
+    source: Union[RCTree, TransferMoments],
+    node: str,
+    signal: Signal,
+) -> Signal:
+    """Two-moment surrogate for the waveform at ``node`` given ``signal``.
+
+    Matches the output derivative's exact mean and variance (eq. 41) with
+    a shifted saturated ramp.  Falls back to widening the ramp to start at
+    ``t = 0`` (keeping the mean exact, shrinking the variance) when the
+    exact fit would be acausal — the conservative direction for bound
+    purposes, since a *smaller* input variance at the next stage keeps
+    that stage's Elmore bound valid (eq. 41 adds variances).
+    """
+    if isinstance(source, RCTree):
+        source = transfer_moments(source, 2)
+    din = signal.derivative_moments()
+    mean = source.mean(node) + din.mean
+    mu2 = source.variance(node) + din.mu2
+    try:
+        return fitted_ramp(mean, mu2)
+    except SignalError:
+        # Start at zero: t_r = 2 * mean keeps the mean; variance shrinks.
+        if mean <= 0.0:
+            raise
+        return SaturatedRamp(2.0 * mean)

@@ -1,0 +1,78 @@
+"""The saturated ramp — the paper's canonical finite-rise-time input."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._exceptions import SignalError
+from repro.signals.base import DerivativeMoments, Signal
+
+__all__ = ["SaturatedRamp"]
+
+
+class SaturatedRamp(Signal):
+    """Linear rise from 0 to 1 over ``rise_time`` seconds, then flat.
+
+    The derivative is the uniform density on ``[0, t_r]``: unimodal and
+    symmetric, with
+
+        mean = t_r / 2,   mu2 = t_r^2 / 12,   mu3 = 0,
+
+    so it satisfies the hypotheses of both Corollary 2 (Elmore remains an
+    upper bound) and Corollary 3 (delay -> T_D as ``t_r`` grows); note
+    ``mu2 proportional to t_r^2`` is exactly the growth eq. (45) relies on.
+
+    Parameters
+    ----------
+    rise_time:
+        0-to-100% rise time ``t_r`` in seconds (> 0).
+    """
+
+    derivative_unimodal = True
+    derivative_symmetric = True
+
+    def __init__(self, rise_time: float) -> None:
+        if not (rise_time > 0.0) or not np.isfinite(rise_time):
+            raise SignalError(
+                f"rise_time must be finite and > 0, got {rise_time!r}"
+            )
+        self.rise_time = float(rise_time)
+
+    def value(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return np.clip(t / self.rise_time, 0.0, 1.0)
+
+    def derivative(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        inside = (t >= 0.0) & (t <= self.rise_time)
+        return np.where(inside, 1.0 / self.rise_time, 0.0)
+
+    def derivative_moments(self) -> DerivativeMoments:
+        tr = self.rise_time
+        return DerivativeMoments(mean=tr / 2.0, mu2=tr * tr / 12.0, mu3=0.0)
+
+    @property
+    def t50(self) -> float:
+        return self.rise_time / 2.0
+
+    @property
+    def settle_time(self) -> float:
+        return self.rise_time
+
+    def exp_convolution(self, lam: float, t: np.ndarray) -> np.ndarray:
+        """Closed form via the ramp decomposition
+        ``v(t) = (rho(t) - rho(t - t_r)) / t_r`` with ``rho(t) = t u(t)``,
+        where ``(exp(-lam .) * rho)(t) = t/lam - (1 - e^{-lam t})/lam^2``.
+        """
+        if lam <= 0.0:
+            raise SignalError(f"pole rate must be positive, got {lam!r}")
+        t = np.asarray(t, dtype=np.float64)
+
+        def ramp_conv(x: np.ndarray) -> np.ndarray:
+            x = np.maximum(x, 0.0)
+            return x / lam - (1.0 - np.exp(-lam * x)) / lam**2
+
+        return (ramp_conv(t) - ramp_conv(t - self.rise_time)) / self.rise_time
+
+    def describe(self) -> str:
+        return f"saturated ramp (t_r = {self.rise_time:g} s)"

@@ -1,0 +1,175 @@
+"""Smooth saturating ramps: raised-cosine and cubic smoothstep.
+
+Both have unimodal, *symmetric* derivatives, so they satisfy the hypotheses
+of Corollaries 2 and 3 just like the saturated ramp, but with continuous
+derivatives — closer to real driver output waveforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._exceptions import SignalError
+from repro.signals.base import DerivativeMoments, Signal
+
+__all__ = ["RaisedCosineRamp", "SmoothstepRamp"]
+
+
+class RaisedCosineRamp(Signal):
+    """``v(t) = (1 - cos(pi t / t_r)) / 2`` for ``0 <= t <= t_r``, then 1.
+
+    The derivative density is ``(pi / 2 t_r) sin(pi t / t_r)`` on
+    ``[0, t_r]``:
+
+        mean = t_r / 2,
+        mu2  = t_r^2 (pi^2 - 8) / (4 pi^2)  (~ 0.04736 t_r^2),
+        mu3  = 0.
+    """
+
+    derivative_unimodal = True
+    derivative_symmetric = True
+
+    def __init__(self, rise_time: float) -> None:
+        if not (rise_time > 0.0) or not np.isfinite(rise_time):
+            raise SignalError(
+                f"rise_time must be finite and > 0, got {rise_time!r}"
+            )
+        self.rise_time = float(rise_time)
+
+    def value(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        x = np.clip(t / self.rise_time, 0.0, 1.0)
+        return 0.5 * (1.0 - np.cos(np.pi * x))
+
+    def derivative(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        inside = (t >= 0.0) & (t <= self.rise_time)
+        phase = np.pi * np.clip(t / self.rise_time, 0.0, 1.0)
+        return np.where(
+            inside, (np.pi / (2.0 * self.rise_time)) * np.sin(phase), 0.0
+        )
+
+    def derivative_moments(self) -> DerivativeMoments:
+        tr = self.rise_time
+        mu2 = tr * tr * (np.pi**2 - 8.0) / (4.0 * np.pi**2)
+        return DerivativeMoments(mean=tr / 2.0, mu2=float(mu2), mu3=0.0)
+
+    @property
+    def t50(self) -> float:
+        return self.rise_time / 2.0
+
+    @property
+    def settle_time(self) -> float:
+        return self.rise_time
+
+    def exp_convolution(self, lam: float, t: np.ndarray) -> np.ndarray:
+        """Closed form from the sinusoidal particular solution of
+        ``E' + lam E = v(t)`` on the rising piece, then exponential
+        settling toward ``1 / lam`` afterwards."""
+        if lam <= 0.0:
+            raise SignalError(f"pole rate must be positive, got {lam!r}")
+        t = np.asarray(t, dtype=np.float64)
+        tr = self.rise_time
+        omega = np.pi / tr
+        denom = 2.0 * (lam * lam + omega * omega)
+
+        def rising(x: np.ndarray) -> np.ndarray:
+            hom0 = -1.0 / (2.0 * lam) + lam / denom
+            return (
+                1.0 / (2.0 * lam)
+                - (lam * np.cos(omega * x) + omega * np.sin(omega * x)) / denom
+                + hom0 * np.exp(-lam * x)
+            )
+
+        e_tr = float(rising(np.asarray(tr)))
+        before = rising(np.clip(t, 0.0, tr))
+        after = 1.0 / lam + (e_tr - 1.0 / lam) * np.exp(
+            -lam * np.maximum(t - tr, 0.0)
+        )
+        out = np.where(t <= 0.0, 0.0, np.where(t <= tr, before, after))
+        return out
+
+    def describe(self) -> str:
+        return f"raised-cosine ramp (t_r = {self.rise_time:g} s)"
+
+
+class SmoothstepRamp(Signal):
+    """Cubic smoothstep ``v(x) = 3x^2 - 2x^3`` with ``x = t / t_r``.
+
+    The derivative density ``6 x (1 - x) / t_r`` is the Beta(2, 2)
+    distribution scaled to ``[0, t_r]``:
+
+        mean = t_r / 2,   mu2 = t_r^2 / 20,   mu3 = 0.
+    """
+
+    derivative_unimodal = True
+    derivative_symmetric = True
+
+    def __init__(self, rise_time: float) -> None:
+        if not (rise_time > 0.0) or not np.isfinite(rise_time):
+            raise SignalError(
+                f"rise_time must be finite and > 0, got {rise_time!r}"
+            )
+        self.rise_time = float(rise_time)
+
+    def value(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        x = np.clip(t / self.rise_time, 0.0, 1.0)
+        return x * x * (3.0 - 2.0 * x)
+
+    def derivative(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        inside = (t >= 0.0) & (t <= self.rise_time)
+        x = np.clip(t / self.rise_time, 0.0, 1.0)
+        return np.where(inside, 6.0 * x * (1.0 - x) / self.rise_time, 0.0)
+
+    def derivative_moments(self) -> DerivativeMoments:
+        tr = self.rise_time
+        return DerivativeMoments(mean=tr / 2.0, mu2=tr * tr / 20.0, mu3=0.0)
+
+    @property
+    def t50(self) -> float:
+        return self.rise_time / 2.0
+
+    @property
+    def settle_time(self) -> float:
+        return self.rise_time
+
+    def exp_convolution(self, lam: float, t: np.ndarray) -> np.ndarray:
+        """Closed form: for polynomial forcing ``p(t)`` the particular
+        solution of ``E' + lam E = p`` is
+        ``p/lam - p'/lam^2 + p''/lam^3 - p'''/lam^4``.
+
+        The four terms cancel catastrophically when ``lam * t_r`` is
+        small (each is O((lam t_r)^-k) of the result); the numerically
+        stable PWL stepper takes over in that regime.
+        """
+        if lam <= 0.0:
+            raise SignalError(f"pole rate must be positive, got {lam!r}")
+        if lam * self.rise_time < 1e-2:
+            return super().exp_convolution(lam, t)
+        t = np.asarray(t, dtype=np.float64)
+        tr = self.rise_time
+
+        # p(t) = 3 t^2/tr^2 - 2 t^3/tr^3 on the rising piece.
+        def particular(x: np.ndarray) -> np.ndarray:
+            p = 3.0 * x**2 / tr**2 - 2.0 * x**3 / tr**3
+            dp = 6.0 * x / tr**2 - 6.0 * x**2 / tr**3
+            d2p = 6.0 / tr**2 - 12.0 * x / tr**3
+            d3p = -12.0 / tr**3
+            return p / lam - dp / lam**2 + d2p / lam**3 - d3p / lam**4
+
+        def rising(x: np.ndarray) -> np.ndarray:
+            p0 = particular(np.asarray(0.0))
+            return particular(x) - p0 * np.exp(-lam * x)
+
+        e_tr = float(rising(np.asarray(tr)))
+        before = rising(np.clip(t, 0.0, tr))
+        after = 1.0 / lam + (e_tr - 1.0 / lam) * np.exp(
+            -lam * np.maximum(t - tr, 0.0)
+        )
+        out = np.where(t <= 0.0, 0.0, np.where(t <= tr, before, after))
+        return out
+
+    def describe(self) -> str:
+        return f"smoothstep ramp (t_r = {self.rise_time:g} s)"

@@ -1,0 +1,53 @@
+"""The ideal voltage step (Elmore's original setting)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signals.base import DerivativeMoments, Signal
+
+__all__ = ["StepInput"]
+
+
+class StepInput(Signal):
+    """Unit step at ``t = 0``: ``v(t) = u(t)``.
+
+    The derivative is a Dirac impulse at zero — a degenerate (zero-width)
+    unimodal, symmetric density — so every moment of the derivative is
+    zero and the output response *is* the tree's step response.
+    """
+
+    derivative_unimodal = True
+    derivative_symmetric = True
+
+    def value(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return np.where(t >= 0.0, 1.0, 0.0)
+
+    def derivative(self, t: np.ndarray) -> np.ndarray:
+        # The impulsive derivative cannot be sampled; see class docstring.
+        t = np.asarray(t, dtype=np.float64)
+        return np.zeros_like(t)
+
+    def derivative_moments(self) -> DerivativeMoments:
+        return DerivativeMoments(mean=0.0, mu2=0.0, mu3=0.0)
+
+    @property
+    def t50(self) -> float:
+        return 0.0
+
+    @property
+    def settle_time(self) -> float:
+        return 0.0
+
+    def exp_convolution(self, lam: float, t: np.ndarray) -> np.ndarray:
+        from repro._exceptions import SignalError
+        if lam <= 0.0:
+            raise SignalError(f"pole rate must be positive, got {lam!r}")
+        t = np.asarray(t, dtype=np.float64)
+        return np.where(
+            t > 0.0, (1.0 - np.exp(-lam * np.maximum(t, 0.0))) / lam, 0.0
+        )
+
+    def describe(self) -> str:
+        return "step"

@@ -1,0 +1,34 @@
+"""Miniature static timing analyzer built on the Elmore bound."""
+
+from repro.sta.characterize import (
+    CharacterizationResult,
+    characterize_driver,
+    lumped_load_delay_oracle,
+)
+from repro.sta.interconnect import ElaboratedNet, WireLoadModel, elaborate_net
+from repro.sta.library import Cell, CellLibrary, default_library
+from repro.sta.netlist import Design, Instance, Net, Pin
+from repro.sta.slack import SlackReport, compute_slacks
+from repro.sta.timing import DELAY_MODELS, PathElement, TimingResult, analyze
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "default_library",
+    "Design",
+    "Instance",
+    "Net",
+    "Pin",
+    "WireLoadModel",
+    "ElaboratedNet",
+    "elaborate_net",
+    "analyze",
+    "TimingResult",
+    "PathElement",
+    "DELAY_MODELS",
+    "SlackReport",
+    "compute_slacks",
+    "CharacterizationResult",
+    "characterize_driver",
+    "lumped_load_delay_oracle",
+]

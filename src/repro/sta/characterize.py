@@ -1,0 +1,150 @@
+"""Gate characterization: fitting the linearized driver model from data.
+
+The paper's circuit model (Fig. 1/2) replaces the nonlinear driving gate
+with a resistor and an intrinsic delay.  Real libraries obtain those
+numbers by *characterization*: simulate the cell against a sweep of loads
+and fit the model.  This module reproduces that flow against any delay
+oracle (e.g. the exact pole/residue engine standing in for SPICE):
+
+* under the linear model, the 50% delay into a lumped load ``C`` is
+
+      d(C) = intrinsic + ln(2) * R_drv * C,
+
+  so a linear least-squares fit of measured ``d(C)`` against ``C``
+  recovers ``R_drv`` (slope / ln 2) and ``intrinsic`` (intercept);
+* the fit quality (max residual) quantifies how linear the cell really
+  is over the load range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro._exceptions import AnalysisError, ValidationError
+from repro.circuit.rctree import RCTree
+from repro.sta.library import Cell
+
+__all__ = [
+    "CharacterizationResult",
+    "characterize_driver",
+    "lumped_load_delay_oracle",
+]
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """Fitted linear-driver parameters and fit diagnostics.
+
+    Attributes
+    ----------
+    driver_resistance:
+        Fitted ``R_drv`` (ohms).
+    intrinsic_delay:
+        Fitted load-independent delay (seconds).
+    max_residual:
+        Largest |measured - fitted| delay over the sweep (seconds).
+    loads, delays:
+        The characterization sweep data.
+    """
+
+    driver_resistance: float
+    intrinsic_delay: float
+    max_residual: float
+    loads: Tuple[float, ...]
+    delays: Tuple[float, ...]
+
+    def predicted_delay(self, load: float) -> float:
+        """Model delay into a lumped load."""
+        return self.intrinsic_delay + math.log(2.0) * \
+            self.driver_resistance * load
+
+    def to_cell(
+        self,
+        name: str,
+        inputs: Tuple[str, ...] = ("a",),
+        output: str = "y",
+        input_capacitance: float = 10e-15,
+        slew_impact: float = 0.0,
+        output_slew: float = 0.0,
+    ) -> Cell:
+        """Package the fit as a :class:`~repro.sta.library.Cell`."""
+        return Cell(
+            name=name,
+            inputs=inputs,
+            output=output,
+            driver_resistance=self.driver_resistance,
+            input_capacitance=input_capacitance,
+            intrinsic_delay=self.intrinsic_delay,
+            slew_impact=slew_impact,
+            output_slew=output_slew,
+        )
+
+
+def characterize_driver(
+    delay_oracle: Callable[[float], float],
+    loads: Sequence[float],
+) -> CharacterizationResult:
+    """Fit the linear driver model against a delay oracle.
+
+    Parameters
+    ----------
+    delay_oracle:
+        Maps a lumped load capacitance (farads) to a measured 50% delay
+        (seconds) — a SPICE run in real flows; any callable here.
+    loads:
+        Load sweep (>= 2 distinct positive values).
+    """
+    loads = [float(c) for c in loads]
+    if len(loads) < 2 or len(set(loads)) < 2:
+        raise ValidationError("need at least two distinct loads")
+    if any(c <= 0 for c in loads):
+        raise ValidationError("loads must be positive")
+    delays = [float(delay_oracle(c)) for c in loads]
+    c_arr = np.asarray(loads)
+    d_arr = np.asarray(delays)
+    design = np.column_stack([c_arr, np.ones_like(c_arr)])
+    (slope, intercept), *_ = np.linalg.lstsq(design, d_arr, rcond=None)
+    resistance = slope / math.log(2.0)
+    if resistance <= 0.0:
+        raise AnalysisError(
+            "fitted driver resistance is nonpositive; the oracle's delay "
+            "does not grow with load"
+        )
+    fitted = design @ np.array([slope, intercept])
+    max_residual = float(np.max(np.abs(fitted - d_arr)))
+    return CharacterizationResult(
+        driver_resistance=float(resistance),
+        intrinsic_delay=float(max(intercept, 0.0)),
+        max_residual=max_residual,
+        loads=tuple(loads),
+        delays=tuple(delays),
+    )
+
+
+def lumped_load_delay_oracle(
+    driver_resistance: float,
+    intrinsic_delay: float = 0.0,
+    parasitic_capacitance: float = 0.0,
+) -> Callable[[float], float]:
+    """A reference "true gate": exact 50% delay of ``R_drv`` into the
+    load (plus optional output parasitic), offset by an intrinsic delay.
+
+    Used to validate the characterization round trip, and as a stand-in
+    for transistor-level simulation in examples/tests.
+    """
+    if driver_resistance <= 0:
+        raise ValidationError("driver_resistance must be > 0")
+
+    from repro.analysis.responses import measure_delay
+
+    def oracle(load: float) -> float:
+        tree = RCTree("in")
+        tree.add_node("y", "in", driver_resistance,
+                      parasitic_capacitance + load)
+        return intrinsic_delay + measure_delay(tree, "y")
+
+    return oracle

@@ -1,0 +1,160 @@
+"""Net-to-RC-tree elaboration for the miniature STA.
+
+Each net is turned into an :class:`~repro.circuit.rctree.RCTree` rooted at
+the driving gate's internal source:
+
+* the first resistor is the driver's linearized output resistance (the
+  paper's Fig. 1/2 model);
+* wire RC comes from one of three sources, in priority order:
+  an explicit per-net tree override, routed geometry (instance positions +
+  the routing substrate), or a fanout-based wire-load model;
+* every sink pin's input capacitance is added as a load at its tree node.
+
+The returned mapping ``sink pin -> tree node name`` lets the timing engine
+query per-sink delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro._exceptions import TimingGraphError
+from repro.circuit.rctree import RCTree
+from repro.circuit.wires import DEFAULT_TECHNOLOGY, WireTechnology
+from repro.routing.steiner import route_net
+from repro.sta.netlist import Design, Net, Pin
+
+__all__ = ["WireLoadModel", "ElaboratedNet", "elaborate_net"]
+
+
+@dataclass(frozen=True)
+class WireLoadModel:
+    """Fanout-based statistical wire model (used when no geometry exists).
+
+    Each sink is reached through ``resistance_per_sink`` ohms carrying
+    ``capacitance_per_sink`` farads of wire capacitance (split half at the
+    driver, half at the sink) — a star topology.
+    """
+
+    resistance_per_sink: float = 50.0
+    capacitance_per_sink: float = 5e-15
+
+    def __post_init__(self) -> None:
+        if self.resistance_per_sink <= 0.0:
+            raise TimingGraphError("wire-load resistance must be > 0")
+        if self.capacitance_per_sink < 0.0:
+            raise TimingGraphError("wire-load capacitance must be >= 0")
+
+
+@dataclass(frozen=True)
+class ElaboratedNet:
+    """A net's RC tree plus the sink-pin to tree-node mapping."""
+
+    net: str
+    tree: RCTree
+    sink_nodes: Dict[Pin, str]
+    driver_node: str
+
+
+def elaborate_net(
+    design: Design,
+    net: Net,
+    wire_load: Optional[WireLoadModel] = None,
+    technology: WireTechnology = DEFAULT_TECHNOLOGY,
+    wire_width: float = 1e-6,
+    port_driver_resistance: float = 50.0,
+    port_load_capacitance: float = 20e-15,
+    override: Optional[Tuple[RCTree, Dict[Pin, str]]] = None,
+) -> ElaboratedNet:
+    """Build the RC tree for one net.
+
+    Parameters
+    ----------
+    design:
+        The owning design (for cell data and positions).
+    net:
+        The net to elaborate.
+    wire_load:
+        Fanout-based fallback model (defaults to :class:`WireLoadModel`).
+    technology, wire_width:
+        Wire parameters used when routing from instance positions.
+    port_driver_resistance:
+        Output resistance assumed for primary-input drivers.
+    port_load_capacitance:
+        Capacitance assumed for primary-output pins.
+    override:
+        Explicit ``(tree, sink_node_map)`` for the net; the tree must
+        already include driver resistance and sink loads.
+    """
+    if override is not None:
+        tree, mapping = override
+        missing = [s for s in net.sinks if s not in mapping]
+        if missing:
+            raise TimingGraphError(
+                f"override for net {net.name!r} lacks sink nodes for "
+                f"{[str(p) for p in missing]}"
+            )
+        return ElaboratedNet(
+            net=net.name, tree=tree, sink_nodes=dict(mapping),
+            driver_node=tree.children_of(tree.input_node)[0],
+        )
+
+    if net.driver.is_port:
+        drive_res = port_driver_resistance
+    else:
+        drive_res = design.instances[net.driver.instance].cell.driver_resistance
+
+    positions = _sink_positions(design, net)
+    if positions is not None:
+        tree, sink_nodes = route_net(
+            driver_position=positions[0],
+            sink_positions=positions[1],
+            driver_resistance=drive_res,
+            technology=technology,
+            wire_width=wire_width,
+        )
+        mapping = {
+            sink: sink_nodes[k] for k, sink in enumerate(net.sinks)
+        }
+    else:
+        model = wire_load if wire_load is not None else WireLoadModel()
+        tree = RCTree("in")
+        tree.add_node("drv", "in", drive_res, 0.0)
+        mapping = {}
+        for k, sink in enumerate(net.sinks):
+            node = f"s{k}"
+            tree.add_node(
+                node, "drv", model.resistance_per_sink,
+                model.capacitance_per_sink / 2.0,
+            )
+            tree.add_load("drv", model.capacitance_per_sink / 2.0)
+            mapping[sink] = node
+
+    for sink, node in mapping.items():
+        if sink.is_port:
+            tree.add_load(node, port_load_capacitance)
+        else:
+            cell = design.instances[sink.instance].cell
+            tree.add_load(node, cell.input_capacitance)
+    return ElaboratedNet(
+        net=net.name, tree=tree, sink_nodes=mapping, driver_node="drv",
+    )
+
+
+def _sink_positions(design: Design, net: Net):
+    """Positions for routing, or None when any endpoint lacks one."""
+    if net.driver.is_port:
+        return None
+    drv_inst = design.instances[net.driver.instance]
+    if drv_inst.position is None:
+        return None
+    sinks = []
+    for sink in net.sinks:
+        if sink.is_port:
+            return None
+        inst = design.instances[sink.instance]
+        if inst.position is None:
+            return None
+        sinks.append(inst.position)
+    return drv_inst.position, sinks

@@ -1,0 +1,131 @@
+"""Miniature standard-cell library with linearized timing models.
+
+Gates are modelled exactly as the paper's Fig. 1/2 linearization: a
+switching gate is an ideal source behind a fixed output resistance, plus a
+fixed intrinsic delay; each input pin presents a fixed capacitance.  The
+interconnect between gates is an RC tree, and stage delay is computed with
+a pluggable delay metric (Elmore by default — the paper's subject).
+
+The default library's values are era-appropriate round numbers (hundreds of
+ohms, tens of femtofarads) chosen so that gate and wire delays are of
+comparable magnitude on the example designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro._exceptions import TimingGraphError, ValidationError
+
+__all__ = ["Cell", "CellLibrary", "default_library"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A combinational cell with a single output.
+
+    Parameters
+    ----------
+    name:
+        Cell type name (e.g. ``"NAND2"``).
+    inputs:
+        Ordered input pin names.
+    output:
+        Output pin name.
+    driver_resistance:
+        Linearized output resistance in ohms (> 0).
+    input_capacitance:
+        Capacitance presented by each input pin, farads (>= 0).
+    intrinsic_delay:
+        Fixed input-to-output delay of the cell itself, seconds (>= 0).
+    slew_impact:
+        Dimensionless sensitivity of the cell delay to the input
+        transition: ``delay += slew_impact * sigma_in`` where
+        ``sigma_in`` is the input derivative's standard deviation (the
+        paper's Sec. III-B transition measure).  >= 0.
+    output_slew:
+        Intrinsic transition (sigma, seconds) of the cell's internal
+        switching source before the output net's dispersion is added.
+        >= 0.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    output: str
+    driver_resistance: float
+    input_capacitance: float
+    intrinsic_delay: float
+    slew_impact: float = 0.0
+    output_slew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ValidationError(f"cell {self.name!r} has no inputs")
+        if self.output in self.inputs:
+            raise ValidationError(
+                f"cell {self.name!r} reuses pin name {self.output!r}"
+            )
+        if self.driver_resistance <= 0.0:
+            raise ValidationError(
+                f"cell {self.name!r} needs driver_resistance > 0"
+            )
+        if self.input_capacitance < 0.0 or self.intrinsic_delay < 0.0:
+            raise ValidationError(
+                f"cell {self.name!r} has negative capacitance or delay"
+            )
+        if self.slew_impact < 0.0 or self.output_slew < 0.0:
+            raise ValidationError(
+                f"cell {self.name!r} has negative slew parameters"
+            )
+
+    @property
+    def pin_names(self) -> Tuple[str, ...]:
+        """All pin names, inputs first."""
+        return (*self.inputs, self.output)
+
+
+@dataclass
+class CellLibrary:
+    """A named collection of cells."""
+
+    name: str = "lib"
+    cells: Dict[str, Cell] = field(default_factory=dict)
+
+    def add(self, cell: Cell) -> None:
+        """Register a cell (duplicate names are rejected)."""
+        if cell.name in self.cells:
+            raise ValidationError(f"cell {cell.name!r} already in library")
+        self.cells[cell.name] = cell
+
+    def get(self, name: str) -> Cell:
+        """Look up a cell by type name."""
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise TimingGraphError(
+                f"unknown cell {name!r} in library {self.name!r}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.cells
+
+
+def default_library() -> CellLibrary:
+    """A small inverter/buffer/NAND/NOR library with plausible values."""
+    lib = CellLibrary(name="repro-generic")
+    lib.add(Cell("INV", ("a",), "y", 400.0, 8e-15, 20e-12, 0.25, 6e-12))
+    lib.add(Cell("BUF", ("a",), "y", 250.0, 10e-15, 35e-12, 0.20, 5e-12))
+    lib.add(Cell("NAND2", ("a", "b"), "y", 500.0, 9e-15, 30e-12, 0.30,
+                 7e-12))
+    lib.add(Cell("NOR2", ("a", "b"), "y", 650.0, 9e-15, 35e-12, 0.35,
+                 8e-12))
+    lib.add(Cell("AND2", ("a", "b"), "y", 500.0, 9e-15, 45e-12, 0.30,
+                 7e-12))
+    lib.add(Cell("OR2", ("a", "b"), "y", 650.0, 9e-15, 50e-12, 0.35,
+                 8e-12))
+    lib.add(Cell("XOR2", ("a", "b"), "y", 700.0, 11e-15, 60e-12, 0.40,
+                 9e-12))
+    # A strong driver for clock/primary-input buffering.
+    lib.add(Cell("DRV", ("a",), "y", 80.0, 15e-15, 25e-12, 0.15, 4e-12))
+    return lib

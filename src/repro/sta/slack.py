@@ -1,0 +1,163 @@
+"""Backward required-time propagation and per-pin slack.
+
+Completes the classic STA pair: the forward pass (:func:`~repro.sta.timing.analyze`)
+computes arrivals; this module walks the design *backward* from the
+primary outputs' required times, through nets (required at the driver is
+the tightest sink requirement minus that sink's wire delay) and gates
+(required at an input is the output requirement minus that input's stage
+delay, including its slew-dependent term), yielding
+
+    slack(pin) = required(pin) - arrival(pin)
+
+at every timing point.  Under the Elmore interconnect model all arrivals
+are certified upper bounds, so every *positive* slack is certified too —
+a real signoff statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+import networkx as nx
+
+from repro._exceptions import TimingGraphError
+from repro.sta.netlist import Design, Pin
+from repro.sta.timing import TimingResult, _delay_cache_of
+
+__all__ = ["SlackReport", "compute_slacks"]
+
+
+@dataclass(frozen=True)
+class SlackReport:
+    """Required times and slacks at every timing point.
+
+    Attributes
+    ----------
+    required:
+        Required arrival time per pin.
+    slack:
+        ``required - arrival`` per pin.
+    worst_slack:
+        Minimum slack over all pins.
+    worst_pin:
+        A pin achieving it (ties broken arbitrarily).
+    """
+
+    required: Dict[Pin, float]
+    slack: Dict[Pin, float]
+    worst_slack: float
+    worst_pin: Pin
+
+    def critical_pins(self, margin: float = 0.0) -> List[Pin]:
+        """Pins whose slack is within ``margin`` of the worst."""
+        threshold = self.worst_slack + margin
+        return [p for p, s in self.slack.items() if s <= threshold]
+
+    def slack_at(self, instance: str, pin: str) -> float:
+        """Slack at a named pin (ports via ``Pin.PORT``)."""
+        key = Pin(instance, pin)
+        if key not in self.slack:
+            raise TimingGraphError(f"no slack recorded at {key}")
+        return self.slack[key]
+
+
+def compute_slacks(
+    design: Design,
+    result: TimingResult,
+    required: Union[float, Dict[str, float]],
+) -> SlackReport:
+    """Backward pass over a completed forward analysis.
+
+    Parameters
+    ----------
+    design:
+        The analyzed design (must be the same object family the result
+        came from — its nets index the result's elaborations).
+    result:
+        Forward analysis result (supplies arrivals, slews, and the cached
+        per-net delays of whatever delay model was used).
+    required:
+        A single required time applied to every primary output, or a map
+        from output port name to required time.
+    """
+    if isinstance(required, dict):
+        missing = [p for p in design.outputs if p not in required]
+        if missing:
+            raise TimingGraphError(
+                f"required times missing for outputs: {missing}"
+            )
+        req_out = dict(required)
+    else:
+        req_out = {port: float(required) for port in design.outputs}
+
+    required_times: Dict[Pin, float] = {}
+    for port, value in req_out.items():
+        required_times[Pin(Pin.PORT, port)] = value
+
+    graph = design.instance_graph()
+    order = list(nx.topological_sort(graph))
+
+    def net_backward(net_name: str) -> None:
+        net = design.nets[net_name]
+        elaborated = result.nets.get(net_name)
+        if elaborated is None:
+            raise TimingGraphError(
+                f"net {net_name!r} was not elaborated in the forward pass"
+            )
+        delays = _delay_cache_of(elaborated)[net_name]
+        tightest = None
+        for sink in net.sinks:
+            if sink not in required_times:
+                continue
+            candidate = required_times[sink] - delays[sink]
+            if tightest is None or candidate < tightest:
+                tightest = candidate
+        if tightest is None:
+            raise TimingGraphError(
+                f"net {net_name!r} has no required sink; "
+                "design outputs unreachable?"
+            )
+        driver = net.driver
+        if driver not in required_times or tightest < required_times[driver]:
+            required_times[driver] = tightest
+
+    # Walk instances in reverse topological order; before each gate,
+    # pull back through the net its output drives.
+    for node in reversed(order):
+        if node.startswith("out:"):
+            continue
+        if node.startswith("in:"):
+            port = node[3:]
+            net_backward(design.net_of(Pin.PORT, port))
+            continue
+        inst = design.instances[node]
+        cell = inst.cell
+        out_pin = Pin(node, cell.output)
+        net_backward(design.net_of(node, cell.output))
+        if out_pin not in required_times:
+            raise TimingGraphError(
+                f"no requirement reached {out_pin} (dangling logic?)"
+            )
+        for pin_name in cell.inputs:
+            pin = Pin(node, pin_name)
+            stage = cell.intrinsic_delay + \
+                cell.slew_impact * result.slew[pin]
+            candidate = required_times[out_pin] - stage
+            if pin not in required_times or candidate < required_times[pin]:
+                required_times[pin] = candidate
+
+    slack = {
+        pin: required_times[pin] - result.arrival[pin]
+        for pin in required_times
+        if pin in result.arrival
+    }
+    if not slack:
+        raise TimingGraphError("no common pins between passes")
+    worst_pin = min(slack, key=slack.get)
+    return SlackReport(
+        required=required_times,
+        slack=slack,
+        worst_slack=slack[worst_pin],
+        worst_pin=worst_pin,
+    )

@@ -1,0 +1,321 @@
+"""Static timing analysis over the Elmore metric (or any other).
+
+Arrival times propagate through the gate-level design in topological
+order.  Each net's interconnect delay is evaluated per sink on the net's
+RC tree with a pluggable delay model:
+
+* ``"elmore"`` — the paper's bound (guaranteed pessimistic: safe STA);
+* ``"exact"`` — the pole/residue engine's measured 50% delay (reference);
+* any key of :data:`repro.core.metrics.METRICS` (``"d2m"``,
+  ``"two_pole"``, ...) for ablation studies.
+
+Because the Elmore delay upper-bounds the true delay at every sink
+(the paper's Theorem), an Elmore-based STA's critical-path report is a
+certified upper bound on the design's true critical delay — the property
+that makes the metric safe for signoff-style pessimism.
+
+Transition times ("slews") are propagated alongside arrivals using the
+paper's Sec. III-B measure: the standard deviation ``sigma`` of the signal
+derivative.  Central moments add under convolution (eq. 41), so a net
+disperses a slew exactly as ``sigma_out^2 = sigma_in^2 + mu_2(h)``; gates
+contribute ``slew_impact * sigma_in`` of extra delay and regenerate the
+edge to their ``output_slew``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro._exceptions import TimingGraphError
+from repro.analysis.responses import measure_delay
+from repro.analysis.state_space import ExactAnalysis
+from repro.core.metrics import METRICS
+from repro.core.moments import transfer_moments
+
+from repro.sta.interconnect import ElaboratedNet, WireLoadModel, elaborate_net
+from repro.sta.netlist import Design, Pin
+
+
+def _net_dispersion(net: ElaboratedNet) -> Dict["Pin", float]:
+    """Per-sink variance ``mu_2(h)`` of the net's impulse response."""
+    moments = transfer_moments(net.tree, 2)
+    return {
+        sink: max(moments.variance(node), 0.0)
+        for sink, node in net.sink_nodes.items()
+    }
+
+__all__ = ["TimingResult", "PathElement", "analyze", "DELAY_MODELS"]
+
+
+def _elmore_model(net: ElaboratedNet) -> Dict[Pin, float]:
+    moments = transfer_moments(net.tree, 1)
+    return {
+        sink: moments.mean(node) for sink, node in net.sink_nodes.items()
+    }
+
+
+def _exact_model(net: ElaboratedNet) -> Dict[Pin, float]:
+    analysis = ExactAnalysis(net.tree)
+    return {
+        sink: measure_delay(analysis, node)
+        for sink, node in net.sink_nodes.items()
+    }
+
+
+def _metric_model(metric: str) -> Callable[[ElaboratedNet], Dict[Pin, float]]:
+    fn = METRICS[metric]
+    order = 8 if metric == "awe4" else 4
+
+    def model(net: ElaboratedNet) -> Dict[Pin, float]:
+        from repro._exceptions import AnalysisError, MetricError
+
+        moments = transfer_moments(net.tree, order)
+        out: Dict[Pin, float] = {}
+        for sink, node in net.sink_nodes.items():
+            try:
+                out[sink] = fn(moments, node)
+            except (AnalysisError, MetricError):
+                # Higher-order fits can fail on degenerate nets (complex
+                # or unstable fitted poles); fall back to the certified
+                # Elmore value rather than aborting the STA run.
+                out[sink] = moments.mean(node)
+        return out
+
+    return model
+
+
+#: Available interconnect delay models for :func:`analyze`.
+DELAY_MODELS: Dict[str, Callable[[ElaboratedNet], Dict[Pin, float]]] = {
+    "elmore": _elmore_model,
+    "exact": _exact_model,
+    **{name: _metric_model(name) for name in METRICS},
+}
+
+
+@dataclass(frozen=True)
+class PathElement:
+    """One hop of a timing path: a gate stage or a wire stage."""
+
+    kind: str              # "gate" or "net"
+    name: str              # instance or net name
+    delay: float
+    arrival: float         # arrival time at the element's output endpoint
+
+
+@dataclass
+class TimingResult:
+    """Output of :func:`analyze`.
+
+    Attributes
+    ----------
+    arrival:
+        Arrival time at every timing point.  Keys are pins (as
+        :class:`~repro.sta.netlist.Pin`), including port pins.
+    slew:
+        Transition sigma (Sec. III-B measure, seconds) at every timing
+        point.
+    critical_delay:
+        Largest primary-output arrival time.
+    critical_output:
+        The primary output achieving it.
+    nets:
+        The elaborated per-net RC trees (for inspection/plotting).
+    delay_model:
+        Name of the interconnect delay model used.
+    """
+
+    arrival: Dict[Pin, float]
+    slew: Dict[Pin, float]
+    critical_delay: float
+    critical_output: str
+    nets: Dict[str, ElaboratedNet]
+    delay_model: str
+    _predecessor: Dict[Pin, Tuple[Optional[Pin], str, str, float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def arrival_at_output(self, port: str) -> float:
+        """Arrival time at a primary output."""
+        key = Pin(Pin.PORT, port)
+        if key not in self.arrival:
+            raise TimingGraphError(f"unknown output port {port!r}")
+        return self.arrival[key]
+
+    def slew_at_output(self, port: str) -> float:
+        """Transition sigma at a primary output."""
+        key = Pin(Pin.PORT, port)
+        if key not in self.slew:
+            raise TimingGraphError(f"unknown output port {port!r}")
+        return self.slew[key]
+
+    def slack(self, required: float, port: Optional[str] = None) -> float:
+        """``required - arrival`` at ``port`` (or the critical output)."""
+        if port is None:
+            return required - self.critical_delay
+        return required - self.arrival_at_output(port)
+
+    def critical_path(self) -> List[PathElement]:
+        """Walk the critical path back from the critical output."""
+        return self.path_to(self.critical_output)
+
+    def path_to(self, port: str) -> List[PathElement]:
+        """The worst path ending at primary output ``port``."""
+        key = Pin(Pin.PORT, port)
+        if key not in self.arrival:
+            raise TimingGraphError(f"unknown output port {port!r}")
+        elements: List[PathElement] = []
+        cursor: Optional[Pin] = key
+        while cursor is not None and cursor in self._predecessor:
+            prev, kind, name, delay = self._predecessor[cursor]
+            elements.append(
+                PathElement(
+                    kind=kind, name=name, delay=delay,
+                    arrival=self.arrival[cursor],
+                )
+            )
+            cursor = prev
+        elements.reverse()
+        return elements
+
+
+def analyze(
+    design: Design,
+    delay_model: str = "elmore",
+    input_arrivals: Optional[Dict[str, float]] = None,
+    input_slews: Optional[Dict[str, float]] = None,
+    wire_load: Optional[WireLoadModel] = None,
+    net_overrides: Optional[Dict[str, Tuple]] = None,
+) -> TimingResult:
+    """Run static timing analysis on ``design``.
+
+    Parameters
+    ----------
+    design:
+        The gate-level design (validated here).
+    delay_model:
+        Key of :data:`DELAY_MODELS`.
+    input_arrivals:
+        Arrival time per primary input (default 0.0).
+    input_slews:
+        Transition sigma per primary input (default 0.0 = ideal step).
+    wire_load:
+        Fallback wire model for nets without geometry.
+    net_overrides:
+        Optional per-net ``(tree, sink_node_map)`` overrides.
+    """
+    if delay_model not in DELAY_MODELS:
+        raise TimingGraphError(
+            f"unknown delay model {delay_model!r}; "
+            f"choose from {sorted(DELAY_MODELS)}"
+        )
+    design.validate()
+    model = DELAY_MODELS[delay_model]
+    arrivals: Dict[Pin, float] = {}
+    slews: Dict[Pin, float] = {}
+    predecessor: Dict[Pin, Tuple[Optional[Pin], str, str, float]] = {}
+    nets: Dict[str, ElaboratedNet] = {}
+
+    for port in design.inputs:
+        pin = Pin(Pin.PORT, port)
+        arrivals[pin] = (input_arrivals or {}).get(port, 0.0)
+        slews[pin] = (input_slews or {}).get(port, 0.0)
+
+    graph = design.instance_graph()
+    for node in nx.topological_sort(graph):
+        if node.startswith("in:") or node.startswith("out:"):
+            continue
+        inst = design.instances[node]
+        cell = inst.cell
+        worst: Optional[Tuple[float, float, Pin]] = None
+        for pin_name in cell.inputs:
+            pin = Pin(node, pin_name)
+            _propagate_net_to(design, pin, model, arrivals, slews,
+                              predecessor, nets, wire_load, net_overrides)
+            # Slew-dependent gate delay (Sec. III-B's sigma measure).
+            stage = cell.intrinsic_delay + cell.slew_impact * slews[pin]
+            t = arrivals[pin] + stage
+            if worst is None or t > worst[0]:
+                worst = (t, stage, pin)
+        assert worst is not None
+        out_pin = Pin(node, cell.output)
+        arrivals[out_pin] = worst[0]
+        slews[out_pin] = cell.output_slew  # the gate regenerates the edge
+        predecessor[out_pin] = (worst[2], "gate", node, worst[1])
+
+    # Primary outputs: pull their nets.
+    for port in design.outputs:
+        pin = Pin(Pin.PORT, port)
+        _propagate_net_to(design, pin, model, arrivals, slews,
+                          predecessor, nets, wire_load, net_overrides)
+
+    if not design.outputs:
+        raise TimingGraphError("design has no primary outputs")
+    critical_output = max(
+        design.outputs, key=lambda p: arrivals[Pin(Pin.PORT, p)]
+    )
+    return TimingResult(
+        arrival=arrivals,
+        slew=slews,
+        critical_delay=arrivals[Pin(Pin.PORT, critical_output)],
+        critical_output=critical_output,
+        nets=nets,
+        delay_model=delay_model,
+        _predecessor=predecessor,
+    )
+
+
+def _propagate_net_to(
+    design: Design,
+    sink: Pin,
+    model,
+    arrivals: Dict[Pin, float],
+    slews: Dict[Pin, float],
+    predecessor: Dict,
+    nets: Dict[str, ElaboratedNet],
+    wire_load,
+    net_overrides,
+) -> None:
+    """Ensure ``sink``'s arrival and slew are computed from its net."""
+    if sink in arrivals:
+        return
+    net_name = design.net_of(sink.instance, sink.pin)
+    net = design.nets[net_name]
+    if net_name not in nets:
+        override = (net_overrides or {}).get(net_name)
+        nets[net_name] = elaborate_net(
+            design, net, wire_load=wire_load, override=override
+        )
+    elaborated = nets[net_name]
+    cache = _delay_cache_of(elaborated)
+    if net_name not in cache:
+        cache[net_name] = model(elaborated)
+    if ("dispersion", net_name) not in cache:
+        cache[("dispersion", net_name)] = _net_dispersion(elaborated)
+    delays = cache[net_name]
+    dispersion = cache[("dispersion", net_name)]
+    driver = net.driver
+    if driver not in arrivals:
+        raise TimingGraphError(
+            f"net {net_name!r} driver {driver} has no arrival time "
+            "(disconnected from inputs?)"
+        )
+    base = arrivals[driver]
+    base_slew = slews[driver]
+    for s in net.sinks:
+        t = base + delays[s]
+        if s not in arrivals or t > arrivals[s]:
+            arrivals[s] = t
+            # mu_2 adds under convolution: sigma_out^2 = sigma_in^2 + mu_2.
+            slews[s] = (base_slew**2 + dispersion[s]) ** 0.5
+            predecessor[s] = (driver, "net", net_name, delays[s])
+
+
+def _delay_cache_of(elaborated: ElaboratedNet) -> Dict:
+    cache = getattr(elaborated, "_delay_cache", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(elaborated, "_delay_cache", cache)
+    return cache

@@ -1,0 +1,108 @@
+"""Seeded workload generators for benchmarks and property tests.
+
+Everything here is deterministic given its seed so benchmark rows are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._exceptions import ValidationError
+from repro.circuit.builders import balanced_tree, random_tree, rc_line
+from repro.circuit.rctree import RCTree
+
+__all__ = [
+    "random_tree_corpus",
+    "line_family",
+    "clock_tree_family",
+    "mixed_corpus",
+]
+
+
+def random_tree_corpus(
+    count: int,
+    size_range: Tuple[int, int] = (3, 40),
+    seed: int = 1995,
+    r_range: Tuple[float, float] = (10.0, 2000.0),
+    c_range: Tuple[float, float] = (1e-15, 2e-12),
+) -> List[RCTree]:
+    """A corpus of random RC trees spanning sizes and element decades.
+
+    Parameters
+    ----------
+    count:
+        Number of trees (>= 1).
+    size_range:
+        Inclusive ``(min, max)`` node-count range.
+    seed:
+        Base seed; tree ``k`` uses a derived deterministic stream.
+    """
+    if count < 1:
+        raise ValidationError("corpus needs at least one tree")
+    lo, hi = size_range
+    if not (1 <= lo <= hi):
+        raise ValidationError("size_range must satisfy 1 <= min <= max")
+    rng = np.random.default_rng(seed)
+    corpus = []
+    for _ in range(count):
+        n = int(rng.integers(lo, hi + 1))
+        corpus.append(
+            random_tree(n, rng=rng, r_range=r_range, c_range=c_range)
+        )
+    return corpus
+
+
+def line_family(
+    sizes: Tuple[int, ...] = (10, 30, 100, 300, 1000),
+    resistance: float = 10.0,
+    capacitance: float = 20e-15,
+    driver_resistance: float = 200.0,
+) -> List[RCTree]:
+    """Uniform RC lines of increasing length (for scaling benches)."""
+    return [
+        rc_line(
+            n,
+            resistance,
+            capacitance,
+            driver_resistance=driver_resistance,
+        )
+        for n in sizes
+    ]
+
+
+def clock_tree_family(
+    depths: Tuple[int, ...] = (3, 4, 5),
+    fanout: int = 2,
+    resistance: float = 40.0,
+    capacitance: float = 30e-15,
+    driver_resistance: float = 150.0,
+    leaf_load: float = 10e-15,
+) -> List[RCTree]:
+    """Balanced clock-distribution trees of increasing depth."""
+    return [
+        balanced_tree(
+            depth,
+            fanout,
+            resistance,
+            capacitance,
+            driver_resistance=driver_resistance,
+            leaf_load=leaf_load,
+        )
+        for depth in depths
+    ]
+
+
+def mixed_corpus(seed: int = 42) -> List[RCTree]:
+    """A small fixed mix of shapes (line, star-ish random, clock trees)
+    used by integration tests."""
+    corpus: List[RCTree] = []
+    corpus.append(rc_line(12, 50.0, 0.1e-12, driver_resistance=300.0))
+    corpus.append(
+        balanced_tree(4, 2, 60.0, 40e-15, driver_resistance=200.0,
+                      leaf_load=15e-15)
+    )
+    corpus.extend(random_tree_corpus(6, size_range=(4, 25), seed=seed))
+    return corpus

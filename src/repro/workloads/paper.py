@@ -1,0 +1,121 @@
+"""The paper's evaluation circuits, reconstructed.
+
+The paper prints its delay tables but not the element values of its
+circuits, so both were reverse-engineered (see ``scripts/calibrate_fig1.py``
+and DESIGN.md "Substitutions"):
+
+* :func:`fig1_tree` — the 7-node tree of Fig. 1.  Element values were
+  least-squares fitted so that *every* entry of Table I is reproduced:
+  actual delays 0.196/0.919/0.450 ns, Elmore 0.55/1.20/0.75 ns, lower
+  bounds 0/0.2/0 ns, and PRH bounds (including the untargeted ``t_min``
+  column: 0/0.517/0.055 ns versus the paper's 0/0.51/0.054 ns).
+
+* :func:`tree25` — the 25-node tree of Section IV-B.  A 25-section chain
+  whose Elmore delays at the probe nodes A/B/C match the paper's
+  0.02/1.13/1.56 ns, which reproduces Table II's relative-error pattern.
+
+Node naming: ``fig1_tree`` uses ``n1..n7`` so that node ``nK`` carries the
+capacitor ``C_K`` of the paper's figure; probes for Table I are
+``n1, n5, n7``.  ``tree25`` uses ``n1..n25`` with probes A = ``n1``,
+B = ``n13``, C = ``n25``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.circuit.rctree import RCTree
+
+__all__ = [
+    "fig1_tree",
+    "FIG1_PROBES",
+    "TABLE1_PAPER",
+    "tree25",
+    "TREE25_PROBES",
+    "TABLE2_PAPER",
+    "TABLE2_RISE_TIMES",
+]
+
+#: Fitted Fig. 1 element values: (parent, child, ohms, farads).
+_FIG1_ELEMENTS = (
+    ("in", "n1", 319.972, 2.69287e-13),
+    ("n1", "n2", 7.31933, 9.92256e-14),
+    ("n2", "n3", 484.501, 1.71861e-13),
+    ("n3", "n4", 175.758, 4.13908e-13),
+    ("n4", "n5", 348.712, 2.80322e-13),
+    ("n2", "n6", 370.184, 3.87813e-13),
+    ("n6", "n7", 104.796, 9.6483e-14),
+)
+
+#: Probe nodes of Table I (the paper's C1, C5, C7).
+FIG1_PROBES: Tuple[str, str, str] = ("n1", "n5", "n7")
+
+#: Table I as printed in the paper, in seconds:
+#: node -> (actual, elmore, lower_bound, ln2_elmore, prh_tmax, prh_tmin).
+TABLE1_PAPER: Dict[str, Tuple[float, ...]] = {
+    "n1": (0.196e-9, 0.55e-9, 0.0, 0.383e-9, 0.55e-9, 0.0),
+    "n5": (0.919e-9, 1.20e-9, 0.20e-9, 0.83e-9, 1.32e-9, 0.51e-9),
+    "n7": (0.450e-9, 0.75e-9, 0.0, 0.524e-9, 1.02e-9, 0.054e-9),
+}
+
+
+def fig1_tree() -> RCTree:
+    """The paper's Fig. 1 seven-node RC tree (fitted element values).
+
+    Topology: driver chain ``in - n1 - n2``, load branch
+    ``n2 - n3 - n4 - n5``, load branch ``n2 - n6 - n7``.
+    """
+    tree = RCTree("in")
+    for parent, child, res, cap in _FIG1_ELEMENTS:
+        tree.add_node(child, parent, res, cap)
+    return tree
+
+
+#: Probe nodes of Section IV-B: A (near driver), B (middle), C (leaf).
+TREE25_PROBES: Dict[str, str] = {"A": "n1", "B": "n13", "C": "n25"}
+
+#: Rise times of Table II, seconds.
+TABLE2_RISE_TIMES: Tuple[float, float, float] = (1e-9, 5e-9, 10e-9)
+
+#: Table II as printed: probe -> (elmore, then (delay, %error) per rise time).
+TABLE2_PAPER: Dict[str, Dict[str, object]] = {
+    "A": {
+        "elmore": 0.02e-9,
+        "delays": (0.01e-9, 18.0e-12, 19.0e-12),
+        "errors": (-1.04, -0.119, -0.0154),
+    },
+    "B": {
+        "elmore": 1.13e-9,
+        "delays": (0.72e-9, 1.06e-9, 1.116e-9),
+        "errors": (-0.547, -0.065, -0.0086),
+    },
+    "C": {
+        "elmore": 1.56e-9,
+        "delays": (1.2e-9, 1.48e-9, 1.547e-9),
+        "errors": (-0.296, -0.048, -0.0064),
+    },
+}
+
+
+def tree25() -> RCTree:
+    """The 25-node tree of Section IV-B (Figs. 13-14, Table II).
+
+    A 25-section RC chain: 8 ohm driver into node 1, 50 ohm sections to
+    node 13, 55.128 ohm sections to node 25, 0.1 pF per node — chosen so
+    the Elmore delays at the A/B/C probes match the paper's
+    0.02/1.13/1.56 ns.
+    """
+    cap = 0.1e-12
+    tree = RCTree("in")
+    parent = "in"
+    for k in range(1, 26):
+        if k == 1:
+            res = 8.0
+        elif k <= 13:
+            res = 50.0
+        else:
+            res = 55.128
+        name = f"n{k}"
+        tree.add_node(name, parent, res, cap)
+        parent = name
+    return tree

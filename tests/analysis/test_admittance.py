@@ -1,0 +1,128 @@
+"""Unit tests for driving-point admittance and the pi-model."""
+
+import numpy as np
+import pytest
+
+from repro import RCTree
+from repro._exceptions import AnalysisError
+from repro.analysis.admittance import (
+    PiModel,
+    pi_model,
+    pi_model_from_moments,
+    stage_central_moments,
+    subtree_admittance_moments,
+)
+from repro.core.moments import admittance_moments, transfer_moments
+
+
+class TestPiModel:
+    def test_single_rc_recovers_elements(self, single_rc):
+        pi = pi_model(single_rc)
+        assert pi.r2 == pytest.approx(1000.0)
+        assert pi.c2 == pytest.approx(1e-12)
+        assert pi.c1 == pytest.approx(0.0, abs=1e-24)
+
+    def test_matches_first_three_moments(self, corpus):
+        """The defining property (eq. 26): exact 3-moment match."""
+        for tree in corpus:
+            pi = pi_model(tree)
+            expected = admittance_moments(tree, 3)
+            np.testing.assert_allclose(
+                pi.admittance_moments(), expected, rtol=1e-9, atol=1e-40
+            )
+
+    def test_elements_nonnegative(self, corpus):
+        for tree in corpus:
+            pi = pi_model(tree)
+            assert pi.c1 >= 0.0
+            assert pi.c2 >= 0.0
+            assert pi.r2 >= 0.0
+
+    def test_total_capacitance_preserved(self, fig1):
+        pi = pi_model(fig1)
+        assert pi.total_capacitance == pytest.approx(
+            fig1.total_capacitance()
+        )
+
+    def test_degenerate_pure_capacitor(self):
+        pi = pi_model_from_moments(np.array([0.0, 2e-12, 0.0, 0.0]))
+        assert pi.c1 == pytest.approx(2e-12)
+        assert pi.r2 == 0.0 and pi.c2 == 0.0
+
+    def test_unrealizable_moments_rejected(self):
+        with pytest.raises(AnalysisError):
+            pi_model_from_moments(np.array([0.0, 1e-12, +1e-21, 1e-33]))
+        with pytest.raises(AnalysisError):
+            pi_model_from_moments(np.array([0.0, -1e-12, -1e-21, 1e-33]))
+        with pytest.raises(AnalysisError):
+            pi_model_from_moments(np.array([0.0, 1e-12]))
+
+
+class TestSubtreeAdmittance:
+    def test_leaf_is_bare_capacitor(self, branched_tree):
+        m = subtree_admittance_moments(branched_tree, "b1")
+        assert m[1] == pytest.approx(0.05e-12)
+        assert m[2] == 0.0 and m[3] == 0.0
+
+    def test_root_child_vs_whole_tree(self, simple_line):
+        """Subtree at n1 = whole tree minus the first resistor; its m1 is
+        the total capacitance."""
+        m = subtree_admittance_moments(simple_line, "n1")
+        assert m[1] == pytest.approx(simple_line.total_capacitance())
+
+    def test_capless_subtree_rejected(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 10.0, 1e-12)
+        tree.add_node("b", "a", 10.0, 0.0)
+        with pytest.raises(AnalysisError):
+            subtree_admittance_moments(tree, "b")
+
+
+class TestStageCentralMoments:
+    def test_formulas_match_direct_computation(self):
+        """Eqs. (28)-(29) against moments computed on the actual 3-element
+        circuit."""
+        r1, c1, r2, c2 = 120.0, 0.3e-12, 450.0, 0.8e-12
+        pi = PiModel(c1=c1, r2=r2, c2=c2)
+        mu2, mu3 = stage_central_moments(r1, pi)
+
+        tree = RCTree("in")
+        tree.add_node("n1", "in", r1, c1)
+        tree.add_node("n2", "n1", r2, c2)
+        moments = transfer_moments(tree, 3)
+        assert mu2 == pytest.approx(moments.variance("n1"), rel=1e-12)
+        assert mu3 == pytest.approx(
+            moments.third_central_moment("n1"), rel=1e-12
+        )
+
+    def test_nonnegativity(self, rng):
+        """The Lemma 2 heart: both central moments are nonnegative for any
+        element values."""
+        for _ in range(50):
+            r1, r2 = rng.uniform(1, 1e4, 2)
+            c1, c2 = rng.uniform(1e-15, 1e-11, 2)
+            mu2, mu3 = stage_central_moments(r1, PiModel(c1=c1, r2=r2, c2=c2))
+            assert mu2 >= 0.0
+            assert mu3 >= 0.0
+
+    def test_bad_resistance_rejected(self):
+        with pytest.raises(AnalysisError):
+            stage_central_moments(0.0, PiModel(c1=1e-12, r2=1.0, c2=1e-12))
+
+
+class TestLemma2Pipeline:
+    def test_pi_of_subtree_gives_nonneg_stage_moments(self, corpus):
+        """Walk each tree edge as Fig. 9's induction step: the stage
+        (parent-edge R, pi of downstream admittance) always has
+        nonnegative mu2/mu3."""
+        for tree in corpus[:5]:
+            for name in tree.node_names:
+                view = tree.node(name)
+                try:
+                    moments = subtree_admittance_moments(tree, name)
+                except AnalysisError:
+                    continue  # capless subtree
+                pi = pi_model_from_moments(moments)
+                mu2, mu3 = stage_central_moments(view.resistance, pi)
+                assert mu2 >= 0.0
+                assert mu3 >= 0.0

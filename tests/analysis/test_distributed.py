@@ -1,0 +1,105 @@
+"""Tests for the distributed RC line (continuous diffusion moments)."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import AnalysisError, ValidationError
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.analysis.distributed import DistributedLine
+from repro.core import transfer_moments
+
+
+class TestClosedForms:
+    def test_bare_wire_elmore_is_half_rc(self):
+        line = DistributedLine(resistance=1000.0, capacitance=2e-12)
+        assert line.elmore_delay() == pytest.approx(1000.0 * 2e-12 / 2)
+
+    def test_driver_and_load_terms(self):
+        rd, r, c, cl = 150.0, 800.0, 1.5e-12, 0.4e-12
+        line = DistributedLine(r, c, driver_resistance=rd,
+                               load_capacitance=cl)
+        expected = rd * (c + cl) + r * c / 2 + r * cl
+        assert line.elmore_delay() == pytest.approx(expected)
+
+    def test_zeroth_moment_everywhere(self):
+        line = DistributedLine(500.0, 1e-12, 100.0, 0.2e-12)
+        for pos in (0.0, 0.3, 0.7, 1.0):
+            m = line.transfer_coefficients(3, pos)
+            assert m[0] == pytest.approx(1.0)
+
+    def test_midpoint_elmore_formula(self):
+        """At fraction p of a bare wire: T_D(p) = R C p (1 - p/2)
+        (integral of the downstream-capacitance profile)."""
+        r, c = 1000.0, 2e-12
+        line = DistributedLine(r, c)
+        for p in (0.25, 0.5, 0.75, 1.0):
+            expected = r * c * p * (1 - p / 2)
+            assert line.elmore_delay(p) == pytest.approx(expected)
+
+    def test_variance_positive_and_skewness_positive(self):
+        line = DistributedLine(1000.0, 2e-12, 100.0, 0.1e-12)
+        for pos in (0.2, 0.6, 1.0):
+            assert line.variance(pos) > 0.0
+            assert line.skewness(pos) > 0.0
+
+    def test_skew_decreases_downstream(self):
+        """The continuous analog of Fig. 13."""
+        line = DistributedLine(1000.0, 2e-12, driver_resistance=10.0)
+        gammas = [line.skewness(p) for p in (0.1, 0.5, 1.0)]
+        assert gammas[0] > gammas[1] > gammas[2] > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            DistributedLine(0.0, 1e-12)
+        with pytest.raises(ValidationError):
+            DistributedLine(1.0, 1e-12, driver_resistance=-1.0)
+        line = DistributedLine(1.0, 1e-12)
+        with pytest.raises(AnalysisError):
+            line.transfer_coefficients(2, position=1.5)
+        with pytest.raises(AnalysisError):
+            line.transfer_coefficients(-1)
+        with pytest.raises(ValidationError):
+            line.ladder(0)
+
+
+class TestLadderConvergence:
+    LINE = DistributedLine(800.0, 1.6e-12, driver_resistance=120.0,
+                           load_capacitance=0.3e-12)
+
+    def test_ladder_elmore_matches_exactly(self):
+        """The pi ladder preserves the far-end Elmore delay at ANY section
+        count (half-caps at both ends reproduce the integral exactly)."""
+        target = self.LINE.elmore_delay()
+        for n in (1, 4, 16):
+            tree = self.LINE.ladder(n)
+            moments = transfer_moments(tree, 1)
+            assert moments.mean(f"x{n}") == pytest.approx(target, rel=1e-12)
+
+    def test_higher_moments_converge(self):
+        target = self.LINE.transfer_coefficients(3)
+        errors = []
+        for n in (2, 8, 32):
+            tree = self.LINE.ladder(n)
+            got = transfer_moments(tree, 3).at(f"x{n}")
+            errors.append(float(np.max(np.abs(got - target) /
+                                       np.abs(target))))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 1e-3
+
+    def test_exact_delay_within_distributed_bounds(self):
+        """A finely lumped wire's measured delay obeys the continuous
+        wire's bound pair."""
+        lower, upper = self.LINE.delay_bounds()
+        tree = self.LINE.ladder(64)
+        measured = measure_delay(tree, "x64")
+        assert lower - 1e-14 <= measured <= upper * (1 + 1e-3)
+
+    def test_bare_wire_t50_ratio(self):
+        """For a bare distributed wire the 50% delay is ~0.38 R C — the
+        classic factor — versus the Elmore bound 0.5 R C."""
+        line = DistributedLine(1000.0, 2e-12)
+        tree = line.ladder(128)
+        measured = measure_delay(tree, "x128")
+        rc = 1000.0 * 2e-12
+        assert measured == pytest.approx(0.379 * rc, rel=2e-2)
+        assert measured <= line.elmore_delay()

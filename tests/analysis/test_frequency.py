@@ -1,0 +1,58 @@
+"""Tests for frequency-domain evaluation of RC-tree transfers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExactAnalysis
+from repro.core import elmore_delay
+
+
+class TestFrequencyResponse:
+    def test_single_pole_analytic(self, single_rc):
+        tf = ExactAnalysis(single_rc).transfer("out")
+        tau = 1e-9
+        omega = np.array([0.0, 1e8, 1e9, 1e10])
+        expected = 1.0 / (1.0 + 1j * omega * tau)
+        np.testing.assert_allclose(
+            tf.frequency_response(omega), expected, rtol=1e-10
+        )
+
+    def test_dc_value_is_unity(self, fig1):
+        analysis = ExactAnalysis(fig1)
+        for node in fig1.node_names:
+            h0 = complex(analysis.transfer(node).frequency_response(
+                np.asarray(0.0)
+            ))
+            assert h0 == pytest.approx(1.0 + 0.0j)
+
+    def test_magnitude_rolls_off(self, fig1):
+        tf = ExactAnalysis(fig1).transfer("n5")
+        omega = np.geomspace(1e6, 1e13, 200)
+        mags = np.abs(tf.frequency_response(omega))
+        assert np.all(np.diff(mags) <= 1e-12)
+        assert mags[-1] < 1e-3
+
+    def test_single_pole_bandwidth(self, single_rc):
+        tf = ExactAnalysis(single_rc).transfer("out")
+        assert tf.bandwidth_3db() == pytest.approx(1e9, rel=1e-9)
+
+    def test_elmore_bandwidth_relation(self, fig1, corpus):
+        """1 / T_D tracks the true 3 dB bandwidth within a small factor
+        across circuits (the Elmore value as a bandwidth estimate)."""
+        for tree in [fig1] + corpus[:4]:
+            analysis = ExactAnalysis(tree)
+            leaf = tree.leaves()[0]
+            bw = analysis.transfer(leaf).bandwidth_3db()
+            estimate = 1.0 / elmore_delay(tree, leaf)
+            assert 0.3 < bw / estimate < 3.5
+
+    def test_moment_expansion_matches_low_frequency(self, fig1):
+        """H(jw) ~ 1 + m1 (jw) + m2 (jw)^2 at low frequency."""
+        from repro.core import transfer_moments
+        tf = ExactAnalysis(fig1).transfer("n5")
+        m = transfer_moments(fig1, 2).at("n5")
+        w = 1e6  # well below the first pole (~1e9)
+        jw = 1j * w
+        series = 1.0 + m[1] * jw + m[2] * jw**2
+        exact = complex(tf.frequency_response(np.asarray(w)))
+        assert exact == pytest.approx(series, rel=1e-6)

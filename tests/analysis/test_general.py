@@ -1,0 +1,199 @@
+"""Tests for general RC networks — and the boundary of the theorems."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import AnalysisError, TopologyError, ValidationError
+from repro.analysis import ExactAnalysis
+from repro.analysis.general import GeneralAnalysis, GeneralRCNetwork
+from repro.signals import SaturatedRamp, StepInput
+from repro.workloads import fig1_tree
+
+
+def tree_as_general(tree):
+    """Re-express an RCTree as a GeneralRCNetwork."""
+    net = GeneralRCNetwork()
+    net.add_source(tree.input_node)
+    for name in tree.node_names:
+        cap = tree.node(name).capacitance
+        net.add_node(name, cap if cap > 0 else 1e-20)
+    for name in tree.node_names:
+        view = tree.node(name)
+        net.add_resistor(view.parent, name, view.resistance)
+    return net
+
+
+class TestTreeEquivalence:
+    def test_fig1_poles_and_waveforms_match(self, fig1):
+        general = GeneralAnalysis(tree_as_general(fig1))
+        tree_engine = ExactAnalysis(fig1)
+        np.testing.assert_allclose(
+            general.poles, tree_engine.poles, rtol=1e-8
+        )
+        t = np.linspace(0, 6e-9, 200)
+        for node in ("n1", "n5", "n7"):
+            np.testing.assert_allclose(
+                general.transfer(node, "in").step_response(t),
+                tree_engine.step_response(node, t),
+                atol=1e-9,
+            )
+
+    def test_dc_gain_unity_for_trees(self, fig1):
+        general = GeneralAnalysis(tree_as_general(fig1))
+        for node in fig1.node_names:
+            assert general.dc_gains(node)["in"] == pytest.approx(1.0)
+
+
+class TestGroundedResistors:
+    def test_resistive_divider_dc(self):
+        """Source -R1- n1 -R2- ground: DC gain is the divider ratio."""
+        net = GeneralRCNetwork()
+        net.add_source("in")
+        net.add_node("n1", 1e-12)
+        net.add_resistor("in", "n1", 300.0)
+        net.add_resistor("n1", "0", 700.0)
+        analysis = GeneralAnalysis(net)
+        assert analysis.dc_gains("n1")["in"] == pytest.approx(0.7)
+
+    def test_pole_of_parallel_combination(self):
+        net = GeneralRCNetwork()
+        net.add_source("in")
+        net.add_node("n1", 1e-12)
+        net.add_resistor("in", "n1", 300.0)
+        net.add_resistor("n1", "0", 700.0)
+        analysis = GeneralAnalysis(net)
+        r_parallel = 300.0 * 700.0 / 1000.0
+        assert analysis.poles[0] == pytest.approx(
+            1.0 / (r_parallel * 1e-12), rel=1e-9
+        )
+
+
+class TestResistorMesh:
+    def test_bridged_path_speeds_response(self):
+        """Adding a resistive bridge around a slow path reduces delay —
+        exactly the structure RC-tree engines cannot represent."""
+        def build(bridge):
+            net = GeneralRCNetwork()
+            net.add_source("in")
+            for name in ("a", "b", "c"):
+                net.add_node(name, 0.3e-12)
+            net.add_resistor("in", "a", 200.0)
+            net.add_resistor("a", "b", 500.0)
+            net.add_resistor("b", "c", 500.0)
+            if bridge:
+                net.add_resistor("a", "c", 300.0)
+            return GeneralAnalysis(net)
+
+        t = np.linspace(0, 3e-9, 800)
+        slow = build(False).transfer("c", "in").step_response(t)
+        fast = build(True).transfer("c", "in").step_response(t)
+        # The bridged network reaches 50% sooner.
+        assert np.argmax(fast >= 0.5) < np.argmax(slow >= 0.5)
+
+
+class TestCrosstalk:
+    @pytest.fixture
+    def coupled_pair(self):
+        net = GeneralRCNetwork()
+        net.add_source("agg_in")
+        net.add_source("vic_in")
+        net.add_node("agg", 60e-15)
+        net.add_node("vic", 60e-15)
+        net.add_resistor("agg_in", "agg", 300.0)
+        net.add_resistor("vic_in", "vic", 300.0)
+        net.add_coupling_capacitor("agg", "vic", 40e-15)
+        return GeneralAnalysis(net)
+
+    def test_quiet_victim_sees_a_bump(self, coupled_pair):
+        """Aggressor switches, victim held low: the victim waveform is a
+        positive bump that returns to zero — NOT monotonic, NOT a CDF of
+        any density.  The tree hypothesis is what rules this out in the
+        paper; without it, mean/median reasoning (the Elmore bound) does
+        not even type-check."""
+        t = np.linspace(0, 3e-9, 3000)
+        victim = coupled_pair.response(
+            "vic", {"agg_in": StepInput()}, t
+        )
+        assert np.max(victim) > 0.05          # a real bump
+        assert victim[-1] == pytest.approx(0.0, abs=1e-6)  # returns to 0
+        diffs = np.diff(victim)
+        assert np.any(diffs > 1e-9) and np.any(diffs < -1e-9)  # up & down
+
+    def test_coupling_slows_odd_mode(self, coupled_pair):
+        """Victim switching opposite to the aggressor is slower than
+        switching alone (Miller effect) — measured on the real waveform."""
+        t = np.linspace(0, 5e-9, 5000)
+        alone = coupled_pair.response(
+            "vic", {"vic_in": StepInput()}, t
+        )
+        # Odd mode: aggressor falls while victim rises == victim rises
+        # with aggressor contribution of a *negative* step. Build it by
+        # superposition: v = H_vic*u - H_agg->vic*u.
+        odd = coupled_pair.response(
+            "vic", {"vic_in": StepInput()}, t
+        ) - coupled_pair.response("vic", {"agg_in": StepInput()}, t)
+        t50_alone = t[np.argmax(alone >= 0.5)]
+        t50_odd = t[np.argmax(odd >= 0.5)]
+        assert t50_odd > t50_alone
+
+    def test_even_mode_matches_uncoupled(self, coupled_pair):
+        """Both nets switching together: the coupling cap carries no
+        charge and the response equals the uncoupled RC."""
+        t = np.linspace(0, 5e-9, 500)
+        even = coupled_pair.response(
+            "vic", {"vic_in": StepInput(), "agg_in": StepInput()}, t
+        )
+        expected = 1.0 - np.exp(-t / (300.0 * 60e-15))
+        np.testing.assert_allclose(even, expected, atol=1e-6)
+
+
+class TestValidation:
+    def test_duplicate_names(self):
+        net = GeneralRCNetwork()
+        net.add_source("in")
+        with pytest.raises(TopologyError):
+            net.add_node("in", 1e-12)
+        net.add_node("a", 1e-12)
+        with pytest.raises(TopologyError):
+            net.add_source("a")
+
+    def test_bad_elements(self):
+        net = GeneralRCNetwork()
+        net.add_source("in")
+        net.add_node("a", 1e-12)
+        with pytest.raises(ValidationError):
+            net.add_node("b", 0.0)
+        with pytest.raises(ValidationError):
+            net.add_resistor("in", "a", 0.0)
+        with pytest.raises(TopologyError):
+            net.add_resistor("in", "ghost", 10.0)
+        with pytest.raises(TopologyError):
+            net.add_coupling_capacitor("in", "a", 1e-15)
+
+    def test_floating_node_detected(self):
+        net = GeneralRCNetwork()
+        net.add_source("in")
+        net.add_node("a", 1e-12)
+        net.add_node("floating", 1e-12)
+        net.add_resistor("in", "a", 100.0)
+        with pytest.raises(AnalysisError):
+            GeneralAnalysis(net)
+
+    def test_empty_network(self):
+        net = GeneralRCNetwork()
+        with pytest.raises(ValidationError):
+            net.assemble()
+        net.add_source("in")
+        with pytest.raises(ValidationError):
+            net.assemble()
+
+    def test_unknown_lookup(self):
+        net = GeneralRCNetwork()
+        net.add_source("in")
+        net.add_node("a", 1e-12)
+        net.add_resistor("in", "a", 100.0)
+        analysis = GeneralAnalysis(net)
+        with pytest.raises(TopologyError):
+            analysis.transfer("ghost", "in")
+        with pytest.raises(TopologyError):
+            analysis.transfer("a", "ghost")

@@ -1,0 +1,64 @@
+"""Unit tests for MNA stamping."""
+
+import numpy as np
+import pytest
+
+from repro import RCTree
+from repro._exceptions import AnalysisError
+from repro.analysis.mna import build_mna, mna_transfer_moments
+
+
+class TestBuildMNA:
+    def test_single_rc(self, single_rc):
+        system = build_mna(single_rc)
+        assert system.size == 1
+        np.testing.assert_allclose(system.conductance, [[1e-3]])
+        np.testing.assert_allclose(system.capacitance, [1e-12])
+        np.testing.assert_allclose(system.input_vector, [1e-3])
+
+    def test_line_tridiagonal(self, simple_line):
+        system = build_mna(simple_line)
+        g = system.conductance
+        # Off-tridiagonal entries are zero for a chain.
+        for i in range(5):
+            for j in range(5):
+                if abs(i - j) > 1:
+                    assert g[i, j] == 0.0
+        # Interior diagonal = sum of the two adjacent conductances.
+        assert g[1, 1] == pytest.approx(2 / 100.0)
+        assert g[4, 4] == pytest.approx(1 / 100.0)
+
+    def test_symmetry(self, corpus):
+        for tree in corpus:
+            g = build_mna(tree).conductance
+            np.testing.assert_allclose(g, g.T)
+
+    def test_input_vector_only_at_root_children(self, branched_tree):
+        system = build_mna(branched_tree)
+        b = system.input_vector
+        idx = branched_tree.index_of("trunk")
+        assert b[idx] == pytest.approx(1 / 200.0)
+        assert np.count_nonzero(b) == 1
+
+    def test_row_sums(self, branched_tree):
+        """G row sums equal the input coupling (KCL: currents balance)."""
+        system = build_mna(branched_tree)
+        np.testing.assert_allclose(
+            system.conductance.sum(axis=1), system.input_vector, atol=1e-18
+        )
+
+    def test_positive_definite(self, corpus):
+        for tree in corpus:
+            g = build_mna(tree).conductance
+            eigvals = np.linalg.eigvalsh(g)
+            assert np.all(eigvals > 0.0)
+
+
+class TestMNAMoments:
+    def test_dc_solution_is_unity(self, fig1):
+        m = mna_transfer_moments(fig1, 0)
+        np.testing.assert_allclose(m[0], 1.0, rtol=1e-12)
+
+    def test_negative_order_rejected(self, fig1):
+        with pytest.raises(AnalysisError):
+            mna_transfer_moments(fig1, -1)

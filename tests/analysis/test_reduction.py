@@ -1,0 +1,122 @@
+"""Tests for hierarchical pi-collapse reduction."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ValidationError
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.analysis.reduction import collapse_subtree, reduce_tree
+from repro.circuit import balanced_tree, rc_line
+from repro.core import delay_bounds, transfer_moments
+from repro.workloads import fig1_tree
+
+
+class TestCollapseSubtree:
+    def test_size_shrinks(self, fig1):
+        reduced = collapse_subtree(fig1, "n3")
+        # n3's subtree (n3, n4, n5) becomes n3 + one pi node.
+        assert reduced.num_nodes == fig1.num_nodes - 1
+        assert "n4" not in reduced
+        assert "n3#pi" in reduced
+
+    def test_total_capacitance_preserved(self, fig1):
+        reduced = collapse_subtree(fig1, "n3")
+        assert reduced.total_capacitance() == pytest.approx(
+            fig1.total_capacitance(), rel=1e-12
+        )
+
+    def test_upstream_moments_exact_to_order3(self, fig1):
+        reduced = collapse_subtree(fig1, "n3")
+        full = transfer_moments(fig1, 3)
+        red = transfer_moments(reduced, 3)
+        for name in ("n1", "n2", "n6", "n7"):
+            np.testing.assert_allclose(
+                red.at(name), full.at(name), rtol=1e-12
+            )
+
+    def test_upstream_bounds_identical(self, fig1):
+        reduced = collapse_subtree(fig1, "n3")
+        for name in ("n1", "n7"):
+            b_full = delay_bounds(fig1, name)
+            b_red = delay_bounds(reduced, name)
+            assert b_red.upper == pytest.approx(b_full.upper, rel=1e-12)
+            assert b_red.lower == pytest.approx(b_full.lower, rel=1e-12)
+
+    def test_fourth_moment_differs(self, fig1):
+        """Order 3 is the guarantee; order 4 is generally NOT preserved
+        (this is what makes the test above meaningful)."""
+        reduced = collapse_subtree(fig1, "n3")
+        full = transfer_moments(fig1, 4).at("n7")[4]
+        red = transfer_moments(reduced, 4).at("n7")[4]
+        rel = abs(red - full) / abs(full)
+        assert rel > 1e-6   # visibly different at order 4...
+        assert rel < 1e-2   # ...though still small (good reduced model)
+
+    def test_upstream_exact_delay_close(self, fig1):
+        """The exact (all-order) delay upstream moves only slightly."""
+        reduced = collapse_subtree(fig1, "n3")
+        d_full = measure_delay(fig1, "n7")
+        d_red = measure_delay(reduced, "n7")
+        assert d_red == pytest.approx(d_full, rel=5e-2)
+
+    def test_invalid_targets(self, fig1):
+        with pytest.raises(ValidationError):
+            collapse_subtree(fig1, "in")
+        with pytest.raises(ValidationError):
+            collapse_subtree(fig1, "ghost")
+
+
+class TestReduceTree:
+    def test_clock_tree_reduction(self):
+        tree = balanced_tree(6, 2, 30.0, 20e-15, driver_resistance=100.0,
+                             leaf_load=5e-15)
+        leaf = tree.leaves()[0]
+        reduced = reduce_tree(tree, [leaf])
+        assert reduced.num_nodes < tree.num_nodes / 2
+        # Observed node's moments to order 3 are exact.
+        full = transfer_moments(tree, 3).at(leaf)
+        red = transfer_moments(reduced, 3).at(leaf)
+        np.testing.assert_allclose(red, full, rtol=1e-10)
+
+    def test_observed_bounds_preserved(self):
+        tree = balanced_tree(5, 3, 40.0, 15e-15, leaf_load=8e-15)
+        leaf = tree.leaves()[-1]
+        reduced = reduce_tree(tree, [leaf])
+        b_full = delay_bounds(tree, leaf)
+        b_red = delay_bounds(reduced, leaf)
+        assert b_red.upper == pytest.approx(b_full.upper, rel=1e-10)
+        assert b_red.lower == pytest.approx(b_full.lower, rel=1e-10)
+
+    def test_multiple_observed(self, fig1):
+        reduced = reduce_tree(fig1, ["n5", "n7"])
+        full = transfer_moments(fig1, 3)
+        red = transfer_moments(reduced, 3)
+        for name in ("n5", "n7"):
+            np.testing.assert_allclose(
+                red.at(name), full.at(name), rtol=1e-12
+            )
+
+    def test_spine_only_tree_unchanged(self):
+        line = rc_line(6, 100.0, 0.1e-12)
+        reduced = reduce_tree(line, ["n6"])
+        assert reduced.num_nodes == line.num_nodes
+
+    def test_validation(self, fig1):
+        with pytest.raises(ValidationError):
+            reduce_tree(fig1, [])
+        with pytest.raises(ValidationError):
+            reduce_tree(fig1, ["ghost"])
+
+    def test_large_tree_speedup_structure(self):
+        """A 1023-node clock tree reduces to a thin spine + pi stubs."""
+        tree = balanced_tree(10, 2, 25.0, 8e-15, leaf_load=4e-15)
+        leaf = tree.leaves()[0]
+        reduced = reduce_tree(tree, [leaf])
+        # Spine depth is 10; each spine node sheds one sibling subtree
+        # which becomes at most two nodes (kept root + pi section).
+        assert reduced.num_nodes <= 3 * 10
+        full = transfer_moments(tree, 2)
+        red = transfer_moments(reduced, 2)
+        assert red.mean(leaf) == pytest.approx(full.mean(leaf), rel=1e-10)
+        assert red.sigma(leaf) == pytest.approx(full.sigma(leaf),
+                                                rel=1e-10)

@@ -1,0 +1,151 @@
+"""Unit tests for response measurement (delays, rise times, sampling)."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import AnalysisError
+from repro.analysis import (
+    ExactAnalysis,
+    actual_delay,
+    measure_delay,
+    output_rise_time,
+    sample_waveform,
+    threshold_crossing,
+)
+from repro.signals import ExponentialInput, SaturatedRamp, StepInput
+
+
+class TestThresholdCrossing:
+    def test_single_pole_analytic(self, single_rc):
+        transfer = ExactAnalysis(single_rc).transfer("out")
+        tau = 1e-9
+        for v in (0.1, 0.5, 0.9):
+            expected = -tau * np.log(1 - v)
+            assert threshold_crossing(transfer, threshold=v) == \
+                pytest.approx(expected, rel=1e-10)
+
+    def test_threshold_validation(self, single_rc):
+        transfer = ExactAnalysis(single_rc).transfer("out")
+        with pytest.raises(AnalysisError):
+            threshold_crossing(transfer, threshold=0.0)
+        with pytest.raises(AnalysisError):
+            threshold_crossing(transfer, threshold=1.0)
+
+    def test_crossings_ordered_in_threshold(self, fig1):
+        transfer = ExactAnalysis(fig1).transfer("n5")
+        times = [
+            threshold_crossing(transfer, threshold=v)
+            for v in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+
+class TestMeasureDelay:
+    def test_step_reference_is_zero(self, single_rc):
+        assert measure_delay(single_rc, "out") == pytest.approx(
+            1e-9 * np.log(2), rel=1e-10
+        )
+
+    def test_ramp_measured_from_input_t50(self, single_rc):
+        """For one pole driven by a slow ramp the delay from the input's
+        midpoint approaches tau (the Elmore value), not tau ln2."""
+        tau = 1e-9
+        slow = measure_delay(single_rc, "out", SaturatedRamp(100e-9))
+        assert slow == pytest.approx(tau, rel=2e-2)
+
+    def test_nonstandard_threshold_references_input(self, fig1):
+        """At threshold != 0.5 the reference is the input's own crossing."""
+        signal = SaturatedRamp(2e-9)
+        d = measure_delay(fig1, "n5", signal, threshold=0.9)
+        analysis = ExactAnalysis(fig1)
+        absolute = threshold_crossing(
+            analysis.transfer("n5"), signal, threshold=0.9
+        )
+        assert d == pytest.approx(absolute - 0.9 * 2e-9, rel=1e-9)
+
+    def test_accepts_tree_analysis_or_transfer(self, fig1):
+        analysis = ExactAnalysis(fig1)
+        transfer = analysis.transfer("n5")
+        d_tree = measure_delay(fig1, "n5")
+        d_analysis = measure_delay(analysis, "n5")
+        d_transfer = measure_delay(transfer)
+        assert d_tree == pytest.approx(d_analysis, rel=1e-12)
+        assert d_tree == pytest.approx(d_transfer, rel=1e-12)
+
+    def test_node_required_with_analysis(self, fig1):
+        with pytest.raises(AnalysisError):
+            measure_delay(ExactAnalysis(fig1))
+
+    def test_delay_nonnegative(self, corpus):
+        """Causality: the output never leads the input."""
+        for tree in corpus[:5]:
+            analysis = ExactAnalysis(tree)
+            for name in tree.node_names:
+                for signal in (StepInput(), SaturatedRamp(1e-9),
+                               ExponentialInput(0.3e-9)):
+                    assert measure_delay(analysis, name, signal) >= 0.0
+
+
+class TestOutputRiseTime:
+    def test_single_pole_ln9(self, single_rc):
+        assert output_rise_time(single_rc, "out") == pytest.approx(
+            1e-9 * np.log(9), rel=1e-9
+        )
+
+    def test_custom_fractions(self, single_rc):
+        tau = 1e-9
+        tr = output_rise_time(single_rc, "out", low=0.2, high=0.8)
+        assert tr == pytest.approx(tau * np.log(0.8 / 0.2), rel=1e-9)
+
+    def test_fraction_validation(self, single_rc):
+        with pytest.raises(AnalysisError):
+            output_rise_time(single_rc, "out", low=0.9, high=0.1)
+
+    def test_slow_input_stretches_rise_time(self, fig1):
+        fast = output_rise_time(fig1, "n5")
+        slow = output_rise_time(fig1, "n5", signal=SaturatedRamp(10e-9))
+        assert slow > fast
+
+
+class TestSampleWaveform:
+    def test_shape_and_endpoints(self, fig1):
+        t, v = sample_waveform(fig1, "n5", num=501)
+        assert t.shape == v.shape == (501,)
+        assert t[0] == 0.0
+        assert v[0] == pytest.approx(0.0, abs=1e-12)
+        assert v[-1] == pytest.approx(1.0, rel=1e-4)
+
+    def test_explicit_horizon(self, fig1):
+        t, _ = sample_waveform(fig1, "n5", horizon=3e-9, num=11)
+        assert t[-1] == pytest.approx(3e-9)
+
+    def test_bad_args(self, fig1):
+        with pytest.raises(AnalysisError):
+            sample_waveform(fig1, "n5", num=1)
+
+
+class TestActualDelay:
+    def test_measurement_record(self, fig1):
+        m = actual_delay(fig1, "n5")
+        assert m.node == "n5"
+        assert m.threshold == 0.5
+        assert m.signal == "step"
+        assert m.delay == pytest.approx(0.919e-9, rel=1e-2)
+
+    def test_reuses_analysis(self, fig1):
+        analysis = ExactAnalysis(fig1)
+        m1 = actual_delay(fig1, "n5", analysis=analysis)
+        m2 = actual_delay(fig1, "n5")
+        assert m1.delay == pytest.approx(m2.delay, rel=1e-12)
+
+    def test_table1_column1(self, fig1):
+        """Column (1) of Table I."""
+        assert actual_delay(fig1, "n1").delay == pytest.approx(
+            0.196e-9, rel=1e-2
+        )
+        assert actual_delay(fig1, "n5").delay == pytest.approx(
+            0.919e-9, rel=1e-2
+        )
+        assert actual_delay(fig1, "n7").delay == pytest.approx(
+            0.450e-9, rel=1e-2
+        )

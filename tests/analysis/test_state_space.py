@@ -1,0 +1,235 @@
+"""Unit tests for the exact pole/residue engine."""
+
+import numpy as np
+import pytest
+
+from repro import RCTree
+from repro._exceptions import AnalysisError
+from repro.analysis.state_space import ExactAnalysis, PoleResidueTransfer
+from repro.core.moments import transfer_moments
+from repro.signals import SaturatedRamp, StepInput
+
+
+class TestSingleRC:
+    TAU = 1e-9
+
+    @pytest.fixture
+    def transfer(self, single_rc):
+        return ExactAnalysis(single_rc).transfer("out")
+
+    def test_pole_location(self, transfer):
+        assert transfer.poles.shape == (1,)
+        assert transfer.poles[0] == pytest.approx(1.0 / self.TAU)
+
+    def test_dc_gain_unity(self, transfer):
+        assert transfer.dc_gain == pytest.approx(1.0)
+
+    def test_impulse_response_analytic(self, transfer):
+        t = np.linspace(0, 5e-9, 50)
+        expected = np.exp(-t / self.TAU) / self.TAU
+        np.testing.assert_allclose(
+            transfer.impulse_response(t), expected, rtol=1e-12
+        )
+
+    def test_step_response_analytic(self, transfer):
+        t = np.linspace(0, 5e-9, 50)
+        expected = 1.0 - np.exp(-t / self.TAU)
+        np.testing.assert_allclose(
+            transfer.step_response(t), expected, rtol=1e-12
+        )
+
+    def test_negative_times_zero(self, transfer):
+        t = np.array([-1e-9, -1e-12])
+        assert np.all(transfer.impulse_response(t) == 0.0)
+        assert np.all(transfer.step_response(t) == 0.0)
+
+    def test_raw_moments(self, transfer):
+        # M_q = q! tau^q.
+        for q, expected in enumerate([1.0, self.TAU, 2 * self.TAU**2]):
+            assert transfer.raw_moment(q) == pytest.approx(expected)
+
+    def test_transfer_coefficient(self, transfer):
+        assert transfer.transfer_coefficient(1) == pytest.approx(-self.TAU)
+
+
+class TestGeneralTrees:
+    def test_poles_positive_and_sorted(self, corpus):
+        for tree in corpus:
+            poles = ExactAnalysis(tree).poles
+            assert np.all(poles > 0.0)
+            assert np.all(np.diff(poles) >= 0.0)
+
+    def test_pole_count_equals_dynamic_nodes(self, fig1):
+        analysis = ExactAnalysis(fig1)
+        assert analysis.poles.shape == (fig1.num_nodes,)
+
+    def test_dc_gain_unity_everywhere(self, corpus):
+        for tree in corpus:
+            analysis = ExactAnalysis(tree)
+            for name in tree.node_names:
+                assert analysis.transfer(name).dc_gain == pytest.approx(1.0)
+
+    def test_moments_match_tree_recursion(self, fig1):
+        """Eigendecomposition moments == O(N) recursion moments."""
+        analysis = ExactAnalysis(fig1)
+        moments = transfer_moments(fig1, 4)
+        for name in fig1.node_names:
+            np.testing.assert_allclose(
+                analysis.raw_moments(name, 4),
+                moments.raw_moments(name),
+                rtol=1e-9,
+            )
+
+    def test_elmore_delay_shortcut(self, fig1):
+        analysis = ExactAnalysis(fig1)
+        from repro.core import elmore_delay
+        assert analysis.elmore_delay("n5") == pytest.approx(
+            elmore_delay(fig1, "n5"), rel=1e-9
+        )
+
+    def test_step_response_monotone_and_bounded(self, corpus):
+        for tree in corpus[:5]:
+            analysis = ExactAnalysis(tree)
+            for name in tree.node_names:
+                transfer = analysis.transfer(name)
+                t = np.linspace(0, transfer.settle_time(1e-9), 400)
+                v = transfer.step_response(t)
+                assert np.all(np.diff(v) >= -1e-12)
+                assert np.all(v <= 1.0 + 1e-9)
+
+    def test_impulse_response_nonnegative(self, corpus):
+        for tree in corpus[:5]:
+            analysis = ExactAnalysis(tree)
+            for name in tree.node_names:
+                transfer = analysis.transfer(name)
+                t = np.linspace(0, transfer.settle_time(1e-9), 400)
+                h = transfer.impulse_response(t)
+                assert np.min(h) >= -1e-9 * max(np.max(h), 1e-300)
+
+    def test_response_dispatches_step(self, fig1):
+        analysis = ExactAnalysis(fig1)
+        transfer = analysis.transfer("n5")
+        t = np.linspace(0, 5e-9, 20)
+        np.testing.assert_allclose(
+            transfer.response(StepInput(), t), transfer.step_response(t)
+        )
+
+    def test_dominant_time_constant(self, single_rc):
+        assert ExactAnalysis(single_rc).dominant_time_constant == \
+            pytest.approx(1e-9)
+
+    def test_node_by_index(self, fig1):
+        analysis = ExactAnalysis(fig1)
+        i = fig1.index_of("n5")
+        np.testing.assert_allclose(
+            analysis.transfer("n5").residues, analysis.transfer(i).residues
+        )
+
+
+class TestZeroCapNodes:
+    @pytest.fixture
+    def tree_with_algebraic(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 100.0, 0.0)   # zero cap: algebraic
+        tree.add_node("b", "a", 100.0, 1e-12)
+        tree.add_node("c", "a", 50.0, 0.5e-12)
+        return tree
+
+    def test_reduction_runs(self, tree_with_algebraic):
+        analysis = ExactAnalysis(tree_with_algebraic)
+        assert analysis.poles.shape == (2,)  # only dynamic nodes
+
+    def test_algebraic_node_has_direct_term(self, tree_with_algebraic):
+        transfer = ExactAnalysis(tree_with_algebraic).transfer("a")
+        assert transfer.direct > 0.0
+        assert transfer.dc_gain == pytest.approx(1.0)
+
+    def test_matches_small_cap_limit(self, tree_with_algebraic):
+        """The algebraic reduction is the C -> 0 limit of a tiny cap."""
+        limit_tree = tree_with_algebraic.copy()
+        limit_tree.set_capacitance("a", 1e-22)
+        exact = ExactAnalysis(tree_with_algebraic)
+        lim = ExactAnalysis(limit_tree)
+        t = np.linspace(0, 2e-9, 200)
+        np.testing.assert_allclose(
+            exact.step_response("b", t),
+            lim.step_response("b", t),
+            rtol=1e-6, atol=1e-9,
+        )
+
+    def test_moments_still_match_recursion(self, tree_with_algebraic):
+        analysis = ExactAnalysis(tree_with_algebraic)
+        moments = transfer_moments(tree_with_algebraic, 3)
+        for name in tree_with_algebraic.node_names:
+            np.testing.assert_allclose(
+                analysis.raw_moments(name, 3),
+                moments.raw_moments(name),
+                rtol=1e-9,
+            )
+
+    def test_all_zero_caps_rejected(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 100.0, 0.0)
+        with pytest.raises(Exception):
+            ExactAnalysis(tree)
+
+
+class TestPoleResidueValidation:
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(AnalysisError):
+            PoleResidueTransfer(
+                poles=np.array([1.0, 2.0]), residues=np.array([1.0])
+            )
+
+    def test_nonpositive_poles_rejected(self):
+        with pytest.raises(AnalysisError):
+            PoleResidueTransfer(
+                poles=np.array([-1.0]), residues=np.array([1.0])
+            )
+
+    def test_settle_time_zero_for_empty_weight(self):
+        tf = PoleResidueTransfer(
+            poles=np.array([1.0]), residues=np.array([0.0])
+        )
+        assert tf.settle_time() == 0.0
+
+    def test_negative_moment_order_rejected(self, single_rc):
+        tf = ExactAnalysis(single_rc).transfer("out")
+        with pytest.raises(AnalysisError):
+            tf.raw_moment(-1)
+
+
+class TestRampResponse:
+    def test_saturated_ramp_closed_form_vs_pwl(self, fig1):
+        """The ramp closed form must agree with the generic PWL stepper."""
+        from repro.signals.base import Signal
+        analysis = ExactAnalysis(fig1)
+        transfer = analysis.transfer("n5")
+        signal = SaturatedRamp(2e-9)
+        t = np.linspace(0, 10e-9, 100)
+        closed = transfer.response(signal, t)
+        generic = transfer.direct * signal.value(t)
+        for lam, res in zip(transfer.poles, transfer.residues):
+            generic = generic + res * Signal.exp_convolution(
+                signal, float(lam), t
+            )
+        np.testing.assert_allclose(closed, generic, rtol=1e-6, atol=1e-9)
+
+    def test_ramp_slower_than_step(self, fig1):
+        analysis = ExactAnalysis(fig1)
+        transfer = analysis.transfer("n5")
+        t = np.linspace(0, 10e-9, 100)
+        step = transfer.step_response(t)
+        ramp = transfer.response(SaturatedRamp(2e-9), t)
+        assert np.all(ramp <= step + 1e-12)
+
+    def test_step_response_integral(self, single_rc):
+        """g(t) = integral of step response, analytically for one pole."""
+        transfer = ExactAnalysis(single_rc).transfer("out")
+        tau = 1e-9
+        t = np.linspace(0, 10e-9, 50)
+        expected = t - tau * (1.0 - np.exp(-t / tau))
+        np.testing.assert_allclose(
+            transfer.step_response_integral(t), expected, rtol=1e-10,
+            atol=1e-21,
+        )

@@ -1,0 +1,159 @@
+"""Unit tests for the time-stepping transient simulator."""
+
+import numpy as np
+import pytest
+
+from repro import RCTree
+from repro._exceptions import AnalysisError
+from repro.analysis import (
+    ExactAnalysis,
+    measure_delay,
+    simulate,
+    simulate_step_response,
+)
+from repro.signals import SaturatedRamp, StepInput
+
+
+class TestAgainstExactEngine:
+    def test_step_response_trapezoidal(self, fig1):
+        horizon = 8e-9
+        result = simulate_step_response(fig1, horizon, num_steps=4000)
+        analysis = ExactAnalysis(fig1)
+        for name in ("n1", "n5", "n7"):
+            exact = analysis.step_response(name, result.times)
+            # n1 has sub-time-step poles (RC ~ 2 ps), so the first few
+            # trapezoidal samples carry larger startup error.
+            np.testing.assert_allclose(result.at(name), exact, atol=1e-3)
+
+    def test_step_response_backward_euler(self, fig1):
+        result = simulate_step_response(
+            fig1, 8e-9, num_steps=8000, method="backward-euler"
+        )
+        exact = ExactAnalysis(fig1).step_response("n5", result.times)
+        np.testing.assert_allclose(result.at("n5"), exact, atol=2e-3)
+
+    def test_ramp_response(self, fig1):
+        signal = SaturatedRamp(2e-9)
+        result = simulate(fig1, signal, 12e-9, num_steps=6000)
+        exact = ExactAnalysis(fig1).response("n5", signal, result.times)
+        np.testing.assert_allclose(result.at("n5"), exact, atol=2e-4)
+
+    def test_trapezoidal_second_order(self, fig1):
+        """Halving the step shrinks trapezoidal error ~4x."""
+        analysis = ExactAnalysis(fig1)
+        errors = []
+        for steps in (250, 500, 1000):
+            result = simulate(
+                fig1, SaturatedRamp(1e-9), 6e-9, num_steps=steps
+            )
+            exact = analysis.response("n5", SaturatedRamp(1e-9), result.times)
+            errors.append(np.max(np.abs(result.at("n5") - exact)))
+        assert errors[1] < errors[0] / 2.5
+        assert errors[2] < errors[1] / 2.5
+
+    def test_delay_measurement_agrees(self, fig1):
+        result = simulate_step_response(fig1, 8e-9, num_steps=8000)
+        sim_delay = result.delay("n5")
+        exact_delay = measure_delay(fig1, "n5")
+        assert sim_delay == pytest.approx(exact_delay, rel=1e-3)
+
+
+class TestZeroCapHandling:
+    def test_backward_euler_with_algebraic_node(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 100.0, 0.0)
+        tree.add_node("b", "a", 100.0, 1e-12)
+        result = simulate_step_response(
+            tree, 3e-9, num_steps=3000, method="backward-euler"
+        )
+        exact = ExactAnalysis(tree).step_response("b", result.times)
+        np.testing.assert_allclose(result.at("b"), exact, atol=2e-3)
+
+
+class TestValidation:
+    def test_bad_horizon(self, single_rc):
+        with pytest.raises(AnalysisError):
+            simulate(single_rc, StepInput(), 0.0)
+
+    def test_bad_steps(self, single_rc):
+        with pytest.raises(AnalysisError):
+            simulate(single_rc, StepInput(), 1e-9, num_steps=0)
+
+    def test_bad_method(self, single_rc):
+        with pytest.raises(AnalysisError):
+            simulate(single_rc, StepInput(), 1e-9, method="magic")
+
+    def test_delay_threshold_validation(self, single_rc):
+        result = simulate_step_response(single_rc, 10e-9, num_steps=100)
+        with pytest.raises(AnalysisError):
+            result.delay("out", threshold=1.5)
+
+    def test_delay_never_reached(self, single_rc):
+        result = simulate_step_response(single_rc, 1e-13, num_steps=10)
+        with pytest.raises(AnalysisError):
+            result.delay("out", final_value=1.0)
+
+    def test_result_metadata(self, single_rc):
+        result = simulate_step_response(single_rc, 1e-9, num_steps=10)
+        assert result.method == "trapezoidal"
+        assert result.voltages.shape == (1, 11)
+        assert result.times.shape == (11,)
+
+
+class TestAdaptive:
+    def test_matches_exact_engine(self, fig1):
+        from repro.analysis.transient import simulate_adaptive
+        from repro.signals import SaturatedRamp
+        signal = SaturatedRamp(1e-9)
+        result = simulate_adaptive(fig1, signal, 8e-9, rtol=1e-9,
+                                   atol=1e-13)
+        exact = ExactAnalysis(fig1)
+        for node in ("n1", "n5", "n7"):
+            np.testing.assert_allclose(
+                result.at(node),
+                exact.response(node, signal, result.times),
+                atol=3e-6,
+            )
+
+    def test_stiff_spectrum_handled(self):
+        """Pole spread of ~1e5 with loose horizon: adaptive stepping gets
+        the slow settle right without millions of steps."""
+        from repro.analysis.transient import simulate_adaptive
+        from repro.signals import StepInput
+        tree = RCTree("in")
+        tree.add_node("fast", "in", 10.0, 1e-15)     # tau = 1e-14
+        tree.add_node("slow", "fast", 1e5, 1e-11)    # tau = 1e-6
+        result = simulate_adaptive(tree, StepInput(), 15e-6,
+                                   num_output_points=201)
+        exact = ExactAnalysis(tree)
+        np.testing.assert_allclose(
+            result.at("slow"),
+            exact.step_response("slow", result.times),
+            atol=1e-5,
+        )
+        assert result.at("slow")[-1] == pytest.approx(1.0, rel=1e-4)
+
+    def test_zero_cap_rejected(self):
+        from repro.analysis.transient import simulate_adaptive
+        from repro.signals import StepInput
+        tree = RCTree("in")
+        tree.add_node("a", "in", 100.0, 0.0)
+        tree.add_node("b", "a", 100.0, 1e-12)
+        with pytest.raises(AnalysisError):
+            simulate_adaptive(tree, StepInput(), 1e-9)
+
+    def test_validation(self, single_rc):
+        from repro.analysis.transient import simulate_adaptive
+        from repro.signals import StepInput
+        with pytest.raises(AnalysisError):
+            simulate_adaptive(single_rc, StepInput(), 0.0)
+        with pytest.raises(AnalysisError):
+            simulate_adaptive(single_rc, StepInput(), 1e-9,
+                              num_output_points=1)
+
+    def test_method_label(self, single_rc):
+        from repro.analysis.transient import simulate_adaptive
+        from repro.signals import StepInput
+        result = simulate_adaptive(single_rc, StepInput(), 5e-9,
+                                   num_output_points=11)
+        assert result.method == "adaptive-LSODA"

@@ -1,0 +1,144 @@
+"""Unit tests for the programmatic topology builders."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ValidationError
+from repro.circuit import (
+    balanced_tree,
+    random_tree,
+    rc_line,
+    rc_line_segments,
+    star_tree,
+)
+from repro.core import elmore_delay
+
+
+class TestRCLine:
+    def test_length_and_topology(self):
+        line = rc_line(4, 10.0, 1e-15)
+        assert line.num_nodes == 4
+        assert line.leaves() == ("n4",)
+        assert line.depth_of("n4") == 4
+
+    def test_elmore_matches_hand_formula(self):
+        # T_D(n_k) = R*C * sum_{j=1..k} (N - j + 1) for a uniform line.
+        n, r, c = 6, 50.0, 2e-12
+        line = rc_line(n, r, c)
+        for k in range(1, n + 1):
+            expected = r * c * sum(n - j + 1 for j in range(1, k + 1))
+            assert elmore_delay(line, f"n{k}") == pytest.approx(expected)
+
+    def test_driver_resistance_override(self):
+        line = rc_line(3, 10.0, 1e-15, driver_resistance=500.0)
+        assert line.node("n1").resistance == 500.0
+        assert line.node("n2").resistance == 10.0
+
+    def test_load_capacitance(self):
+        line = rc_line(3, 10.0, 1e-15, load_capacitance=5e-15)
+        assert line.node("n3").capacitance == pytest.approx(6e-15)
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ValidationError):
+            rc_line(0, 10.0, 1e-15)
+
+
+class TestRCLineSegments:
+    def test_explicit_values(self):
+        line = rc_line_segments([10.0, 20.0], [1e-15, 2e-15])
+        assert line.node("n1").resistance == 10.0
+        assert line.node("n2").capacitance == 2e-15
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            rc_line_segments([10.0], [1e-15, 2e-15])
+
+    def test_empty(self):
+        with pytest.raises(ValidationError):
+            rc_line_segments([], [])
+
+
+class TestBalancedTree:
+    def test_node_count(self):
+        # depth=3, fanout=2: 1 + 2 + 4 = 7 nodes.
+        tree = balanced_tree(3, 2, 10.0, 1e-15)
+        assert tree.num_nodes == 7
+        assert len(tree.leaves()) == 4
+
+    def test_depth_one_is_single_node(self):
+        tree = balanced_tree(1, 3, 10.0, 1e-15)
+        assert tree.num_nodes == 1
+
+    def test_leaf_load_applied(self):
+        tree = balanced_tree(2, 2, 10.0, 1e-15, leaf_load=9e-15)
+        for leaf in tree.leaves():
+            assert tree.node(leaf).capacitance == pytest.approx(10e-15)
+
+    def test_symmetry_of_elmore(self):
+        tree = balanced_tree(4, 2, 10.0, 1e-15)
+        delays = [elmore_delay(tree, leaf) for leaf in tree.leaves()]
+        assert np.ptp(delays) < 1e-24
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            balanced_tree(0, 2, 10.0, 1e-15)
+        with pytest.raises(ValidationError):
+            balanced_tree(2, 0, 10.0, 1e-15)
+
+
+class TestStarTree:
+    def test_shape(self):
+        tree = star_tree(3, 2, 10.0, 1e-15)
+        assert tree.num_nodes == 1 + 3 * 2
+        assert len(tree.leaves()) == 3
+
+    def test_branch_symmetry(self):
+        tree = star_tree(4, 3, 10.0, 1e-15, driver_resistance=100.0)
+        delays = [elmore_delay(tree, leaf) for leaf in tree.leaves()]
+        assert np.ptp(delays) < 1e-24
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            star_tree(0, 2, 10.0, 1e-15)
+        with pytest.raises(ValidationError):
+            star_tree(2, 0, 10.0, 1e-15)
+
+
+class TestRandomTree:
+    def test_deterministic_given_seed(self):
+        a = random_tree(20, seed=7)
+        b = random_tree(20, seed=7)
+        assert a.node_names == b.node_names
+        np.testing.assert_array_equal(a.resistances, b.resistances)
+        np.testing.assert_array_equal(a.capacitances, b.capacitances)
+
+    def test_different_seeds_differ(self):
+        a = random_tree(20, seed=7)
+        b = random_tree(20, seed=8)
+        assert not np.array_equal(a.resistances, b.resistances)
+
+    def test_values_within_ranges(self):
+        tree = random_tree(50, seed=3, r_range=(10.0, 100.0),
+                           c_range=(1e-15, 1e-14))
+        assert np.all(tree.resistances >= 10.0)
+        assert np.all(tree.resistances <= 100.0)
+        assert np.all(tree.capacitances >= 1e-15)
+        assert np.all(tree.capacitances <= 1e-14)
+
+    def test_is_valid_tree(self):
+        tree = random_tree(30, seed=11)
+        tree.validate()
+        assert tree.num_nodes == 30
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            random_tree(0, seed=1)
+        with pytest.raises(ValidationError):
+            random_tree(5, seed=1, r_range=(-1.0, 10.0))
+        with pytest.raises(ValidationError):
+            random_tree(5, seed=1, c_range=(1e-12, 1e-15))
+
+    def test_shared_rng_advances(self, rng):
+        a = random_tree(5, rng=rng)
+        b = random_tree(5, rng=rng)
+        assert not np.array_equal(a.resistances, b.resistances)

@@ -1,0 +1,75 @@
+"""Unit tests for primitive circuit elements."""
+
+import pytest
+
+from repro._exceptions import ValidationError
+from repro.circuit.elements import GROUND, Capacitor, Resistor, VoltageSource
+
+
+class TestResistor:
+    def test_valid(self):
+        r = Resistor("R1", "a", "b", 100.0)
+        assert r.resistance == 100.0
+
+    def test_spice_card(self):
+        assert Resistor("R1", "a", "b", 100.0).spice_card() == "R1 a b 100"
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            Resistor("R1", "a", "b", 0.0)
+        with pytest.raises(ValidationError):
+            Resistor("R1", "a", "b", -1.0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValidationError):
+            Resistor("R1", "a", "a", 10.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            Resistor("", "a", "b", 10.0)
+
+    def test_frozen(self):
+        r = Resistor("R1", "a", "b", 100.0)
+        with pytest.raises(AttributeError):
+            r.resistance = 5.0
+
+
+class TestCapacitor:
+    def test_grounded_detection(self):
+        c = Capacitor("C1", "a", GROUND, 1e-12)
+        assert c.grounded
+        assert c.signal_node == "a"
+        c2 = Capacitor("C2", GROUND, "b", 1e-12)
+        assert c2.signal_node == "b"
+
+    def test_floating_capacitor(self):
+        c = Capacitor("C1", "a", "b", 1e-12)
+        assert not c.grounded
+        with pytest.raises(ValidationError):
+            _ = c.signal_node
+
+    def test_zero_capacitance_allowed(self):
+        assert Capacitor("C1", "a", GROUND, 0.0).capacitance == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            Capacitor("C1", "a", GROUND, -1e-12)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            Capacitor("C1", "a", "a", 1e-12)
+
+
+class TestVoltageSource:
+    def test_defaults(self):
+        v = VoltageSource("VIN", "in")
+        assert v.node_neg == GROUND
+        assert v.value == 1.0
+
+    def test_spice_card(self):
+        assert VoltageSource("VIN", "in", "0", 3.3).spice_card() == \
+            "VIN in 0 DC 3.3"
+
+    def test_shorted_rejected(self):
+        with pytest.raises(ValidationError):
+            VoltageSource("VIN", "a", "a")

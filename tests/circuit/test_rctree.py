@@ -1,0 +1,275 @@
+"""Unit tests for the RC-tree data structure."""
+
+import numpy as np
+import pytest
+
+from repro import RCTree
+from repro._exceptions import TopologyError, ValidationError
+
+
+class TestConstruction:
+    def test_empty_tree_has_no_nodes(self):
+        tree = RCTree("in")
+        assert tree.num_nodes == 0
+        assert tree.input_node == "in"
+        assert len(tree) == 0
+
+    def test_add_node_chain(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 10.0, 1e-12)
+        tree.add_node("b", "a", 20.0, 2e-12)
+        assert tree.num_nodes == 2
+        assert tree.node_names == ("a", "b")
+        assert tree.parent_of("b") == "a"
+        assert tree.parent_of("a") == "in"
+
+    def test_duplicate_node_rejected(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 10.0)
+        with pytest.raises(TopologyError):
+            tree.add_node("a", "in", 20.0)
+
+    def test_node_named_like_input_rejected(self):
+        tree = RCTree("in")
+        with pytest.raises(TopologyError):
+            tree.add_node("in", "in", 10.0)
+
+    def test_unknown_parent_rejected(self):
+        tree = RCTree("in")
+        with pytest.raises(TopologyError):
+            tree.add_node("a", "ghost", 10.0)
+
+    def test_nonpositive_resistance_rejected(self):
+        tree = RCTree("in")
+        with pytest.raises(ValidationError):
+            tree.add_node("a", "in", 0.0)
+        with pytest.raises(ValidationError):
+            tree.add_node("a", "in", -5.0)
+
+    def test_negative_capacitance_rejected(self):
+        tree = RCTree("in")
+        with pytest.raises(ValidationError):
+            tree.add_node("a", "in", 10.0, -1e-15)
+
+    def test_nonfinite_values_rejected(self):
+        tree = RCTree("in")
+        with pytest.raises(ValidationError):
+            tree.add_node("a", "in", float("inf"))
+        with pytest.raises(ValidationError):
+            tree.add_node("a", "in", 10.0, float("nan"))
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValidationError):
+            RCTree("")
+        tree = RCTree("in")
+        with pytest.raises(ValidationError):
+            tree.add_node("", "in", 10.0)
+
+    def test_contains(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 10.0)
+        assert "a" in tree
+        assert "in" in tree
+        assert "b" not in tree
+
+
+class TestMutators:
+    def test_set_capacitance(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 10.0, 1e-12)
+        tree.set_capacitance("a", 3e-12)
+        assert tree.node("a").capacitance == 3e-12
+
+    def test_add_load_accumulates(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 10.0, 1e-12)
+        tree.add_load("a", 2e-12)
+        tree.add_load("a", 0.5e-12)
+        assert tree.node("a").capacitance == pytest.approx(3.5e-12)
+
+    def test_set_resistance(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 10.0, 1e-12)
+        tree.set_resistance("a", 99.0)
+        assert tree.node("a").resistance == 99.0
+
+    def test_mutation_invalidates_caches(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 10.0, 1e-12)
+        tree.add_node("b", "a", 10.0, 1e-12)
+        first = tree.path_resistance("b")
+        tree.set_resistance("a", 100.0)
+        assert tree.path_resistance("b") == pytest.approx(110.0)
+        assert first == pytest.approx(20.0)
+
+    def test_invalid_mutations_rejected(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 10.0, 1e-12)
+        with pytest.raises(ValidationError):
+            tree.set_capacitance("a", -1.0)
+        with pytest.raises(ValidationError):
+            tree.set_resistance("a", 0.0)
+        with pytest.raises(ValidationError):
+            tree.add_load("a", -1e-15)
+
+
+class TestTopologyQueries:
+    def test_children_and_leaves(self, branched_tree):
+        assert set(branched_tree.children_of("trunk")) == {"a1", "b1"}
+        assert branched_tree.children_of("in") == ("trunk",)
+        assert set(branched_tree.leaves()) == {"a2", "b1"}
+
+    def test_depths(self, branched_tree):
+        assert branched_tree.depth_of("in") == 0
+        assert branched_tree.depth_of("trunk") == 1
+        assert branched_tree.depth_of("a2") == 3
+
+    def test_path_to_root(self, branched_tree):
+        assert branched_tree.path_to_root("a2") == ["a2", "a1", "trunk"]
+
+    def test_subtree_nodes(self, branched_tree):
+        assert set(branched_tree.subtree_nodes("a1")) == {"a1", "a2"}
+        assert set(branched_tree.subtree_nodes("trunk")) == {
+            "trunk", "a1", "a2", "b1"
+        }
+
+    def test_preorder_parents_first(self, branched_tree):
+        seen = set()
+        for name in branched_tree.iter_preorder():
+            parent = branched_tree.parent_of(name)
+            assert parent == "in" or parent in seen
+            seen.add(name)
+        assert seen == set(branched_tree.node_names)
+
+    def test_index_round_trip(self, branched_tree):
+        for name in branched_tree.node_names:
+            assert branched_tree.name_of(branched_tree.index_of(name)) == name
+
+    def test_input_node_has_no_index(self, branched_tree):
+        with pytest.raises(TopologyError):
+            branched_tree.index_of("in")
+
+    def test_unknown_node_raises(self, branched_tree):
+        with pytest.raises(TopologyError):
+            branched_tree.index_of("nope")
+
+
+class TestPathResistance:
+    def test_path_resistance_chain(self, simple_line):
+        assert simple_line.path_resistance("n3") == pytest.approx(300.0)
+        assert simple_line.path_resistance("in") == 0.0
+
+    def test_shared_path_resistance_same_branch(self, branched_tree):
+        # a2 vs a1: common path is in->trunk->a1.
+        assert branched_tree.shared_path_resistance("a2", "a1") == \
+            pytest.approx(350.0)
+
+    def test_shared_path_resistance_cross_branch(self, branched_tree):
+        # a2 vs b1 share only the trunk edge.
+        assert branched_tree.shared_path_resistance("a2", "b1") == \
+            pytest.approx(200.0)
+
+    def test_shared_path_resistance_symmetric(self, branched_tree):
+        names = branched_tree.node_names
+        for a in names:
+            for b in names:
+                assert branched_tree.shared_path_resistance(a, b) == \
+                    pytest.approx(branched_tree.shared_path_resistance(b, a))
+
+    def test_shared_with_self_is_path_resistance(self, branched_tree):
+        for name in branched_tree.node_names:
+            assert branched_tree.shared_path_resistance(name, name) == \
+                pytest.approx(branched_tree.path_resistance(name))
+
+    def test_disjoint_paths_share_zero(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 10.0, 1e-12)
+        tree.add_node("b", "in", 20.0, 1e-12)
+        assert tree.shared_path_resistance("a", "b") == 0.0
+
+
+class TestArrays:
+    def test_array_shapes_and_values(self, branched_tree):
+        assert branched_tree.resistances.shape == (4,)
+        assert branched_tree.capacitances.shape == (4,)
+        assert branched_tree.parents[0] == -1
+        np.testing.assert_allclose(
+            branched_tree.resistances, [200.0, 150.0, 300.0, 500.0]
+        )
+
+    def test_arrays_read_only(self, branched_tree):
+        with pytest.raises(ValueError):
+            branched_tree.resistances[0] = 1.0
+
+    def test_total_capacitance(self, branched_tree):
+        assert branched_tree.total_capacitance() == pytest.approx(0.75e-12)
+
+
+class TestCopyScaleValidate:
+    def test_copy_is_deep(self, branched_tree):
+        clone = branched_tree.copy()
+        clone.set_resistance("trunk", 1.0)
+        assert branched_tree.node("trunk").resistance == 200.0
+        assert clone.node_names == branched_tree.node_names
+
+    def test_scaled_scales_elmore(self, simple_line):
+        from repro import elmore_delay
+        scaled = simple_line.scaled(r_scale=2.0, c_scale=3.0)
+        assert elmore_delay(scaled, "n5") == pytest.approx(
+            6.0 * elmore_delay(simple_line, "n5")
+        )
+
+    def test_scaled_rejects_bad_factors(self, simple_line):
+        with pytest.raises(ValidationError):
+            simple_line.scaled(r_scale=0.0)
+
+    def test_validate_empty_tree(self):
+        with pytest.raises(ValidationError):
+            RCTree("in").validate()
+
+    def test_validate_capless_tree(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 10.0, 0.0)
+        with pytest.raises(ValidationError):
+            tree.validate()
+
+    def test_repr_mentions_size(self, branched_tree):
+        assert "nodes=4" in repr(branched_tree)
+
+
+class TestFromEdges:
+    def test_from_edges_out_of_order(self):
+        tree = RCTree.from_edges(
+            edges=[("a", "b", 20.0), ("in", "a", 10.0)],
+            capacitances={"a": 1e-12, "b": 2e-12},
+        )
+        assert tree.node_names == ("a", "b")
+        assert tree.path_resistance("b") == pytest.approx(30.0)
+
+    def test_from_edges_detects_double_parent(self):
+        with pytest.raises(TopologyError):
+            RCTree.from_edges(
+                edges=[("in", "a", 10.0), ("in", "b", 10.0), ("a", "b", 5.0)],
+                capacitances={},
+            )
+
+    def test_from_edges_detects_unreachable(self):
+        with pytest.raises(TopologyError):
+            RCTree.from_edges(
+                edges=[("x", "y", 10.0)],
+                capacitances={},
+            )
+
+    def test_from_edges_rejects_parent_edge_on_input(self):
+        with pytest.raises(TopologyError):
+            RCTree.from_edges(
+                edges=[("a", "in", 10.0), ("in", "a", 5.0)],
+                capacitances={},
+            )
+
+    def test_from_edges_unknown_cap_node(self):
+        with pytest.raises(TopologyError):
+            RCTree.from_edges(
+                edges=[("in", "a", 10.0)],
+                capacitances={"zz": 1e-12},
+            )

@@ -1,0 +1,190 @@
+"""Unit tests for the SPICE-subset netlist reader/writer."""
+
+import pytest
+
+from repro._exceptions import NetlistError
+from repro.circuit import (
+    parse_netlist,
+    parse_rc_tree,
+    tree_to_netlist,
+)
+from repro.circuit.spice import format_value, parse_value
+from repro.core import elmore_delay
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("100", 100.0),
+            ("1.5k", 1500.0),
+            ("2meg", 2e6),
+            ("3MEG", 3e6),
+            ("100p", 100e-12),
+            ("100pF", 100e-12),
+            ("50f", 50e-15),
+            ("1u", 1e-6),
+            ("2n", 2e-9),
+            ("4m", 4e-3),
+            ("1g", 1e9),
+            ("1t", 1e12),
+            ("3e-12", 3e-12),
+            ("-2.5", -2.5),
+            (".5k", 500.0),
+        ],
+    )
+    def test_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_value("abc")
+        with pytest.raises(NetlistError):
+            parse_value("1.2.3")
+        with pytest.raises(NetlistError):
+            parse_value("5x")
+
+    def test_format_round_trip(self):
+        for value in (123.0, 1.5e3, 2.2e-12, 47e-15, 0.0, 3.3):
+            assert parse_value(format_value(value)) == pytest.approx(value)
+
+
+SIMPLE_DECK = """\
+* simple rc tree
+VIN in 0 DC 1
+R1 in n1 100
+C1 n1 0 1p
+R2 n1 n2 200
+C2 n2 0 2p
+.end
+"""
+
+
+class TestParseNetlist:
+    def test_elements_counted(self):
+        netlist = parse_netlist(SIMPLE_DECK)
+        assert len(netlist.resistors) == 2
+        assert len(netlist.capacitors) == 2
+        assert len(netlist.sources) == 1
+
+    def test_title_auto_detection(self):
+        deck = "my title line\nR1 a b 100\n.end\n"
+        netlist = parse_netlist(deck)
+        assert netlist.title == "my title line"
+        assert len(netlist.resistors) == 1
+
+    def test_comments_and_continuations(self):
+        deck = (
+            "R1 a b\n"
+            "+ 100 $ trailing comment\n"
+            "* full comment\n"
+            "C1 b 0 1p ; another trailer\n"
+        )
+        netlist = parse_netlist(deck)
+        assert netlist.resistors[0].resistance == 100.0
+        assert netlist.capacitors[0].capacitance == 1e-12
+
+    def test_dangling_continuation_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("+ 100\n", first_line_is_title=False)
+
+    def test_cards_after_end_ignored(self):
+        deck = "R1 a b 100\n.end\nR2 b c 999\n"
+        netlist = parse_netlist(deck)
+        assert len(netlist.resistors) == 1
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("L1 a b 1u\n", first_line_is_title=False)
+
+    def test_malformed_cards_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 a b\n", first_line_is_title=False)
+        with pytest.raises(NetlistError):
+            parse_netlist("C1 a 0\n", first_line_is_title=False)
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 a 0\n", first_line_is_title=False)
+
+    def test_node_names(self):
+        netlist = parse_netlist(SIMPLE_DECK)
+        assert netlist.node_names() == ["in", "n1", "n2"]
+
+
+class TestParseRCTree:
+    def test_parse_simple_tree(self):
+        tree, amplitude = parse_rc_tree(SIMPLE_DECK)
+        assert amplitude == 1.0
+        assert tree.input_node == "in"
+        assert set(tree.node_names) == {"n1", "n2"}
+        assert elmore_delay(tree, "n2") == pytest.approx(
+            100 * 3e-12 + 200 * 2e-12
+        )
+
+    def test_parallel_caps_merge(self):
+        deck = SIMPLE_DECK.replace(".end", "C3 n2 0 3p\n.end")
+        tree, _ = parse_rc_tree(deck)
+        assert tree.node("n2").capacitance == pytest.approx(5e-12)
+
+    def test_requires_single_source(self):
+        with pytest.raises(NetlistError):
+            parse_rc_tree("R1 a b 100\nC1 b 0 1p\n")
+        deck = SIMPLE_DECK.replace(".end", "V2 n2 0 DC 1\n.end")
+        with pytest.raises(NetlistError):
+            parse_rc_tree(deck)
+
+    def test_rejects_grounded_resistor(self):
+        deck = SIMPLE_DECK.replace("R2 n1 n2 200", "R2 n1 0 200")
+        with pytest.raises(NetlistError):
+            parse_rc_tree(deck)
+
+    def test_rejects_floating_capacitor(self):
+        deck = SIMPLE_DECK.replace("C2 n2 0 2p", "C2 n2 n1 2p")
+        with pytest.raises(NetlistError):
+            parse_rc_tree(deck)
+
+    def test_rejects_resistor_loop(self):
+        deck = SIMPLE_DECK.replace(".end", "R3 n2 in 50\n.end")
+        with pytest.raises(NetlistError):
+            parse_rc_tree(deck)
+
+    def test_rejects_disconnected_cap(self):
+        deck = SIMPLE_DECK.replace(".end", "C9 zz 0 1p\n.end")
+        with pytest.raises(NetlistError):
+            parse_rc_tree(deck)
+
+    def test_source_must_reference_ground(self):
+        deck = SIMPLE_DECK.replace("VIN in 0 DC 1", "VIN in n2 DC 1")
+        with pytest.raises(NetlistError):
+            parse_rc_tree(deck)
+
+    def test_source_must_drive_something(self):
+        with pytest.raises(NetlistError):
+            parse_rc_tree("VIN in 0 DC 1\nR1 a b 1\nC1 b 0 1p\n")
+
+
+class TestRoundTrip:
+    def test_tree_to_netlist_round_trip(self, fig1):
+        text = tree_to_netlist(fig1, title="fig1", amplitude=2.5)
+        tree, amplitude = parse_rc_tree(text)
+        assert amplitude == pytest.approx(2.5)
+        assert set(tree.node_names) == set(fig1.node_names)
+        for name in fig1.node_names:
+            assert tree.node(name).capacitance == pytest.approx(
+                fig1.node(name).capacitance, rel=1e-6
+            )
+            assert tree.node(name).resistance == pytest.approx(
+                fig1.node(name).resistance, rel=1e-6
+            )
+
+    def test_round_trip_preserves_elmore(self, fig1):
+        tree, _ = parse_rc_tree(tree_to_netlist(fig1))
+        assert elmore_delay(tree, "n5") == pytest.approx(
+            elmore_delay(fig1, "n5"), rel=1e-6
+        )
+
+    def test_write_rc_tree(self, fig1, tmp_path):
+        from repro.circuit import write_rc_tree
+        path = tmp_path / "fig1.sp"
+        write_rc_tree(fig1, str(path), title="fig1")
+        tree, _ = parse_rc_tree(path.read_text())
+        assert set(tree.node_names) == set(fig1.node_names)

@@ -1,0 +1,83 @@
+"""Parser robustness against on-disk SPICE decks (tests/data)."""
+
+import os
+
+import pytest
+
+from repro.analysis import measure_delay
+from repro.circuit import parse_rc_tree
+from repro.core import delay_bounds, elmore_delay
+
+DATA = os.path.join(os.path.dirname(__file__), os.pardir, "data")
+
+
+def load(name):
+    with open(os.path.join(DATA, name), encoding="utf-8") as handle:
+        return parse_rc_tree(handle.read())
+
+
+class TestLine4:
+    def test_mixed_value_formats_agree(self):
+        """0.12k == 120 == 1.2e2 and 120f == 0.12p == 120e-15 == 120fF."""
+        tree, amplitude = load("line4.sp")
+        assert amplitude == 1.0
+        for k in range(1, 5):
+            assert tree.node(f"n{k}").resistance == pytest.approx(120.0)
+            assert tree.node(f"n{k}").capacitance == pytest.approx(120e-15)
+
+    def test_uniform_line_elmore(self):
+        tree, _ = load("line4.sp")
+        expected = 120.0 * 120e-15 * (4 + 3 + 2 + 1)
+        assert elmore_delay(tree, "n4") == pytest.approx(expected, rel=1e-9)
+
+
+class TestBranchy:
+    def test_structure(self):
+        tree, amplitude = load("branchy.sp")
+        assert amplitude == pytest.approx(3.3)
+        assert tree.input_node == "src"
+        assert set(tree.leaves()) == {"leafA", "leafB"}
+        # Continuation lines assembled the split cards.
+        assert tree.node("b1").resistance == pytest.approx(210.0)
+        assert tree.node("b2").capacitance == pytest.approx(140e-15)
+
+    def test_cards_after_end_ignored(self):
+        tree, _ = load("branchy.sp")
+        assert "after" not in tree
+
+    def test_bounds_hold_on_parsed_circuit(self):
+        tree, _ = load("branchy.sp")
+        for leaf in tree.leaves():
+            b = delay_bounds(tree, leaf)
+            actual = measure_delay(tree, leaf)
+            assert b.contains(actual)
+
+
+class TestUnordered:
+    def test_scrambled_cards_assemble(self):
+        tree, _ = load("unordered.sp")
+        assert tree.node_names == ("n1", "n2")
+
+    def test_parallel_caps_merged_both_orientations(self):
+        """C2A (n2,0) and C2B (0,n2) both land on n2."""
+        tree, _ = load("unordered.sp")
+        assert tree.node("n2").capacitance == pytest.approx(120e-15)
+
+    def test_elmore(self):
+        tree, _ = load("unordered.sp")
+        expected = 100.0 * 200e-15 + 200.0 * 120e-15
+        assert elmore_delay(tree, "n2") == pytest.approx(expected)
+
+
+class TestDoctests:
+    def test_module_doctests(self):
+        """Docstring examples in the public modules actually run."""
+        import doctest
+
+        import repro.circuit.rctree
+        import repro.core.incremental
+
+        for module in (repro.circuit.rctree, repro.core.incremental):
+            result = doctest.testmod(module)
+            assert result.failed == 0, f"doctest failures in {module}"
+            assert result.attempted > 0

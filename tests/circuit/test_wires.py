@@ -1,0 +1,127 @@
+"""Unit tests for the geometric wire model."""
+
+import pytest
+
+from repro._exceptions import ValidationError
+from repro.circuit.wires import (
+    DEFAULT_TECHNOLOGY,
+    WireSegment,
+    WireTechnology,
+    tree_from_segments,
+    wire_rc,
+)
+from repro.core import elmore_delay
+
+
+class TestWireTechnology:
+    def test_resistance_scales_with_squares(self):
+        tech = WireTechnology(0.1, 0.0, 0.0)
+        # 100 um long, 1 um wide = 100 squares.
+        assert tech.segment_resistance(100e-6, 1e-6) == pytest.approx(10.0)
+
+    def test_capacitance_area_plus_fringe(self):
+        tech = WireTechnology(0.1, area_capacitance=1e-4,
+                              fringe_capacitance=1e-10)
+        c = tech.segment_capacitance(10e-6, 2e-6)
+        assert c == pytest.approx(1e-4 * 10e-6 * 2e-6 + 2 * 1e-10 * 10e-6)
+
+    def test_min_width_enforced(self):
+        tech = WireTechnology(0.1, 0.0, 0.0, min_width=1e-6)
+        with pytest.raises(ValidationError):
+            tech.segment_resistance(10e-6, 0.5e-6)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValidationError):
+            DEFAULT_TECHNOLOGY.segment_resistance(0.0, 1e-6)
+        with pytest.raises(ValidationError):
+            DEFAULT_TECHNOLOGY.segment_capacitance(1e-6, -1e-6)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            WireTechnology(0.0, 1e-4, 1e-10)
+        with pytest.raises(ValidationError):
+            WireTechnology(0.1, -1e-4, 1e-10)
+
+    def test_wire_rc_helper(self):
+        r, c = wire_rc(100e-6, 1e-6)
+        assert r > 0 and c > 0
+
+
+class TestTreeFromSegments:
+    def _segments(self):
+        return [
+            WireSegment("drv", "mid", 100e-6, 1e-6),
+            WireSegment("mid", "s1", 50e-6, 1e-6),
+            WireSegment("mid", "s2", 80e-6, 1e-6),
+        ]
+
+    def test_builds_tree_with_driver(self):
+        tree = tree_from_segments(self._segments(), driver_resistance=200.0)
+        assert "drv" in tree
+        assert "s1" in tree and "s2" in tree
+        assert tree.node("drv").resistance == 200.0
+        tree.validate()
+
+    def test_total_capacitance_conserved(self):
+        segs = self._segments()
+        expected = sum(s.capacitance() for s in segs)
+        tree = tree_from_segments(segs, driver_resistance=200.0)
+        assert tree.total_capacitance() == pytest.approx(expected)
+
+    def test_total_capacitance_conserved_multisection(self):
+        segs = self._segments()
+        expected = sum(s.capacitance() for s in segs)
+        tree = tree_from_segments(segs, driver_resistance=200.0,
+                                  sections_per_segment=4)
+        assert tree.total_capacitance() == pytest.approx(expected)
+
+    def test_pi_sections_preserve_far_end_elmore(self):
+        """Pi-splitting preserves the far-end Elmore delay exactly at any
+        section count: T_D = R_drv * C_wire + R_wire * C_wire / 2 (the
+        distributed-wire value)."""
+        seg = WireSegment("drv", "s1", 1000e-6, 1e-6)
+        r_wire, c_wire = seg.resistance(), seg.capacitance()
+        expected = 100.0 * c_wire + r_wire * c_wire / 2.0
+        for n in (1, 2, 8, 32):
+            tree = tree_from_segments([seg], 100.0, sections_per_segment=n)
+            assert elmore_delay(tree, "s1") == pytest.approx(expected)
+
+    def test_more_sections_refine_higher_moments(self):
+        """The second moment (variance of h) does move with sectioning and
+        converges toward the distributed limit."""
+        from repro.core import transfer_moments
+        seg = WireSegment("drv", "s1", 1000e-6, 1e-6)
+        sigmas = []
+        for n in (1, 4, 16, 64):
+            tree = tree_from_segments([seg], 100.0, sections_per_segment=n)
+            sigmas.append(transfer_moments(tree, 2).sigma("s1"))
+        jumps = [abs(b - a) for a, b in zip(sigmas, sigmas[1:])]
+        assert jumps[-1] < jumps[0]
+
+    def test_pin_loads_added(self):
+        tree = tree_from_segments(
+            self._segments(), 200.0, pin_loads={"s1": 10e-15}
+        )
+        bare = tree_from_segments(self._segments(), 200.0)
+        assert tree.node("s1").capacitance == pytest.approx(
+            bare.node("s1").capacitance + 10e-15
+        )
+
+    def test_rejects_cycles(self):
+        segs = self._segments() + [WireSegment("s1", "s2", 10e-6, 1e-6)]
+        with pytest.raises(ValidationError):
+            tree_from_segments(segs, 200.0)
+
+    def test_rejects_unreachable(self):
+        segs = [WireSegment("ghost", "s1", 10e-6, 1e-6)]
+        with pytest.raises(ValidationError):
+            tree_from_segments(segs, 200.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            tree_from_segments([], 200.0)
+        with pytest.raises(ValidationError):
+            tree_from_segments(self._segments(), 0.0)
+        with pytest.raises(ValidationError):
+            tree_from_segments(self._segments(), 200.0,
+                               sections_per_segment=0)

@@ -1,0 +1,207 @@
+"""Unit tests for the paper's Theorem and Corollaries 1-3."""
+
+import numpy as np
+import pytest
+
+from repro import RCTree
+from repro._exceptions import AnalysisError
+from repro.analysis import ExactAnalysis, measure_delay, sample_waveform
+from repro.core.bounds import (
+    area_theorem_delay,
+    delay_bounds,
+    delay_lower_bound,
+    delay_upper_bound,
+    output_derivative_moments,
+    rise_time_estimate,
+)
+from repro.core.moments import transfer_moments
+from repro.signals import (
+    ExponentialInput,
+    RaisedCosineRamp,
+    SaturatedRamp,
+    SmoothstepRamp,
+    StepInput,
+)
+
+
+class TestStepBounds:
+    """The Theorem and Corollary 1 on the step response."""
+
+    def test_upper_bound_is_elmore(self, fig1):
+        assert delay_upper_bound(fig1, "n5") == pytest.approx(
+            1.2e-9, rel=1e-3
+        )
+
+    def test_bounds_contain_actual_delay(self, corpus):
+        for tree in corpus:
+            analysis = ExactAnalysis(tree)
+            bounds = delay_bounds(tree)
+            for name in tree.node_names:
+                actual = measure_delay(analysis, name)
+                b = bounds[name]
+                assert b.contains(actual), (
+                    f"bound violated at {name}: "
+                    f"{b.lower} <= {actual} <= {b.upper}"
+                )
+
+    def test_lower_bound_clips_at_zero(self, fig1):
+        # At the driving point sigma > T_D, so the bound clips to 0.
+        assert delay_lower_bound(fig1, "n1") == 0.0
+        assert delay_lower_bound(fig1, "n5") == pytest.approx(
+            0.2e-9, rel=2e-2
+        )
+
+    def test_single_rc_exact_values(self, single_rc):
+        tau = 1e-6 * 1e-3  # 1000 ohm * 1 pF
+        assert delay_upper_bound(single_rc, "out") == pytest.approx(tau)
+        # mu = sigma = tau for one pole: lower bound is exactly 0.
+        assert delay_lower_bound(single_rc, "out") == 0.0
+
+    def test_bound_width_positive(self, corpus):
+        for tree in corpus:
+            for b in delay_bounds(tree).values():
+                assert b.width >= 0.0
+                assert b.lower >= 0.0
+
+    def test_moments_reuse(self, fig1):
+        moments = transfer_moments(fig1, 3)
+        b1 = delay_bounds(fig1, "n5")
+        b2 = delay_bounds(fig1, "n5", moments=moments)
+        assert b1.upper == b2.upper and b1.lower == b2.lower
+
+
+class TestGeneralizedBounds:
+    """Corollary 2: the bound holds for unimodal-derivative inputs."""
+
+    @pytest.mark.parametrize(
+        "signal",
+        [
+            SaturatedRamp(1e-9),
+            SaturatedRamp(10e-9),
+            RaisedCosineRamp(2e-9),
+            SmoothstepRamp(3e-9),
+            ExponentialInput(1e-9),
+        ],
+        ids=["ramp1n", "ramp10n", "raised_cos", "smoothstep", "exponential"],
+    )
+    def test_bounds_contain_measured_delay(self, fig1, signal):
+        analysis = ExactAnalysis(fig1)
+        for node in ("n1", "n5", "n7"):
+            b = delay_bounds(fig1, node, signal=signal)
+            actual = measure_delay(analysis, node, signal)
+            assert b.contains(actual, rel_tol=1e-6), (
+                f"{node}/{signal.describe()}: "
+                f"{b.lower} <= {actual} <= {b.upper}"
+            )
+
+    def test_symmetric_input_upper_bound_is_elmore(self, fig1):
+        """For symmetric-derivative inputs the measured-from-input-50%
+        upper bound equals T_D regardless of rise time."""
+        td = delay_upper_bound(fig1, "n5")
+        for tr in (0.1e-9, 1e-9, 10e-9):
+            b = delay_bounds(fig1, "n5", signal=SaturatedRamp(tr))
+            assert b.upper == pytest.approx(td, rel=1e-12)
+
+    def test_asymmetric_input_upper_bound_exceeds_elmore(self, fig1):
+        """The exponential's mean-median gap adds positive margin."""
+        td = delay_upper_bound(fig1, "n5")
+        b = delay_bounds(fig1, "n5", signal=ExponentialInput(1e-9))
+        assert b.upper > td
+
+    def test_output_derivative_moments_additivity(self, fig1):
+        moments = transfer_moments(fig1, 3)
+        signal = SaturatedRamp(2e-9)
+        out = output_derivative_moments(moments, "n5", signal)
+        din = signal.derivative_moments()
+        assert out["mean"] == pytest.approx(moments.mean("n5") + din.mean)
+        assert out["mu2"] == pytest.approx(
+            moments.variance("n5") + din.mu2
+        )
+        assert out["mu3"] == pytest.approx(
+            moments.third_central_moment("n5") + din.mu3
+        )
+
+    def test_non_unimodal_input_rejected(self, fig1):
+        from repro.signals import PWLSignal
+        # Two separated ramps: bimodal derivative.
+        bimodal = PWLSignal(
+            times=[0.0, 1e-9, 4e-9, 5e-9],
+            values=[0.0, 0.5, 0.5, 1.0],
+        )
+        assert not bimodal.derivative_unimodal
+        with pytest.raises(AnalysisError):
+            delay_bounds(fig1, "n5", signal=bimodal)
+
+
+class TestCorollary3:
+    """Delay -> T_D from below as rise time increases."""
+
+    def test_delay_increases_with_rise_time(self, fig1):
+        analysis = ExactAnalysis(fig1)
+        td = delay_upper_bound(fig1, "n5")
+        rts = [0.5e-9, 1e-9, 2e-9, 5e-9, 10e-9, 30e-9]
+        delays = [
+            measure_delay(analysis, "n5", SaturatedRamp(tr)) for tr in rts
+        ]
+        assert all(a < b for a, b in zip(delays, delays[1:]))
+        assert all(d <= td * (1 + 1e-12) for d in delays)
+
+    def test_delay_converges_to_elmore(self, fig1):
+        analysis = ExactAnalysis(fig1)
+        td = delay_upper_bound(fig1, "n5")
+        d = measure_delay(analysis, "n5", SaturatedRamp(100e-9))
+        assert d == pytest.approx(td, rel=2e-3)
+
+    def test_skewness_decays_with_rise_time(self, fig1):
+        gammas = [
+            delay_bounds(fig1, "n5", signal=SaturatedRamp(tr)).skewness
+            for tr in (1e-9, 5e-9, 25e-9)
+        ]
+        assert gammas[0] > gammas[1] > gammas[2] > 0.0
+
+
+class TestRiseTimeEstimate:
+    def test_sigma_tracks_measured_rise_time(self, corpus):
+        """sigma is proportional to the 10-90% rise time: the ratio stays
+        within a band across shapes (exact for one pole: ln9 ~ 2.197)."""
+        from repro.analysis import output_rise_time
+        ratios = []
+        for tree in corpus[:5]:
+            leaf = tree.leaves()[0]
+            sigma = rise_time_estimate(tree, leaf)
+            tr = output_rise_time(tree, leaf)
+            ratios.append(tr / sigma)
+        assert all(1.0 < r < 3.0 for r in ratios)
+
+    def test_single_pole_value(self, single_rc):
+        from repro.analysis import output_rise_time
+        tau = 1e-9
+        assert rise_time_estimate(single_rc, "out") == pytest.approx(tau)
+        assert output_rise_time(single_rc, "out") == pytest.approx(
+            tau * np.log(9.0), rel=1e-9
+        )
+
+
+class TestAreaTheorem:
+    """eq. (48): area between input and output equals T_D."""
+
+    @pytest.mark.parametrize(
+        "signal",
+        [StepInput(), SaturatedRamp(2e-9), ExponentialInput(0.5e-9)],
+        ids=["step", "ramp", "exponential"],
+    )
+    def test_area_equals_elmore(self, fig1, signal):
+        analysis = ExactAnalysis(fig1)
+        transfer = analysis.transfer("n5")
+        horizon = max(signal.settle_time, 0.0) + transfer.settle_time(1e-13)
+        t = np.linspace(0.0, horizon, 40001)
+        area = area_theorem_delay(
+            t, signal.value(t), transfer.response(signal, t)
+        )
+        assert area == pytest.approx(
+            delay_upper_bound(fig1, "n5"), rel=1e-6
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            area_theorem_delay(np.arange(3.0), np.arange(3.0), np.arange(4.0))

@@ -1,0 +1,49 @@
+"""Tests for the combined (intersected) delay bounds."""
+
+import pytest
+
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.core.combined import combined_delay_bounds
+
+
+class TestCombinedBounds:
+    def test_tighter_or_equal_to_both(self, fig1):
+        for b in combined_delay_bounds(fig1).values():
+            e_lo, e_hi = b.elmore_pair
+            p_lo, p_hi = b.prh_pair
+            assert b.lower >= max(e_lo, p_lo) - 1e-30
+            assert b.upper <= min(e_hi, p_hi) + 1e-30
+            assert b.width <= (e_hi - e_lo) + 1e-30
+            assert b.width <= (p_hi - p_lo) + 1e-30
+
+    def test_contains_actual_delay(self, fig1, corpus):
+        for tree in [fig1] + corpus[:4]:
+            analysis = ExactAnalysis(tree)
+            for name, b in combined_delay_bounds(tree).items():
+                actual = measure_delay(analysis, name)
+                assert b.contains(actual, rel_tol=1e-6)
+
+    def test_table1_provenance(self, fig1):
+        """The paper's observation encoded: at the loads PRH's t_min wins
+        the lower edge; at the driving point the two uppers tie at T_D."""
+        bounds = combined_delay_bounds(fig1)
+        assert bounds["n5"].tightest_lower == "prh"
+        assert bounds["n7"].tightest_lower == "prh"
+        at_drv = bounds["n1"]
+        assert at_drv.elmore_pair[1] == pytest.approx(
+            at_drv.prh_pair[1], rel=1e-12
+        )
+
+    def test_single_node_api(self, fig1):
+        b = combined_delay_bounds(fig1, "n5")
+        assert b.node == "n5"
+        assert 0.4e-9 < b.lower < b.upper < 1.4e-9
+
+    def test_elmore_upper_can_win(self, corpus):
+        """Across a corpus, each family wins the upper edge somewhere."""
+        winners = set()
+        for tree in corpus:
+            for b in combined_delay_bounds(tree).values():
+                winners.add(b.tightest_upper)
+        assert "elmore" in winners
+        assert "prh" in winners

@@ -1,0 +1,125 @@
+"""Unit tests for Elmore delay and the PRH path-traced time constants."""
+
+import numpy as np
+import pytest
+
+from repro import RCTree
+from repro._exceptions import ValidationError
+from repro.core.elmore import (
+    downstream_capacitance,
+    elmore_delay,
+    elmore_delay_quadratic,
+    elmore_delays,
+    rph_time_constants,
+)
+
+
+class TestDownstreamCapacitance:
+    def test_line(self, simple_line):
+        cdown = downstream_capacitance(simple_line)
+        np.testing.assert_allclose(cdown, [5e-12, 4e-12, 3e-12, 2e-12, 1e-12])
+
+    def test_branched(self, branched_tree):
+        cdown = downstream_capacitance(branched_tree)
+        expect = {
+            "trunk": 0.75e-12, "a1": 0.5e-12, "a2": 0.4e-12, "b1": 0.05e-12,
+        }
+        for name, value in expect.items():
+            assert cdown[branched_tree.index_of(name)] == pytest.approx(value)
+
+
+class TestElmoreDelay:
+    def test_hand_computed_branch(self, branched_tree):
+        # T_D(a2) = R_trunk * Ctot + R_a1 * (C_a1 + C_a2) + R_a2 * C_a2.
+        expected = (
+            200.0 * 0.75e-12 + 150.0 * 0.5e-12 + 300.0 * 0.4e-12
+        )
+        assert elmore_delay(branched_tree, "a2") == pytest.approx(expected)
+
+    def test_all_nodes_map(self, branched_tree):
+        delays = elmore_delay(branched_tree)
+        assert set(delays) == set(branched_tree.node_names)
+        assert delays["a2"] == pytest.approx(
+            elmore_delay(branched_tree, "a2")
+        )
+
+    def test_monotone_along_root_paths(self, corpus):
+        """T_D never decreases walking away from the driver."""
+        for tree in corpus:
+            delays = elmore_delay(tree)
+            for name in tree.node_names:
+                parent = tree.parent_of(name)
+                if parent != tree.input_node:
+                    assert delays[name] >= delays[parent] - 1e-30
+
+    def test_matches_quadratic_oracle(self, corpus):
+        for tree in corpus:
+            fast = elmore_delay(tree)
+            for name in tree.node_names:
+                assert fast[name] == pytest.approx(
+                    elmore_delay_quadratic(tree, name), rel=1e-10
+                )
+
+    def test_fig1_table1_column3(self, fig1):
+        assert elmore_delay(fig1, "n1") == pytest.approx(0.55e-9, rel=1e-3)
+        assert elmore_delay(fig1, "n5") == pytest.approx(1.20e-9, rel=1e-3)
+        assert elmore_delay(fig1, "n7") == pytest.approx(0.75e-9, rel=1e-3)
+
+    def test_requires_capacitance(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 10.0, 0.0)
+        with pytest.raises(ValidationError):
+            elmore_delays(tree)
+
+
+class TestRPHTimeConstants:
+    def test_ordering_tr_td_tp(self, corpus):
+        """T_R <= T_D <= T_P at every node of every tree."""
+        for tree in corpus:
+            constants = rph_time_constants(tree)
+            assert np.all(constants.t_r <= constants.t_d * (1 + 1e-12))
+            assert np.all(constants.t_d <= constants.t_p * (1 + 1e-12))
+
+    def test_tp_definition(self, branched_tree):
+        constants = rph_time_constants(branched_tree)
+        expected = sum(
+            branched_tree.path_resistance(k) * branched_tree.node(k).capacitance
+            for k in branched_tree.node_names
+        )
+        assert constants.t_p == pytest.approx(expected)
+
+    def test_td_matches_elmore(self, fig1):
+        constants = rph_time_constants(fig1)
+        np.testing.assert_allclose(
+            constants.t_d, elmore_delays(fig1), rtol=1e-12
+        )
+
+    def test_tr_quadratic_oracle(self, corpus):
+        """T_R_i = sum_k R_ki^2 C_k / R_ii via direct double loop."""
+        for tree in corpus[:4]:
+            constants = rph_time_constants(tree)
+            for name in tree.node_names:
+                w = sum(
+                    tree.shared_path_resistance(k, name) ** 2
+                    * tree.node(k).capacitance
+                    for k in tree.node_names
+                )
+                expected = w / tree.path_resistance(name)
+                i = tree.index_of(name)
+                assert constants.t_r[i] == pytest.approx(expected, rel=1e-9)
+
+    def test_driving_point_tr_equals_td(self):
+        """At a node whose root path is fully shared with every other node
+        (the driving point behind a single driver resistor), T_R = T_D."""
+        tree = RCTree("in")
+        tree.add_node("drv", "in", 100.0, 1e-12)
+        tree.add_node("x", "drv", 50.0, 2e-12)
+        tree.add_node("y", "drv", 75.0, 3e-12)
+        constants = rph_time_constants(tree)
+        at = constants.at("drv")
+        assert at.t_r == pytest.approx(at.t_d)
+
+    def test_at_accessor(self, fig1):
+        at = rph_time_constants(fig1).at("n5")
+        assert at.t_d == pytest.approx(1.2e-9, rel=1e-3)
+        assert at.t_p > at.t_d > at.t_r > 0

@@ -1,0 +1,125 @@
+"""Tests for the incremental Elmore oracle."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ValidationError
+from repro.circuit import balanced_tree, rc_line
+from repro.core import elmore_delay
+from repro.core.incremental import IncrementalElmore
+
+
+class TestConsistencyWithBatch:
+    def test_initial_state_matches(self, branched_tree):
+        inc = IncrementalElmore(branched_tree)
+        batch = elmore_delay(branched_tree)
+        for name, expected in batch.items():
+            assert inc.delay(name) == pytest.approx(expected, rel=1e-12)
+        assert inc.delays() == pytest.approx(batch, rel=1e-12)
+
+    def test_random_edit_sequence(self, corpus, rng):
+        for tree in corpus[:4]:
+            inc = IncrementalElmore(tree)
+            shadow = tree.copy()
+            names = list(tree.node_names)
+            for _ in range(30):
+                name = names[int(rng.integers(0, len(names)))]
+                kind = rng.integers(0, 3)
+                if kind == 0:
+                    c = float(rng.uniform(0, 2e-12))
+                    inc.set_capacitance(name, c)
+                    shadow.set_capacitance(name, c)
+                elif kind == 1:
+                    d = float(rng.uniform(0, 1e-13))
+                    inc.add_capacitance(name, d)
+                    shadow.add_load(name, d)
+                else:
+                    r = float(rng.uniform(1.0, 5e3))
+                    inc.set_resistance(name, r)
+                    shadow.set_resistance(name, r)
+                probe = names[int(rng.integers(0, len(names)))]
+                assert inc.delay(probe) == pytest.approx(
+                    elmore_delay(shadow, probe), rel=1e-10
+                )
+
+    def test_as_tree_round_trip(self, branched_tree):
+        inc = IncrementalElmore(branched_tree)
+        inc.set_capacitance("a1", 0.9e-12)
+        inc.set_resistance("trunk", 333.0)
+        rebuilt = inc.as_tree()
+        assert rebuilt.node("a1").capacitance == pytest.approx(0.9e-12)
+        assert rebuilt.node("trunk").resistance == pytest.approx(333.0)
+        for name in branched_tree.node_names:
+            assert inc.delay(name) == pytest.approx(
+                elmore_delay(rebuilt, name), rel=1e-12
+            )
+
+
+class TestEditSemantics:
+    def test_cap_edit_affects_only_shared_paths(self):
+        line = rc_line(5, 100.0, 1e-12)
+        inc = IncrementalElmore(line)
+        before = {n: inc.delay(n) for n in line.node_names}
+        inc.add_capacitance("n3", 1e-12)
+        # Delay at n2 changes by R_{n3,n2} * dC = 200 * 1e-12.
+        assert inc.delay("n2") - before["n2"] == pytest.approx(2e-10)
+        # At n5 the shared path is up to n3: 300 ohm.
+        assert inc.delay("n5") - before["n5"] == pytest.approx(3e-10)
+
+    def test_resistance_edit_affects_downstream_only(self):
+        line = rc_line(5, 100.0, 1e-12)
+        inc = IncrementalElmore(line)
+        before = {n: inc.delay(n) for n in line.node_names}
+        inc.set_resistance("n3", 200.0)
+        assert inc.delay("n2") == pytest.approx(before["n2"])
+        # Downstream nodes gain dR * Cdown(n3) = 100 * 3e-12.
+        assert inc.delay("n4") - before["n4"] == pytest.approx(3e-10)
+
+    def test_original_tree_untouched(self, branched_tree):
+        base = elmore_delay(branched_tree, "a2")
+        inc = IncrementalElmore(branched_tree)
+        inc.set_capacitance("a2", 5e-12)
+        assert elmore_delay(branched_tree, "a2") == pytest.approx(base)
+
+    def test_accessors(self, branched_tree):
+        inc = IncrementalElmore(branched_tree)
+        assert inc.capacitance("a1") == pytest.approx(0.1e-12)
+        assert inc.resistance("trunk") == pytest.approx(200.0)
+        assert inc.total_capacitance() == pytest.approx(0.75e-12)
+
+    def test_apply_batch(self, branched_tree):
+        inc = IncrementalElmore(branched_tree)
+        inc.apply([
+            ("C", "a1", 0.5e-12),
+            ("dC", "b1", 0.1e-12),
+            ("R", "trunk", 100.0),
+        ])
+        assert inc.capacitance("a1") == pytest.approx(0.5e-12)
+        assert inc.capacitance("b1") == pytest.approx(0.15e-12)
+        assert inc.resistance("trunk") == 100.0
+
+    def test_validation(self, branched_tree):
+        inc = IncrementalElmore(branched_tree)
+        with pytest.raises(ValidationError):
+            inc.delay("ghost")
+        with pytest.raises(ValidationError):
+            inc.set_capacitance("a1", -1.0)
+        with pytest.raises(ValidationError):
+            inc.set_resistance("a1", 0.0)
+        with pytest.raises(ValidationError):
+            inc.add_capacitance("a1", -1.0)
+        with pytest.raises(ValidationError):
+            inc.apply([("X", "a1", 1.0)])
+
+
+class TestComplexity:
+    def test_balanced_tree_edits_touch_log_nodes(self):
+        """Indirect complexity check: an edit at a leaf of a deep balanced
+        tree changes cdown only along the root path."""
+        tree = balanced_tree(8, 2, 10.0, 1e-15)
+        inc = IncrementalElmore(tree)
+        leaf = tree.leaves()[0]
+        before = inc._cdown.copy()
+        inc.add_capacitance(leaf, 1e-15)
+        changed = np.flatnonzero(inc._cdown != before)
+        assert changed.size == tree.depth_of(leaf)

@@ -1,0 +1,238 @@
+"""Unit tests for the moment engine (the heart of the paper's math)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import RCTree
+from repro._exceptions import AnalysisError, ValidationError
+from repro.analysis.mna import mna_transfer_moments
+from repro.core.moments import (
+    admittance_moments,
+    central_moments_from_raw,
+    distribution_from_transfer,
+    moments_of_impulse_train,
+    transfer_from_distribution,
+    transfer_moments,
+)
+
+
+class TestSingleRC:
+    """For R into C: H(s) = 1/(1 + sRC), everything is known analytically."""
+
+    R, C = 1000.0, 1e-12
+    TAU = R * C
+
+    @pytest.fixture
+    def moments(self, single_rc):
+        return transfer_moments(single_rc, 5)
+
+    def test_transfer_coefficients(self, moments):
+        # m_q = (-tau)^q.
+        m = moments.at("out")
+        for q in range(6):
+            assert m[q] == pytest.approx((-self.TAU) ** q)
+
+    def test_distribution_moments(self, moments):
+        # M_q = q! tau^q for an exponential density.
+        raw = moments.raw_moments("out")
+        for q in range(6):
+            assert raw[q] == pytest.approx(math.factorial(q) * self.TAU**q)
+
+    def test_mean_variance_skewness(self, moments):
+        assert moments.mean("out") == pytest.approx(self.TAU)
+        assert moments.variance("out") == pytest.approx(self.TAU**2)
+        assert moments.sigma("out") == pytest.approx(self.TAU)
+        assert moments.third_central_moment("out") == pytest.approx(
+            2 * self.TAU**3
+        )
+        assert moments.skewness("out") == pytest.approx(2.0)
+
+
+class TestRecursionAgainstMNA:
+    """The O(N) tree recursion must match dense MNA solves exactly."""
+
+    def test_line(self, simple_line):
+        tree_m = transfer_moments(simple_line, 4).coefficients
+        mna_m = mna_transfer_moments(simple_line, 4)
+        np.testing.assert_allclose(tree_m, mna_m, rtol=1e-12)
+
+    def test_branched(self, branched_tree):
+        tree_m = transfer_moments(branched_tree, 5).coefficients
+        mna_m = mna_transfer_moments(branched_tree, 5)
+        np.testing.assert_allclose(tree_m, mna_m, rtol=1e-12)
+
+    def test_fig1(self, fig1):
+        tree_m = transfer_moments(fig1, 6).coefficients
+        mna_m = mna_transfer_moments(fig1, 6)
+        np.testing.assert_allclose(tree_m, mna_m, rtol=1e-12)
+
+    def test_corpus(self, corpus):
+        for tree in corpus:
+            a = transfer_moments(tree, 3).coefficients
+            b = mna_transfer_moments(tree, 3)
+            np.testing.assert_allclose(a, b, rtol=1e-9)
+
+
+class TestMomentProperties:
+    def test_zeroth_row_is_one(self, fig1):
+        coeffs = transfer_moments(fig1, 2).coefficients
+        np.testing.assert_allclose(coeffs[0], 1.0)
+
+    def test_first_moment_is_minus_elmore(self, fig1):
+        from repro.core import elmore_delays
+        moments = transfer_moments(fig1, 1)
+        np.testing.assert_allclose(
+            moments.elmore_delays(), elmore_delays(fig1), rtol=1e-12
+        )
+
+    def test_signs_alternate(self, fig1):
+        """m_q = (-1)^q |m_q| for RC trees (all distribution moments are
+        positive)."""
+        coeffs = transfer_moments(fig1, 5).coefficients
+        for q in range(6):
+            expected_sign = 1.0 if q % 2 == 0 else -1.0
+            assert np.all(np.sign(coeffs[q]) == expected_sign)
+
+    def test_variance_nonnegative_everywhere(self, corpus):
+        for tree in corpus:
+            moments = transfer_moments(tree, 2)
+            for name in tree.node_names:
+                assert moments.variance(name) >= 0.0
+
+    def test_skewness_nonnegative_everywhere(self, corpus):
+        """Lemma 2 checked via the moment algebra."""
+        for tree in corpus:
+            moments = transfer_moments(tree, 3)
+            for name in tree.node_names:
+                assert moments.third_central_moment(name) >= -1e-30
+                assert moments.skewness(name) >= -1e-9
+
+    def test_order_accessors_guarded(self, single_rc):
+        moments = transfer_moments(single_rc, 1)
+        with pytest.raises(AnalysisError):
+            moments.variance("out")
+        with pytest.raises(AnalysisError):
+            moments.third_central_moment("out")
+
+    def test_invalid_order(self, single_rc):
+        with pytest.raises(ValidationError):
+            transfer_moments(single_rc, 0)
+
+    def test_as_dict(self, branched_tree):
+        d = transfer_moments(branched_tree, 2).as_dict()
+        assert set(d) == set(branched_tree.node_names)
+
+    def test_node_index_or_name(self, branched_tree):
+        moments = transfer_moments(branched_tree, 2)
+        idx = branched_tree.index_of("a2")
+        assert moments.mean("a2") == moments.mean(idx)
+
+
+class TestAdmittanceMoments:
+    def test_single_rc(self, single_rc):
+        # Y = sC/(1+sRC): m1 = C, m2 = -RC^2, m3 = R^2 C^3.
+        m = admittance_moments(single_rc, 3)
+        r, c = 1000.0, 1e-12
+        assert m[0] == 0.0
+        assert m[1] == pytest.approx(c)
+        assert m[2] == pytest.approx(-r * c**2)
+        assert m[3] == pytest.approx(r**2 * c**3)
+
+    def test_first_moment_is_total_cap(self, fig1):
+        m = admittance_moments(fig1, 1)
+        assert m[1] == pytest.approx(fig1.total_capacitance())
+
+    def test_order_one_shortcut_consistent(self, fig1):
+        assert admittance_moments(fig1, 1)[1] == pytest.approx(
+            admittance_moments(fig1, 3)[1]
+        )
+
+    def test_sign_pattern(self, corpus):
+        """m1 > 0, m2 <= 0, m3 >= 0 for RC driving points."""
+        for tree in corpus:
+            m = admittance_moments(tree, 3)
+            assert m[1] > 0.0
+            assert m[2] <= 1e-30
+            assert m[3] >= -1e-45
+
+    def test_invalid_order(self, single_rc):
+        with pytest.raises(ValidationError):
+            admittance_moments(single_rc, 0)
+
+
+class TestConversions:
+    def test_distribution_transfer_round_trip(self):
+        m = np.array([1.0, -2e-9, 3e-18, -4e-27])
+        raw = distribution_from_transfer(m)
+        np.testing.assert_allclose(transfer_from_distribution(raw), m)
+
+    def test_distribution_values(self):
+        raw = distribution_from_transfer([1.0, -1.0, 0.5])
+        np.testing.assert_allclose(raw, [1.0, 1.0, 1.0])
+
+    def test_central_from_raw_matches_definitions(self, rng):
+        # Discrete density: central moments computable directly.
+        times = rng.uniform(0.0, 5.0, size=8)
+        weights = rng.uniform(0.1, 1.0, size=8)
+        raw = moments_of_impulse_train(times, weights, 3)
+        central = central_moments_from_raw(raw)
+        mean = np.average(times, weights=weights)
+        mu2 = np.average((times - mean) ** 2, weights=weights)
+        mu3 = np.average((times - mean) ** 3, weights=weights)
+        assert central[1] == pytest.approx(0.0, abs=1e-12)
+        assert central[2] == pytest.approx(mu2)
+        assert central[3] == pytest.approx(mu3)
+
+    def test_central_moments_eq27(self, fig1):
+        """Verify eq. (27) explicitly: mu2 = 2 m2 - m1^2,
+        mu3 = -6 m3 + 6 m1 m2 - 2 m1^3."""
+        moments = transfer_moments(fig1, 3)
+        for node in fig1.node_names:
+            m = moments.at(node)
+            assert moments.variance(node) == pytest.approx(
+                2 * m[2] - m[1] ** 2
+            )
+            assert moments.third_central_moment(node) == pytest.approx(
+                -6 * m[3] + 6 * m[1] * m[2] - 2 * m[1] ** 3
+            )
+
+    def test_central_from_raw_guards(self):
+        with pytest.raises(AnalysisError):
+            central_moments_from_raw([0.0, 1.0])
+
+    def test_impulse_train_shape_guard(self):
+        with pytest.raises(ValidationError):
+            moments_of_impulse_train(np.ones(3), np.ones(4), 2)
+
+
+class TestCentralMomentAdditivity:
+    """Appendix B: central moments add under convolution.
+
+    Convolution of transfer functions = series connection of stages; the
+    tree recursion realizes it, so check mu2/mu3 at a node equals the sum
+    over the chain of per-stage contributions for a cascade of isolated
+    RC stages (where stages don't load each other only if separated by
+    ideal buffers — instead we verify additivity directly on densities).
+    """
+
+    def test_convolution_of_discrete_densities(self, rng):
+        # Two discrete densities, convolved; central moments must add.
+        t1 = rng.uniform(0, 1, 5)
+        w1 = rng.uniform(0.1, 1, 5)
+        w1 = w1 / w1.sum()
+        t2 = rng.uniform(0, 2, 4)
+        w2 = rng.uniform(0.1, 1, 4)
+        w2 = w2 / w2.sum()
+        # Convolution of impulse trains: all pairwise sums.
+        tc = (t1[:, None] + t2[None, :]).ravel()
+        wc = (w1[:, None] * w2[None, :]).ravel()
+        raw1 = moments_of_impulse_train(t1, w1, 3)
+        raw2 = moments_of_impulse_train(t2, w2, 3)
+        rawc = moments_of_impulse_train(tc, wc, 3)
+        c1 = central_moments_from_raw(raw1)
+        c2 = central_moments_from_raw(raw2)
+        cc = central_moments_from_raw(rawc)
+        assert cc[2] == pytest.approx(c1[2] + c2[2])
+        assert cc[3] == pytest.approx(c1[3] + c2[3])

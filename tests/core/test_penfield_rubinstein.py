@@ -1,0 +1,141 @@
+"""Unit tests for the Penfield-Rubinstein waveform bounds."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import AnalysisError
+from repro.analysis import ExactAnalysis, measure_delay, threshold_crossing
+from repro.core.penfield_rubinstein import (
+    PRHBounds,
+    prh_bounds,
+    prh_delay_interval,
+)
+
+
+class TestRegionStructure:
+    @pytest.fixture
+    def bounds(self):
+        # Generic constants with T_R < T_D < T_P.
+        return PRHBounds(node="x", t_p=4.0, t_d=2.0, t_r=1.0)
+
+    def test_tmin_zero_region(self, bounds):
+        # v <= 1 - T_D/T_P = 0.5 gives t_min = 0.
+        assert bounds.t_min(0.0) == 0.0
+        assert bounds.t_min(0.5) == 0.0
+
+    def test_tmin_linear_region(self, bounds):
+        # Between 0.5 and 1 - T_R/T_P = 0.75: T_D - T_P (1 - v).
+        assert bounds.t_min(0.6) == pytest.approx(2.0 - 4.0 * 0.4)
+
+    def test_tmin_log_region(self, bounds):
+        v = 0.9
+        expected = 2.0 - 1.0 + 1.0 * np.log(1.0 / (4.0 * 0.1))
+        assert bounds.t_min(v) == pytest.approx(expected)
+
+    def test_tmax_rational_region(self, bounds):
+        assert bounds.t_max(0.25) == pytest.approx(2.0 / 0.75 - 1.0)
+
+    def test_tmax_log_region(self, bounds):
+        v = 0.9
+        expected = 4.0 - 1.0 + 4.0 * np.log(2.0 / (4.0 * 0.1))
+        assert bounds.t_max(v) == pytest.approx(expected)
+
+    def test_continuity_at_region_boundaries(self, bounds):
+        for boundary in (0.5, 0.75):  # 1 - T_D/T_P and 1 - T_R/T_P
+            lo = bounds.t_min(boundary - 1e-12)
+            hi = bounds.t_min(boundary + 1e-12)
+            assert lo == pytest.approx(hi, abs=1e-9)
+            lo = bounds.t_max(boundary - 1e-12)
+            hi = bounds.t_max(boundary + 1e-12)
+            assert lo == pytest.approx(hi, abs=1e-9)
+
+    def test_monotone_in_v(self, bounds):
+        vs = np.linspace(0.0, 0.999, 500)
+        tmins = [bounds.t_min(v) for v in vs]
+        tmaxs = [bounds.t_max(v) for v in vs]
+        assert all(a <= b + 1e-15 for a, b in zip(tmins, tmins[1:]))
+        assert all(a <= b + 1e-15 for a, b in zip(tmaxs, tmaxs[1:]))
+
+    def test_tmin_below_tmax(self, bounds):
+        for v in np.linspace(0.0, 0.999, 200):
+            assert bounds.t_min(v) <= bounds.t_max(v) + 1e-15
+
+    def test_fraction_validation(self, bounds):
+        with pytest.raises(AnalysisError):
+            bounds.t_min(1.0)
+        with pytest.raises(AnalysisError):
+            bounds.t_max(-0.1)
+
+    def test_inconsistent_constants_rejected(self):
+        with pytest.raises(AnalysisError):
+            PRHBounds(node="x", t_p=1.0, t_d=2.0, t_r=0.5)  # T_D > T_P
+        with pytest.raises(AnalysisError):
+            PRHBounds(node="x", t_p=4.0, t_d=1.0, t_r=2.0)  # T_R > T_D
+        with pytest.raises(AnalysisError):
+            PRHBounds(node="x", t_p=0.0, t_d=0.0, t_r=0.0)
+
+
+class TestAgainstExactResponses:
+    def test_bounds_contain_crossings_everywhere(self, corpus):
+        """Every percentage crossing of every node's exact step response
+        lies inside [t_min, t_max]."""
+        fractions = (0.1, 0.3, 0.5, 0.7, 0.9)
+        for tree in corpus[:5]:
+            analysis = ExactAnalysis(tree)
+            all_bounds = prh_bounds(tree)
+            for name in tree.node_names:
+                transfer = analysis.transfer(name)
+                b = all_bounds[name]
+                for v in fractions:
+                    t = threshold_crossing(transfer, threshold=v)
+                    assert b.t_min(v) <= t * (1 + 1e-9) + 1e-30
+                    assert t <= b.t_max(v) * (1 + 1e-9) + 1e-30
+
+    def test_voltage_bounds_bracket_waveform(self, fig1):
+        analysis = ExactAnalysis(fig1)
+        b = prh_bounds(fig1, "n5")
+        transfer = analysis.transfer("n5")
+        for t in np.linspace(1e-12, 6e-9, 40):
+            v = float(transfer.step_response(np.asarray(t)))
+            assert b.voltage_lower(t) <= v + 1e-9
+            assert v <= b.voltage_upper(t) + 1e-9
+
+    def test_voltage_bounds_edge_cases(self, fig1):
+        b = prh_bounds(fig1, "n5")
+        assert b.voltage_lower(-1.0) == 0.0
+        assert b.voltage_upper(-1.0) == 0.0
+        assert b.voltage_upper(1.0) == pytest.approx(1.0)  # far future
+        assert b.voltage_lower(1.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_voltage_bound_inverse_consistency(self, fig1):
+        b = prh_bounds(fig1, "n5")
+        for v in (0.2, 0.5, 0.8):
+            assert b.voltage_lower(b.t_max(v)) == pytest.approx(v, rel=1e-6)
+            assert b.voltage_upper(b.t_min(v)) == pytest.approx(v, rel=1e-6)
+
+
+class TestTable1Columns:
+    def test_fig1_prh_intervals(self, fig1):
+        """Columns (6) and (7) of Table I."""
+        tmin, tmax = prh_delay_interval(fig1, "n1")
+        assert tmin == 0.0
+        assert tmax == pytest.approx(0.55e-9, rel=1e-2)
+        tmin, tmax = prh_delay_interval(fig1, "n5")
+        assert tmin == pytest.approx(0.51e-9, rel=3e-2)
+        assert tmax == pytest.approx(1.32e-9, rel=1e-2)
+        tmin, tmax = prh_delay_interval(fig1, "n7")
+        assert tmin == pytest.approx(0.054e-9, rel=5e-2)
+        assert tmax == pytest.approx(1.02e-9, rel=1e-2)
+
+    def test_tmax_equals_elmore_at_driving_point(self, fig1):
+        """The paper's observation: t_max = T_D at the driving point."""
+        from repro.core import elmore_delay
+        _, tmax = prh_delay_interval(fig1, "n1")
+        assert tmax == pytest.approx(elmore_delay(fig1, "n1"), rel=1e-12)
+
+    def test_interval_contains_actual(self, fig1):
+        analysis = ExactAnalysis(fig1)
+        for node in ("n1", "n5", "n7"):
+            tmin, tmax = prh_delay_interval(fig1, node)
+            actual = measure_delay(analysis, node)
+            assert tmin <= actual <= tmax

@@ -1,0 +1,118 @@
+"""Unit tests for Elmore-delay sensitivities."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import RCTree, rc_line
+from repro.core import elmore_delay
+from repro.core.sensitivity import elmore_sensitivity, total_elmore_gradient
+
+
+def finite_difference_r(tree, node, edge_child, h=1e-6):
+    base = elmore_delay(tree, node)
+    bumped = tree.copy()
+    r0 = bumped.node(edge_child).resistance
+    bumped.set_resistance(edge_child, r0 * (1 + h))
+    return (elmore_delay(bumped, node) - base) / (r0 * h)
+
+
+def finite_difference_c(tree, node, at_node, h=1e-18):
+    base = elmore_delay(tree, node)
+    bumped = tree.copy()
+    bumped.add_load(at_node, h)
+    return (elmore_delay(bumped, node) - base) / h
+
+
+class TestAgainstFiniteDifferences:
+    def test_line(self, simple_line):
+        sens = elmore_sensitivity(simple_line, "n3")
+        for child in simple_line.node_names:
+            assert sens.resistance_sensitivity(child) == pytest.approx(
+                finite_difference_r(simple_line, "n3", child), rel=1e-6
+            )
+            assert sens.capacitance_sensitivity(child) == pytest.approx(
+                finite_difference_c(simple_line, "n3", child), rel=1e-6
+            )
+
+    def test_branched(self, branched_tree):
+        for target in branched_tree.node_names:
+            sens = elmore_sensitivity(branched_tree, target)
+            for child in branched_tree.node_names:
+                assert sens.resistance_sensitivity(child) == pytest.approx(
+                    finite_difference_r(branched_tree, target, child),
+                    rel=1e-6, abs=1e-20,
+                )
+                assert sens.capacitance_sensitivity(child) == pytest.approx(
+                    finite_difference_c(branched_tree, target, child),
+                    rel=1e-6, abs=1e-9,
+                )
+
+    def test_corpus(self, corpus):
+        for tree in corpus[:4]:
+            target = tree.leaves()[0]
+            sens = elmore_sensitivity(tree, target)
+            for child in tree.node_names:
+                assert sens.resistance_sensitivity(child) == pytest.approx(
+                    finite_difference_r(tree, target, child),
+                    rel=1e-5, abs=1e-22,
+                )
+
+
+class TestStructure:
+    def test_dr_zero_off_path(self, branched_tree):
+        sens = elmore_sensitivity(branched_tree, "a2")
+        # b1 is off a2's root path.
+        assert sens.resistance_sensitivity("b1") == 0.0
+        assert sens.resistance_sensitivity("a1") > 0.0
+
+    def test_dc_is_shared_path_resistance(self, branched_tree):
+        sens = elmore_sensitivity(branched_tree, "a2")
+        for k in branched_tree.node_names:
+            assert sens.capacitance_sensitivity(k) == pytest.approx(
+                branched_tree.shared_path_resistance(k, "a2")
+            )
+
+    def test_dr_equals_downstream_cap_on_path(self, simple_line):
+        from repro.core import downstream_capacitance
+        sens = elmore_sensitivity(simple_line, "n5")
+        cdown = downstream_capacitance(simple_line)
+        np.testing.assert_allclose(sens.dR, cdown)
+
+    def test_predict_delta_exact_for_r_only(self, branched_tree):
+        sens = elmore_sensitivity(branched_tree, "a2")
+        bumped = branched_tree.copy()
+        bumped.set_resistance("trunk", 250.0)
+        predicted = sens.predict_delta(
+            resistance_deltas={"trunk": 50.0}
+        )
+        actual = elmore_delay(bumped, "a2") - elmore_delay(
+            branched_tree, "a2"
+        )
+        assert predicted == pytest.approx(actual, rel=1e-12)
+
+    def test_predict_delta_exact_for_c_only(self, branched_tree):
+        sens = elmore_sensitivity(branched_tree, "a2")
+        bumped = branched_tree.copy()
+        bumped.add_load("b1", 0.3e-12)
+        predicted = sens.predict_delta(
+            capacitance_deltas={"b1": 0.3e-12}
+        )
+        actual = elmore_delay(bumped, "a2") - elmore_delay(
+            branched_tree, "a2"
+        )
+        assert predicted == pytest.approx(actual, rel=1e-12)
+
+
+class TestWeightedGradient:
+    def test_linearity_over_sinks(self, branched_tree):
+        g_a = elmore_sensitivity(branched_tree, "a2")
+        g_b = elmore_sensitivity(branched_tree, "b1")
+        combined = total_elmore_gradient(
+            branched_tree, {"a2": 2.0, "b1": 0.5}
+        )
+        np.testing.assert_allclose(
+            combined["dR"], 2.0 * g_a.dR + 0.5 * g_b.dR
+        )
+        np.testing.assert_allclose(
+            combined["dC"], 2.0 * g_a.dC + 0.5 * g_b.dC
+        )

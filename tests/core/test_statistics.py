@@ -1,0 +1,138 @@
+"""Unit tests for the sampled-waveform statistics utilities."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import AnalysisError
+from repro.core.statistics import (
+    is_unimodal,
+    numeric_median,
+    numeric_mode,
+    numeric_raw_moments,
+    waveform_stats,
+)
+
+
+@pytest.fixture
+def gaussian_grid():
+    t = np.linspace(-6.0, 6.0, 4001)
+    return t, np.exp(-0.5 * t**2) / np.sqrt(2 * np.pi)
+
+
+class TestIsUnimodal:
+    def test_monotone_rising(self):
+        assert is_unimodal(np.linspace(0, 1, 50))
+
+    def test_monotone_falling(self):
+        assert is_unimodal(np.linspace(1, 0, 50))
+
+    def test_single_peak(self):
+        t = np.linspace(0, 1, 100)
+        assert is_unimodal(np.sin(np.pi * t))
+
+    def test_two_peaks_rejected(self):
+        t = np.linspace(0, 1, 400)
+        values = np.exp(-((t - 0.25) ** 2) / 0.002) + np.exp(
+            -((t - 0.75) ** 2) / 0.002
+        )
+        assert not is_unimodal(values)
+
+    def test_noise_tolerance(self):
+        t = np.linspace(0, 1, 100)
+        values = np.sin(np.pi * t)
+        noisy = values + 1e-12 * np.sin(80 * np.pi * t)
+        assert is_unimodal(noisy, rel_tol=1e-9)
+
+    def test_zero_density_rejected(self):
+        assert not is_unimodal(np.zeros(10))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(AnalysisError):
+            is_unimodal(np.array([1.0]))
+
+
+class TestNumericMoments:
+    def test_gaussian_moments(self, gaussian_grid):
+        t, f = gaussian_grid
+        raw = numeric_raw_moments(t, f, 2)
+        assert raw[0] == pytest.approx(1.0, abs=1e-8)
+        assert raw[1] == pytest.approx(0.0, abs=1e-8)
+        assert raw[2] == pytest.approx(1.0, abs=1e-6)
+
+    def test_exponential_median(self):
+        t = np.linspace(0.0, 40.0, 200001)
+        f = np.exp(-t)
+        assert numeric_median(t, f) == pytest.approx(np.log(2), rel=1e-5)
+
+    def test_median_symmetric(self, gaussian_grid):
+        t, f = gaussian_grid
+        assert numeric_median(t, f) == pytest.approx(0.0, abs=1e-6)
+
+    def test_mode_parabolic_refinement(self):
+        t = np.linspace(0.0, 2.0, 101)
+        # Peak truly at 0.97, between grid points.
+        f = np.exp(-((t - 0.97) ** 2) / 0.1)
+        assert numeric_mode(t, f) == pytest.approx(0.97, abs=1e-3)
+
+    def test_mode_at_left_edge(self):
+        t = np.linspace(0.0, 5.0, 100)
+        f = np.exp(-t)
+        assert numeric_mode(t, f) == 0.0
+
+    def test_median_guards(self):
+        with pytest.raises(AnalysisError):
+            numeric_median(np.array([0.0, 1.0]), np.array([0.0, 0.0]))
+        with pytest.raises(AnalysisError):
+            numeric_median(np.arange(3.0), np.arange(4.0))
+
+
+class TestWaveformStats:
+    def test_gaussian_all_coincide(self, gaussian_grid):
+        t, f = gaussian_grid
+        stats = waveform_stats(t, f)
+        assert stats.mean == pytest.approx(0.0, abs=1e-6)
+        assert stats.median == pytest.approx(0.0, abs=1e-6)
+        assert stats.mode == pytest.approx(0.0, abs=1e-3)
+        assert stats.mu2 == pytest.approx(1.0, rel=1e-4)
+        assert abs(stats.skewness) < 1e-4
+        assert stats.unimodal
+        assert stats.ordering_holds
+
+    def test_exponential_ordering(self):
+        t = np.linspace(0.0, 40.0, 100001)
+        f = np.exp(-t)
+        stats = waveform_stats(t, f)
+        # mode (0) <= median (ln 2) <= mean (1).
+        assert stats.mode <= stats.median <= stats.mean
+        assert stats.mean == pytest.approx(1.0, rel=1e-4)
+        assert stats.median == pytest.approx(np.log(2), rel=1e-4)
+        assert stats.skewness == pytest.approx(2.0, rel=1e-3)
+        assert stats.ordering_holds
+
+    def test_unnormalized_density_accepted(self):
+        t = np.linspace(0.0, 40.0, 50001)
+        f = 7.5 * np.exp(-t)
+        stats = waveform_stats(t, f)
+        assert stats.mass == pytest.approx(7.5, rel=1e-4)
+        assert stats.mean == pytest.approx(1.0, rel=1e-3)
+
+    def test_sigma_property(self):
+        t = np.linspace(0.0, 40.0, 50001)
+        stats = waveform_stats(t, np.exp(-t))
+        assert stats.sigma == pytest.approx(np.sqrt(stats.mu2))
+
+    def test_empty_mass_rejected(self):
+        with pytest.raises(AnalysisError):
+            waveform_stats(np.linspace(0, 1, 10), np.zeros(10))
+
+    def test_impulse_response_ordering(self, fig1):
+        """Sampled h(t) at the heavily skewed driving point obeys the
+        Theorem's ordering."""
+        from repro.analysis import ExactAnalysis
+        analysis = ExactAnalysis(fig1)
+        transfer = analysis.transfer("n1")
+        t = np.linspace(0.0, transfer.settle_time(1e-10), 20001)
+        stats = waveform_stats(t, transfer.impulse_response(t))
+        assert stats.unimodal
+        assert stats.ordering_holds
+        assert stats.mode < stats.median < stats.mean

@@ -1,0 +1,56 @@
+"""Unit tests for the claim-verification helpers."""
+
+import pytest
+
+from repro.circuit import rc_line
+from repro.core.verification import verify_area_theorem, verify_tree
+from repro.signals import SaturatedRamp
+
+
+class TestVerifyTree:
+    def test_fig1_all_claims_hold(self, fig1):
+        verdict = verify_tree(fig1)
+        assert verdict.all_hold, [
+            (v.node, v) for v in verdict.failures()
+        ]
+        assert len(verdict.nodes) == fig1.num_nodes
+
+    def test_node_subset(self, fig1):
+        verdict = verify_tree(fig1, nodes=["n5"])
+        assert len(verdict.nodes) == 1
+        assert verdict.nodes[0].node == "n5"
+
+    def test_verdict_fields_consistent(self, fig1):
+        verdict = verify_tree(fig1, nodes=["n5"])
+        v = verdict.nodes[0]
+        assert v.elmore == pytest.approx(1.2e-9, rel=1e-3)
+        assert v.actual_delay <= v.elmore
+        assert v.actual_delay >= v.lower_bound
+        assert v.stats.mode <= v.stats.median <= v.stats.mean
+        assert v.all_hold
+
+    def test_corpus_claims_hold(self, corpus):
+        for tree in corpus[:4]:
+            verdict = verify_tree(tree, samples=2001)
+            assert verdict.all_hold, verdict.failures()
+
+    def test_failures_empty_when_all_hold(self, single_rc):
+        assert verify_tree(single_rc).failures() == []
+
+
+class TestVerifyAreaTheorem:
+    def test_step_input(self, fig1):
+        result = verify_area_theorem(fig1, "n5")
+        assert result["relative_error"] < 1e-6
+        assert result["elmore"] == pytest.approx(1.2e-9, rel=1e-3)
+
+    def test_ramp_input(self, fig1):
+        result = verify_area_theorem(
+            fig1, "n7", signal=SaturatedRamp(3e-9)
+        )
+        assert result["relative_error"] < 1e-6
+
+    def test_line_leaf(self):
+        line = rc_line(8, 75.0, 0.3e-12)
+        result = verify_area_theorem(line, "n8")
+        assert result["relative_error"] < 1e-6

@@ -1,0 +1,20 @@
+branchy test deck $ title line with trailing comment
+VIN src 0 DC 3.3
+* driver
+RDRV src d 0.35k
+CD d 0 10f
+* two branches out of d, with continuations
+RB1 d b1
++ 210
+CB1 b1 0 95f
+RB2 d b2 180 ; inline comment
+CB2 b2 0
++ 140f
+RB1A b1 leafA 330
+CLEAFA leafA 0 60f
+RB2A b2 leafB 410
+CLEAFB leafB 0 75f
+.tran 1p 10n
+.print v(leafA)
+.end
+R_GHOST after end 999

@@ -1,0 +1,11 @@
+* four-segment line with mixed value formats
+VIN in 0 DC 1.0
+R1 in n1 0.12k
+C1 n1 0 120f
+R2 n1 n2 120
+C2 n2 0 0.12p
+R3 n2 n3 1.2e2
+C3 n3 0 120e-15
+R4 n3 n4 120
+C4 n4 0 120fF
+.end

@@ -1,0 +1,8 @@
+* elements in scrambled order, parallel caps merge at n2
+C2A n2 0 50f
+R2 n1 n2 200
+C1 n1 0 80f
+VIN in 0 1
+C2B 0 n2 70f
+R1 in n1 100
+.end

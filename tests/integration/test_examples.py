@@ -1,0 +1,78 @@
+"""Smoke tests: every example script runs end to end and asserts its own
+claims (the examples contain assert statements that embody the paper's
+bounds)."""
+
+import importlib.util
+import io
+import os
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+EXAMPLES = [
+    "quickstart.py",
+    "generalized_inputs.py",
+    "interconnect_exploration.py",
+    "sta_flow.py",
+    "repeater_insertion.py",
+    "clock_skew.py",
+    "variation_aware_timing.py",
+    "crosstalk_limits.py",
+]
+
+
+def run_example(filename):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, filename))
+    spec = importlib.util.spec_from_file_location(
+        f"example_{filename[:-3]}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        spec.loader.exec_module(module)
+        module.main()
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("filename", EXAMPLES)
+def test_example_runs(filename):
+    output = run_example(filename)
+    assert output.strip(), f"{filename} produced no output"
+
+
+class TestExampleContent:
+    def test_quickstart_shows_table(self):
+        out = run_example("quickstart.py")
+        assert "0.919" in out            # Table I actual delay at n5
+        assert "never lied" in out
+
+    def test_generalized_inputs_converges(self):
+        out = run_example("generalized_inputs.py")
+        assert "100.0% of T_D" in out    # Corollary 3 asymptote
+        assert "NO" not in out           # every bound held
+
+    def test_interconnect_agreement(self):
+        out = run_example("interconnect_exploration.py")
+        assert "Elmore's winner == exact winner: yes" in out
+
+    def test_sta_flow_certifies(self):
+        out = run_example("sta_flow.py")
+        assert "certified: elmore >= exact" in out
+
+    def test_repeater_quadratic_to_linear(self):
+        out = run_example("repeater_insertion.py")
+        assert "quadratically" in out
+
+    def test_clock_skew_bound(self):
+        out = run_example("clock_skew.py")
+        assert "certified skew bound" in out
+
+    def test_crosstalk_limits(self):
+        out = run_example("crosstalk_limits.py")
+        assert "(<= bound: NO)" in out      # the coupled case breaks it
+        assert out.count("(<= bound: yes)") == 1

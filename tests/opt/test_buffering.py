@@ -1,0 +1,251 @@
+"""Unit and integration tests for van Ginneken buffer insertion."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ValidationError
+from repro.circuit import RCTree, rc_line
+from repro.opt import (
+    BufferSink,
+    BufferType,
+    buffered_stage_delays,
+    insert_buffers,
+)
+
+BUF = BufferType("BUFX2", input_capacitance=12e-15,
+                 output_resistance=120.0, intrinsic_delay=25e-12)
+
+
+def long_line(n=20, r=80.0, c=40e-15):
+    """A long wire with node names w1..wn (driver pad edge included)."""
+    return rc_line(n, r, c, prefix="w")
+
+
+class TestBufferType:
+    def test_stage_delay(self):
+        assert BUF.stage_delay(100e-15) == pytest.approx(
+            25e-12 + 120.0 * 100e-15
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            BufferType("B", 0.0, 100.0)
+        with pytest.raises(ValidationError):
+            BufferType("B", 1e-15, -1.0)
+        with pytest.raises(ValidationError):
+            BufferType("B", 1e-15, 100.0, intrinsic_delay=-1e-12)
+        with pytest.raises(ValidationError):
+            BufferSink("x", -1e-15)
+
+
+class TestInsertBuffers:
+    def test_long_line_improves(self):
+        tree = long_line()
+        sinks = [BufferSink("w20", 20e-15)]
+        result = insert_buffers(tree, sinks, BUF, driver_resistance=300.0)
+        assert result.buffer_nodes            # buffers were used
+        assert result.improvement > 0.0
+        assert result.required_at_driver > result.unbuffered_required
+
+    def test_short_line_declines(self):
+        """On a short light wire the buffer's own delay isn't worth it."""
+        tree = rc_line(2, 20.0, 2e-15, prefix="w")
+        sinks = [BufferSink("w2", 5e-15)]
+        result = insert_buffers(tree, sinks, BUF, driver_resistance=100.0)
+        assert result.buffer_nodes == ()
+        assert result.improvement == pytest.approx(0.0, abs=1e-18)
+
+    def test_dp_required_matches_stage_evaluation(self):
+        """The DP's objective must equal the re-evaluated staged Elmore
+        delay of the chosen solution (zero required times: Q = -delay)."""
+        tree = long_line()
+        sinks = [BufferSink("w20", 20e-15, required_time=0.0)]
+        result = insert_buffers(tree, sinks, BUF, driver_resistance=300.0)
+        arrival = buffered_stage_delays(
+            tree, sinks, BUF, 300.0, result.buffer_nodes
+        )
+        assert -result.required_at_driver == pytest.approx(
+            arrival["w20"], rel=1e-12
+        )
+
+    def test_unbuffered_required_matches_plain_elmore(self):
+        from repro.core import elmore_delay
+        tree = long_line()
+        sinks = [BufferSink("w20", 20e-15)]
+        result = insert_buffers(tree, sinks, BUF, driver_resistance=300.0)
+        loaded = tree.copy()
+        loaded.add_load("w20", 20e-15)
+        expected = elmore_delay(loaded, "w20") + \
+            300.0 * loaded.total_capacitance()
+        assert -result.unbuffered_required == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_optimality_on_line_by_enumeration(self):
+        """DP equals brute-force enumeration of all buffer subsets on a
+        short line."""
+        tree = rc_line(6, 150.0, 60e-15, prefix="w")
+        sinks = [BufferSink("w6", 25e-15)]
+        result = insert_buffers(tree, sinks, BUF, driver_resistance=400.0)
+
+        import itertools
+        best = None
+        for size in range(0, 4):
+            for combo in itertools.combinations(tree.node_names, size):
+                arrival = buffered_stage_delays(
+                    tree, sinks, BUF, 400.0, combo
+                )
+                delay = arrival["w6"]
+                if best is None or delay < best[0]:
+                    best = (delay, combo)
+        assert -result.required_at_driver == pytest.approx(
+            best[0], rel=1e-12
+        )
+        assert set(result.buffer_nodes) == set(best[1])
+
+    def test_branch_decoupling(self):
+        """A buffer decouples a heavy side branch from the critical sink."""
+        tree = RCTree("in")
+        tree.add_node("trunk", "in", 100.0, 10e-15)
+        tree.add_node("crit", "trunk", 100.0, 10e-15)
+        parent = "trunk"
+        for k in range(12):  # heavy non-critical branch
+            name = f"h{k}"
+            tree.add_node(name, parent, 200.0, 80e-15)
+            parent = name
+        sinks = [
+            BufferSink("crit", 10e-15, required_time=0.0),
+            BufferSink(parent, 10e-15, required_time=5e-9),  # relaxed
+        ]
+        result = insert_buffers(tree, sinks, BUF, driver_resistance=250.0)
+        # The optimizer shields the heavy branch behind a buffer at or
+        # below the trunk.
+        assert any(b.startswith("h") or b == "trunk"
+                   for b in result.buffer_nodes)
+        assert result.improvement > 0.0
+
+    def test_candidate_restriction(self):
+        tree = long_line()
+        sinks = [BufferSink("w20", 20e-15)]
+        allowed = ["w10"]
+        result = insert_buffers(
+            tree, sinks, BUF, 300.0, candidates=allowed
+        )
+        assert set(result.buffer_nodes) <= set(allowed)
+
+    def test_respects_required_times(self):
+        """With generous required times everywhere, slack is positive."""
+        tree = long_line()
+        sinks = [BufferSink("w20", 20e-15, required_time=1e-6)]
+        result = insert_buffers(tree, sinks, BUF, 300.0)
+        assert result.required_at_driver > 0.0
+
+    def test_validation(self):
+        tree = long_line()
+        with pytest.raises(ValidationError):
+            insert_buffers(tree, [], BUF, 300.0)
+        with pytest.raises(ValidationError):
+            insert_buffers(tree, [BufferSink("nope", 1e-15)], BUF, 300.0)
+        with pytest.raises(ValidationError):
+            insert_buffers(
+                tree, [BufferSink("w20", 1e-15)], BUF, 0.0
+            )
+        with pytest.raises(ValidationError):
+            insert_buffers(
+                tree, [BufferSink("w20", 1e-15),
+                       BufferSink("w20", 2e-15)], BUF, 300.0
+            )
+        with pytest.raises(ValidationError):
+            insert_buffers(
+                tree, [BufferSink("w20", 1e-15)], BUF, 300.0,
+                candidates=["ghost"],
+            )
+
+
+class TestStagedEvaluation:
+    def test_no_buffers_reduces_to_plain_elmore(self):
+        from repro.core import elmore_delay
+        tree = long_line(8)
+        sinks = [BufferSink("w8", 15e-15)]
+        arrival = buffered_stage_delays(tree, sinks, BUF, 300.0, [])
+        loaded = tree.copy()
+        loaded.add_load("w8", 15e-15)
+        expected = elmore_delay(loaded, "w8") + \
+            300.0 * loaded.total_capacitance()
+        assert arrival["w8"] == pytest.approx(expected, rel=1e-12)
+
+    def test_exact_delay_also_improves(self):
+        """The Elmore-optimized buffering also improves the *exact* delay
+        of the physically staged net (the bound's practical payoff)."""
+        from repro.analysis import ExactAnalysis, measure_delay
+
+        tree = long_line()
+        sinks = [BufferSink("w20", 20e-15)]
+        result = insert_buffers(tree, sinks, BUF, 300.0)
+
+        def exact_staged_delay(buffer_nodes):
+            # Build each stage with its driver resistance and measure the
+            # exact 50% delay; chain the stage delays.
+            total = 0.0
+            stage_nodes = list(buffer_nodes) + [None]
+            # Reuse the staged Elmore splitter's structure by measuring
+            # each stage directly.
+            from repro.opt.buffering import buffered_stage_delays as _  # noqa
+            # Simple approach for the line: split at buffer nodes.
+            cut_points = sorted(
+                buffer_nodes, key=lambda n: int(n[1:])
+            )
+            segments = []
+            start = 0
+            names = [f"w{k}" for k in range(1, 21)]
+            for cut in cut_points + ["w20"]:
+                end = names.index(cut)
+                segments.append(names[start:end + 1])
+                start = end + 1
+            drive = 300.0
+            t_in = 0.0
+            for seg_names, is_last in zip(
+                segments, [False] * (len(segments) - 1) + [True]
+            ):
+                stage = RCTree("in")
+                parent = "in"
+                for name in seg_names:
+                    view = tree.node(name)
+                    stage.add_node(name, parent, view.resistance,
+                                   view.capacitance)
+                    parent = name
+                # Replace first edge's upstream with driver resistance in
+                # series: model driver as extra resistor.
+                stage2 = RCTree("in")
+                stage2.add_node("drv#", "in", drive, 0.0)
+                prev = "drv#"
+                for name in seg_names:
+                    view = tree.node(name)
+                    stage2.add_node(name, prev, view.resistance,
+                                    view.capacitance)
+                    prev = name
+                end_node = seg_names[-1]
+                if is_last:
+                    stage2.add_load(end_node, 20e-15)
+                else:
+                    stage2.add_load(end_node, BUF.input_capacitance)
+                t_in += measure_delay(stage2, end_node)
+                if not is_last:
+                    t_in += BUF.intrinsic_delay
+                    drive = BUF.output_resistance
+            return t_in
+
+        unbuffered = exact_staged_delay([])
+        buffered = exact_staged_delay(result.buffer_nodes)
+        assert buffered < unbuffered
+
+
+class TestDeepWires:
+    def test_no_recursion_limit_on_long_lines(self):
+        """The DP is iterative: a 3000-node wire (deeper than Python's
+        default recursion limit) optimizes fine."""
+        tree = rc_line(3000, 50.0, 20e-15, prefix="w")
+        sinks = [BufferSink("w3000", 15e-15)]
+        result = insert_buffers(tree, sinks, BUF, 250.0)
+        assert len(result.buffer_nodes) > 100
+        assert result.improvement > 0

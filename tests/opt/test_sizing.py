@@ -1,0 +1,178 @@
+"""Unit tests for Elmore-driven wire sizing."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import AnalysisError, ValidationError
+from repro.opt import SizableSegment, SizingProblem, size_wires
+
+
+def line_problem(n=6, weight_node=None):
+    segments = [
+        SizableSegment(
+            parent="drv" if k == 0 else f"s{k}",
+            child=f"s{k + 1}",
+            unit_resistance=200.0,
+            area_capacitance=30e-15,
+            fringe_capacitance=10e-15,
+            min_width=0.5,
+            max_width=8.0,
+        )
+        for k in range(n)
+    ]
+    sink = weight_node or f"s{n}"
+    return SizingProblem(
+        segments=segments,
+        driver_resistance=250.0,
+        sink_weights={sink: 1.0},
+        sink_loads={f"s{n}": 20e-15},
+    )
+
+
+class TestProblemConstruction:
+    def test_build_tree(self):
+        problem = line_problem(3)
+        tree = problem.build_tree([1.0, 1.0, 1.0])
+        assert tree.num_nodes == 4  # drv + 3 segments
+        tree.validate()
+
+    def test_width_changes_elements(self):
+        problem = line_problem(1)
+        narrow = problem.build_tree([0.5])
+        wide = problem.build_tree([4.0])
+        assert narrow.node("s1").resistance > wide.node("s1").resistance
+        assert narrow.total_capacitance() < wide.total_capacitance()
+
+    def test_objective_positive(self):
+        problem = line_problem(3)
+        assert problem.objective([1.0, 1.0, 1.0]) > 0.0
+
+    def test_segment_validation(self):
+        with pytest.raises(ValidationError):
+            SizableSegment("a", "b", 0.0, 1e-15)
+        with pytest.raises(ValidationError):
+            SizableSegment("a", "b", 1.0, -1e-15)
+        with pytest.raises(ValidationError):
+            SizableSegment("a", "b", 1.0, 1e-15, min_width=2.0,
+                           max_width=1.0)
+
+    def test_problem_validation(self):
+        segs = [SizableSegment("drv", "s1", 1.0, 1e-15)]
+        with pytest.raises(ValidationError):
+            SizingProblem(segs, 0.0, {"s1": 1.0}, {})
+        with pytest.raises(ValidationError):
+            SizingProblem(segs, 100.0, {}, {})
+        with pytest.raises(ValidationError):
+            SizingProblem(segs, 100.0, {"s1": -1.0}, {})
+        with pytest.raises(ValidationError):
+            SizingProblem([], 100.0, {"s1": 1.0}, {})
+
+    def test_disconnected_segments_rejected(self):
+        segs = [SizableSegment("ghost", "s1", 1.0, 1e-15)]
+        problem = SizingProblem(segs, 100.0, {"s1": 1.0}, {})
+        with pytest.raises(ValidationError):
+            problem.build_tree([1.0])
+
+    def test_unknown_sink_rejected(self):
+        segs = [SizableSegment("drv", "s1", 1.0, 1e-15)]
+        problem = SizingProblem(segs, 100.0, {"zz": 1.0}, {})
+        with pytest.raises(ValidationError):
+            problem.build_tree([1.0])
+
+    def test_width_vector_length_checked(self):
+        problem = line_problem(3)
+        with pytest.raises(AnalysisError):
+            problem.build_tree([1.0])
+
+
+class TestSizeWires:
+    def test_improves_over_min_width(self):
+        problem = line_problem(6)
+        result = size_wires(problem)
+        assert result.converged
+        assert result.objective < result.initial_objective
+        assert result.improvement > 0.05
+
+    def test_result_within_box(self):
+        problem = line_problem(6)
+        result = size_wires(problem)
+        for w, seg in zip(result.widths, problem.segments):
+            assert seg.min_width <= w <= seg.max_width
+
+    def test_tapering(self):
+        """Optimal line widths are nonincreasing toward the sink (the
+        classic wire-tapering result under the Elmore model)."""
+        problem = line_problem(8)
+        result = size_wires(problem)
+        interior = result.widths[
+            (result.widths > 0.5 + 1e-6) & (result.widths < 8.0 - 1e-6)
+        ]
+        widths = result.widths
+        assert np.all(np.diff(widths) <= 1e-6)
+
+    def test_matches_scipy_reference(self):
+        """Coordinate descent lands on the same optimum as a generic
+        bounded optimizer."""
+        import scipy.optimize
+        problem = line_problem(4)
+        result = size_wires(problem, max_sweeps=200, tolerance=1e-14)
+        # Rescale to O(1) so the generic optimizer's tolerances behave.
+        scale = 1.0 / problem.objective(np.full(4, 1.0))
+        reference = scipy.optimize.minimize(
+            lambda w: scale * problem.objective(w),
+            x0=np.full(4, 1.0),
+            bounds=[(0.5, 8.0)] * 4,
+            method="L-BFGS-B",
+            options={"ftol": 1e-14, "gtol": 1e-10},
+        )
+        assert result.objective == pytest.approx(
+            reference.fun / scale, rel=1e-5
+        )
+
+    def test_local_refinement_never_worse(self):
+        problem = line_problem(5)
+        from_min = size_wires(problem)
+        from_custom = size_wires(
+            problem, initial_widths=[2.0, 2.0, 2.0, 2.0, 2.0]
+        )
+        assert from_custom.objective == pytest.approx(
+            from_min.objective, rel=1e-6
+        )
+
+    def test_initial_width_validation(self):
+        problem = line_problem(3)
+        with pytest.raises(AnalysisError):
+            size_wires(problem, initial_widths=[1.0])
+        with pytest.raises(AnalysisError):
+            size_wires(problem, initial_widths=[0.1, 1.0, 1.0])
+
+    def test_multi_sink_weighting(self):
+        """Weighting one branch's sink shifts width toward that branch."""
+        def branch_problem(weight_a, weight_b):
+            segments = [
+                SizableSegment("drv", "hub", 200.0, 30e-15, 10e-15),
+                SizableSegment("hub", "a", 200.0, 30e-15, 10e-15),
+                SizableSegment("hub", "b", 200.0, 30e-15, 10e-15),
+            ]
+            return SizingProblem(
+                segments=segments,
+                driver_resistance=250.0,
+                sink_weights={"a": weight_a, "b": weight_b},
+                sink_loads={"a": 20e-15, "b": 20e-15},
+            )
+
+        favor_a = size_wires(branch_problem(10.0, 0.1))
+        favor_b = size_wires(branch_problem(0.1, 10.0))
+        # Segment 1 feeds "a", segment 2 feeds "b".
+        assert favor_a.widths[1] >= favor_b.widths[1]
+        assert favor_b.widths[2] >= favor_a.widths[2]
+
+    def test_exact_delay_improves_too(self):
+        """The Elmore-optimized widths also improve the exact delay."""
+        from repro.analysis import measure_delay
+        problem = line_problem(6)
+        result = size_wires(problem)
+        t_min = problem.build_tree([s.min_width for s in problem.segments])
+        t_opt = problem.build_tree(result.widths)
+        sink = "s6"
+        assert measure_delay(t_opt, sink) < measure_delay(t_min, sink)

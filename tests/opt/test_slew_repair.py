@@ -1,0 +1,146 @@
+"""Tests for slew repair by repeater insertion."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import AnalysisError, ValidationError
+from repro.analysis import ExactAnalysis, output_rise_time
+from repro.circuit import RCTree, rc_line
+from repro.opt import BufferSink, BufferType
+from repro.opt.slew_repair import repair_slews, stage_sigmas
+
+BUF = BufferType("REP", input_capacitance=12e-15,
+                 output_resistance=90.0, intrinsic_delay=25e-12)
+
+
+def long_wire(n=20):
+    return rc_line(n, 100.0, 50e-15, prefix="w")
+
+
+class TestStageSigmas:
+    def test_unbuffered_matches_flat_moments(self):
+        """With no buffers the sigma is just sqrt(mu_2) of the whole net
+        including the driver resistance."""
+        tree = long_wire(8)
+        sinks = [BufferSink("w8", 10e-15)]
+        sigmas = stage_sigmas(tree, sinks, BUF, 250.0, [])
+        flat = RCTree("in")
+        flat.add_node("drv#", "in", 250.0, 0.0)
+        parent = "drv#"
+        for name in tree.node_names:
+            view = tree.node(name)
+            flat.add_node(name, parent, view.resistance, view.capacitance)
+            parent = name
+        flat.add_load("w8", 10e-15)
+        from repro.core import transfer_moments
+        expected = transfer_moments(flat, 2).sigma("w8")
+        assert sigmas["w8"] == pytest.approx(expected, rel=1e-12)
+
+    def test_input_sigma_adds_in_quadrature(self):
+        tree = long_wire(8)
+        sinks = [BufferSink("w8", 10e-15)]
+        s0 = stage_sigmas(tree, sinks, BUF, 250.0, [])["w8"]
+        s_in = 0.5e-9
+        s1 = stage_sigmas(tree, sinks, BUF, 250.0, [], input_sigma=s_in)
+        assert s1["w8"] == pytest.approx(np.sqrt(s0**2 + s_in**2),
+                                         rel=1e-12)
+
+    def test_buffering_reduces_sigma(self):
+        tree = long_wire(20)
+        sinks = [BufferSink("w20", 10e-15)]
+        unbuffered = stage_sigmas(tree, sinks, BUF, 250.0, [])["w20"]
+        buffered = stage_sigmas(tree, sinks, BUF, 250.0, ["w10"])["w20"]
+        assert buffered < unbuffered
+
+
+class TestRepairSlews:
+    def test_no_repair_needed(self):
+        tree = rc_line(2, 20.0, 2e-15, prefix="w")
+        sinks = [BufferSink("w2", 5e-15)]
+        result = repair_slews(tree, sinks, BUF, 100.0, sigma_limit=1e-9)
+        assert result.buffer_nodes == ()
+        assert result.worst_sigma <= 1e-9
+        assert result.iterations == 1
+
+    def test_long_wire_gets_repaired(self):
+        tree = long_wire(20)
+        sinks = [BufferSink("w20", 10e-15)]
+        before = stage_sigmas(tree, sinks, BUF, 250.0, [])["w20"]
+        limit = before / 3.0
+        result = repair_slews(tree, sinks, BUF, 250.0, sigma_limit=limit)
+        assert result.buffer_nodes
+        assert result.worst_sigma <= limit * (1 + 1e-9)
+
+    def test_tighter_limit_needs_more_buffers(self):
+        tree = long_wire(30)
+        sinks = [BufferSink("w30", 10e-15)]
+        base = stage_sigmas(tree, sinks, BUF, 250.0, [])["w30"]
+        loose = repair_slews(tree, sinks, BUF, 250.0, sigma_limit=base / 2)
+        tight = repair_slews(tree, sinks, BUF, 250.0, sigma_limit=base / 5)
+        assert len(tight.buffer_nodes) > len(loose.buffer_nodes)
+
+    def test_branch_repair(self):
+        tree = RCTree("in")
+        tree.add_node("trunk", "in", 80.0, 20e-15)
+        for branch in ("a", "b"):
+            parent = "trunk"
+            for k in range(10):
+                name = f"{branch}{k}"
+                tree.add_node(name, parent, 150.0, 60e-15)
+                parent = name
+        sinks = [BufferSink("a9", 10e-15), BufferSink("b9", 10e-15)]
+        base = max(stage_sigmas(tree, sinks, BUF, 200.0, []).values())
+        result = repair_slews(tree, sinks, BUF, 200.0,
+                              sigma_limit=base / 2.5)
+        assert result.worst_sigma <= base / 2.5 * (1 + 1e-9)
+        for sigma in result.sink_sigmas.values():
+            assert sigma <= base / 2.5 * (1 + 1e-9)
+
+    def test_unachievable_limit_raises(self):
+        tree = long_wire(5)
+        sinks = [BufferSink("w5", 10e-15)]
+        with pytest.raises(AnalysisError):
+            repair_slews(tree, sinks, BUF, 250.0, sigma_limit=1e-15)
+
+    def test_validation(self):
+        tree = long_wire(5)
+        sinks = [BufferSink("w5", 10e-15)]
+        with pytest.raises(ValidationError):
+            repair_slews(tree, sinks, BUF, 250.0, sigma_limit=0.0)
+        with pytest.raises(ValidationError):
+            repair_slews(tree, sinks, BUF, 250.0, sigma_limit=1e-9,
+                         input_sigma=-1.0)
+        with pytest.raises(ValidationError):
+            repair_slews(tree, [BufferSink("ghost", 1e-15)], BUF, 250.0,
+                         sigma_limit=1e-9)
+
+    def test_measured_rise_time_improves(self):
+        """The sigma-driven repair improves the *measured* 10-90% rise
+        time of the repaired net's final stage."""
+        tree = long_wire(20)
+        sinks = [BufferSink("w20", 10e-15)]
+        base = stage_sigmas(tree, sinks, BUF, 250.0, [])["w20"]
+        result = repair_slews(tree, sinks, BUF, 250.0,
+                              sigma_limit=base / 3.0)
+
+        def final_stage_rise(buffer_nodes):
+            # Build the last stage (deepest buffer to the sink).
+            order = {n: k for k, n in enumerate(tree.node_names)}
+            start = max(buffer_nodes, key=order.get) if buffer_nodes \
+                else None
+            stage = RCTree("in")
+            drive = BUF.output_resistance if start else 250.0
+            stage.add_node("drv#", "in", drive, 0.0)
+            names = list(tree.node_names)
+            first = names.index(start) + 1 if start else 0
+            parent = "drv#"
+            for name in names[first:]:
+                view = tree.node(name)
+                stage.add_node(name, parent, view.resistance,
+                               view.capacitance)
+                parent = name
+            stage.add_load("w20", 10e-15)
+            return output_rise_time(stage, "w20")
+
+        assert final_stage_rise(result.buffer_nodes) < \
+            final_stage_rise(())

@@ -1,0 +1,70 @@
+"""Hypothesis strategies for random RC trees and input signals."""
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.circuit import RCTree
+from repro.signals import (
+    ExponentialInput,
+    RaisedCosineRamp,
+    SaturatedRamp,
+    SmoothstepRamp,
+    StepInput,
+)
+
+__all__ = ["rc_trees", "unimodal_signals", "symmetric_signals"]
+
+# Element values spanning several decades but kept in ranges where the
+# numerics (eigensolves, root finding) are well away from float limits.
+_resistances = st.floats(min_value=1.0, max_value=1e5,
+                         allow_nan=False, allow_infinity=False)
+_capacitances = st.floats(min_value=1e-16, max_value=1e-11,
+                          allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rc_trees(draw, min_nodes=1, max_nodes=14):
+    """A random RC tree: node k attaches to a uniformly drawn earlier node.
+
+    Every node gets a strictly positive capacitance (the theorems allow
+    zero caps, but they are covered by dedicated unit tests; keeping the
+    property trees fully dynamic keeps the eigen-based oracles simple).
+    """
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    tree = RCTree("in")
+    names = ["in"]
+    for k in range(1, n + 1):
+        parent = names[draw(st.integers(min_value=0, max_value=len(names) - 1))]
+        r = draw(_resistances)
+        c = draw(_capacitances)
+        name = f"n{k}"
+        tree.add_node(name, parent, r, c)
+        names.append(name)
+    return tree
+
+
+_rise_times = st.floats(min_value=1e-11, max_value=1e-7,
+                        allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def symmetric_signals(draw):
+    """A signal with a symmetric unimodal derivative (Corollary 3 scope)."""
+    kind = draw(st.sampled_from(["step", "ramp", "cosine", "smooth"]))
+    if kind == "step":
+        return StepInput()
+    tr = draw(_rise_times)
+    if kind == "ramp":
+        return SaturatedRamp(tr)
+    if kind == "cosine":
+        return RaisedCosineRamp(tr)
+    return SmoothstepRamp(tr)
+
+
+@st.composite
+def unimodal_signals(draw):
+    """Any signal with a unimodal derivative (Corollary 2 scope)."""
+    kind = draw(st.sampled_from(["sym", "expo"]))
+    if kind == "expo":
+        return ExponentialInput(draw(_rise_times))
+    return draw(symmetric_signals())

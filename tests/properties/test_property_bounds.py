@@ -1,0 +1,155 @@
+"""Property-based tests of the paper's theorem and corollaries.
+
+These are the strongest form of reproduction: hypothesis searches tree
+topologies and element values adversarially for a counterexample to each
+claim.  All oracles are the exact pole/residue engine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.core import delay_bounds, prh_bounds, transfer_moments
+from repro.signals import SaturatedRamp
+
+from tests.properties.strategies import (
+    rc_trees,
+    symmetric_signals,
+    unimodal_signals,
+)
+
+COMMON = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestTheorem:
+    @given(tree=rc_trees())
+    @settings(max_examples=60, **COMMON)
+    def test_elmore_upper_bounds_step_delay_everywhere(self, tree):
+        analysis = ExactAnalysis(tree)
+        moments = transfer_moments(tree, 1)
+        for name in tree.node_names:
+            actual = measure_delay(analysis, name)
+            assert actual <= moments.mean(name) * (1 + 1e-9)
+
+    @given(tree=rc_trees())
+    @settings(max_examples=40, **COMMON)
+    def test_lower_bound_holds_everywhere(self, tree):
+        analysis = ExactAnalysis(tree)
+        moments = transfer_moments(tree, 2)
+        for name in tree.node_names:
+            actual = measure_delay(analysis, name)
+            lower = max(moments.mean(name) - moments.sigma(name), 0.0)
+            assert actual >= lower * (1 - 1e-9)
+
+    @given(tree=rc_trees(max_nodes=8))
+    @settings(max_examples=25, **COMMON)
+    def test_impulse_response_unimodal_and_ordered(self, tree):
+        from hypothesis import assume
+        from repro.core.statistics import waveform_stats
+        analysis = ExactAnalysis(tree)
+        # Gate on spectral conditioning: beyond ~1e6 pole spread the
+        # eigensolver's residue noise (O(eps * cond) relative) manufactures
+        # micro-dips that a sampled-unimodality check cannot distinguish
+        # from real ones.
+        assume(analysis.poles[-1] / analysis.poles[0] < 1e6)
+        # Random trees can still spread poles widely; a geometric grid
+        # resolves every time scale where a uniform one cannot.
+        fastest = float(analysis.poles[-1])
+        for name in tree.node_names:
+            transfer = analysis.transfer(name)
+            horizon = transfer.settle_time(1e-9)
+            t = np.concatenate(
+                ([0.0], np.geomspace(0.001 / fastest, horizon, 12000))
+            )
+            h = transfer.impulse_response(t)
+            assert np.min(h) >= -1e-9 * max(np.max(h), 1e-300)
+            stats = waveform_stats(t, h)
+            assert stats.unimodal
+            # Compare against analytic moments: the grid statistics are
+            # only trusted when the measured mean agrees with the exact
+            # one (otherwise the waveform is numerically unresolvable).
+            exact_mean = transfer.raw_moment(1)
+            if not np.isclose(stats.mean, exact_mean, rtol=1e-3):
+                continue
+            assert stats.ordering_holds
+
+
+class TestLemma2:
+    @given(tree=rc_trees())
+    @settings(max_examples=80, **COMMON)
+    def test_skewness_nonnegative(self, tree):
+        moments = transfer_moments(tree, 3)
+        for name in tree.node_names:
+            mu2 = moments.variance(name)
+            mu3 = moments.third_central_moment(name)
+            scale2 = moments.mean(name) ** 2
+            scale3 = abs(moments.mean(name)) ** 3
+            assert mu2 >= -1e-12 * scale2
+            assert mu3 >= -1e-12 * scale3
+
+
+class TestGeneralizedInputs:
+    @given(tree=rc_trees(max_nodes=8), signal=unimodal_signals())
+    @settings(max_examples=30, **COMMON)
+    def test_corollary2_bounds_hold(self, tree, signal):
+        analysis = ExactAnalysis(tree)
+        bounds = delay_bounds(tree, signal=signal)
+        for name in tree.node_names:
+            actual = measure_delay(analysis, name, signal)
+            b = bounds[name]
+            assert b.contains(actual, rel_tol=1e-6)
+
+    @given(tree=rc_trees(max_nodes=6), signal=symmetric_signals())
+    @settings(max_examples=25, **COMMON)
+    def test_symmetric_inputs_never_exceed_elmore(self, tree, signal):
+        analysis = ExactAnalysis(tree)
+        moments = transfer_moments(tree, 1)
+        for name in tree.node_names:
+            actual = measure_delay(analysis, name, signal)
+            assert actual <= moments.mean(name) * (1 + 1e-6)
+
+    @given(tree=rc_trees(max_nodes=6))
+    @settings(max_examples=15, **COMMON)
+    def test_corollary3_monotone_approach(self, tree):
+        """Delay is nondecreasing in rise time and approaches T_D."""
+        analysis = ExactAnalysis(tree)
+        leaf = tree.leaves()[0]
+        td = transfer_moments(tree, 1).mean(leaf)
+        # Rise times scaled to the circuit's own time constant.
+        base = analysis.dominant_time_constant
+        scales = (0.5, 2.0, 8.0, 32.0, 128.0)
+        delays = [
+            measure_delay(analysis, leaf, SaturatedRamp(base * s))
+            for s in scales
+        ]
+        # The crossing search resolves times to ~1e-13 of the *absolute*
+        # crossing (~t_r/2 for slow ramps), which can exceed 1e-9 of the
+        # measured delay when delay << t_r; budget for it explicitly.
+        tol = 1e-8 * td + 1e-11 * base * scales[-1]
+        for a, b in zip(delays, delays[1:]):
+            assert b >= a - tol
+        assert delays[-1] <= td + tol
+        assert delays[-1] >= td * 0.95 - tol
+
+
+class TestPRHBounds:
+    @given(tree=rc_trees(max_nodes=10))
+    @settings(max_examples=30, **COMMON)
+    def test_prh_interval_contains_crossings(self, tree):
+        analysis = ExactAnalysis(tree)
+        all_bounds = prh_bounds(tree)
+        for name in tree.node_names:
+            from repro.analysis import threshold_crossing
+            transfer = analysis.transfer(name)
+            b = all_bounds[name]
+            # The PRH bounds are exactly tight on degenerate (near
+            # single-pole) trees, so allow waveform-evaluation roundoff.
+            for v in (0.25, 0.5, 0.75):
+                t = threshold_crossing(transfer, threshold=v)
+                assert b.t_min(v) <= t * (1 + 1e-6) + 1e-30
+                assert t <= b.t_max(v) * (1 + 1e-6) + 1e-30

@@ -1,0 +1,130 @@
+"""Property-based tests of the moment machinery and its identities."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import ExactAnalysis
+from repro.analysis.admittance import pi_model, pi_model_from_moments
+from repro.analysis.mna import build_mna, mna_transfer_moments
+from repro.core.elmore import (
+    elmore_delay_quadratic,
+    elmore_delays,
+    rph_time_constants,
+)
+from repro.core.moments import admittance_moments, transfer_moments
+
+from tests.properties.strategies import rc_trees
+
+COMMON = dict(deadline=None, derandomize=True,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestCrossImplementationAgreement:
+    @given(tree=rc_trees())
+    @settings(max_examples=50, **COMMON)
+    def test_tree_recursion_matches_mna(self, tree):
+        a = transfer_moments(tree, 3).coefficients
+        b = mna_transfer_moments(tree, 3)
+        np.testing.assert_allclose(a, b, rtol=1e-8, atol=0.0)
+
+    @given(tree=rc_trees())
+    @settings(max_examples=50, **COMMON)
+    def test_elmore_matches_quadratic_oracle(self, tree):
+        fast = elmore_delays(tree)
+        for name in tree.node_names:
+            slow = elmore_delay_quadratic(tree, name)
+            assert np.isclose(fast[tree.index_of(name)], slow, rtol=1e-10)
+
+    @given(tree=rc_trees(max_nodes=10))
+    @settings(max_examples=30, **COMMON)
+    def test_eigen_moments_match_recursion(self, tree):
+        from hypothesis import assume
+        analysis = ExactAnalysis(tree)
+        # The eigensolver loses the slow poles' relative accuracy as the
+        # spectrum's condition number grows (absolute eigenvalue error is
+        # ~eps * lam_max); restrict the oracle comparison to resolvable
+        # spectra.
+        poles = analysis.poles
+        assume(poles[-1] / poles[0] < 1e6)
+        moments = transfer_moments(tree, 3)
+        for name in tree.node_names:
+            eig = analysis.raw_moments(name, 2)
+            rec = moments.raw_moments(name)[:3]
+            # Only M_0..M_2 are compared here: M_3's residue cancellation
+            # on adversarial spectra exceeds any honest tolerance (it can
+            # even flip sign); the strict high-order comparisons live in
+            # the unit tests on well-conditioned circuits (rtol 1e-9).
+            np.testing.assert_allclose(eig[:2], rec[:2], rtol=1e-6)
+            np.testing.assert_allclose(eig[2], rec[2], rtol=2e-2)
+
+    @given(tree=rc_trees())
+    @settings(max_examples=50, **COMMON)
+    def test_sum_of_time_constants_identity(self, tree):
+        """b_1 = sum(1/p_j) = T_P: the trace identity (eq. 10 + eq. 16).
+
+        The sum of the circuit's reciprocal poles equals the sum over
+        nodes of R_kk C_k, which path tracing computes as T_P.
+        """
+        analysis = ExactAnalysis(tree)
+        constants = rph_time_constants(tree)
+        assert np.isclose(
+            np.sum(1.0 / analysis.poles), constants.t_p, rtol=1e-8
+        )
+
+
+class TestStructuralInvariants:
+    @given(tree=rc_trees())
+    @settings(max_examples=60, **COMMON)
+    def test_rph_constant_ordering(self, tree):
+        constants = rph_time_constants(tree)
+        assert np.all(constants.t_r <= constants.t_d * (1 + 1e-10))
+        assert np.all(constants.t_d <= constants.t_p * (1 + 1e-10))
+        assert np.all(constants.t_r > 0.0)
+
+    @given(tree=rc_trees())
+    @settings(max_examples=60, **COMMON)
+    def test_admittance_moment_signs(self, tree):
+        m = admittance_moments(tree, 3)
+        assert m[0] == 0.0
+        assert m[1] > 0.0
+        assert m[2] <= 1e-30
+        assert m[3] >= -1e-45
+
+    @given(tree=rc_trees())
+    @settings(max_examples=60, **COMMON)
+    def test_pi_model_matches_and_is_nonnegative(self, tree):
+        pi = pi_model(tree)
+        np.testing.assert_allclose(
+            pi.admittance_moments(),
+            admittance_moments(tree, 3),
+            rtol=1e-7, atol=1e-45,
+        )
+        assert pi.c1 >= 0.0 and pi.c2 >= 0.0 and pi.r2 >= 0.0
+
+    @given(tree=rc_trees())
+    @settings(max_examples=60, **COMMON)
+    def test_elmore_monotone_downstream(self, tree):
+        delays = elmore_delays(tree)
+        parents = tree.parents
+        for i in range(tree.num_nodes):
+            p = parents[i]
+            if p >= 0:
+                assert delays[i] >= delays[p] * (1 - 1e-12)
+
+    @given(tree=rc_trees())
+    @settings(max_examples=40, **COMMON)
+    def test_conductance_matrix_spd(self, tree):
+        g = build_mna(tree).conductance
+        np.testing.assert_allclose(g, g.T)
+        assert np.all(np.linalg.eigvalsh(g) > 0.0)
+
+    @given(tree=rc_trees(max_nodes=10))
+    @settings(max_examples=30, **COMMON)
+    def test_dc_gain_unity(self, tree):
+        analysis = ExactAnalysis(tree)
+        for name in tree.node_names:
+            # Residues of clustered eigenvalue pairs individually carry
+            # O(eps/gap) error; their sums (the DC gain) are accurate to
+            # well under 1e-6 in practice.
+            assert np.isclose(analysis.transfer(name).dc_gain, 1.0,
+                              rtol=1e-6)

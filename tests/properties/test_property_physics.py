@@ -1,0 +1,148 @@
+"""Property-based tests of the physics-layer extensions: sensitivities,
+variation statistics, distributed lines, and reduction invariance."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.distributed import DistributedLine
+from repro.analysis.reduction import reduce_tree
+from repro.core import elmore_delay, transfer_moments
+from repro.core.sensitivity import elmore_sensitivity
+from repro.core.variation import VariationModel, elmore_statistics
+
+from tests.properties.strategies import rc_trees
+
+COMMON = dict(deadline=None, derandomize=True,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestSensitivityProperties:
+    @given(tree=rc_trees(max_nodes=12), data=st.data())
+    @settings(max_examples=40, **COMMON)
+    def test_resistance_prediction_exact(self, tree, data):
+        """T_D is linear in any single resistance, so the first-order
+        prediction is exact for R edits."""
+        names = list(tree.node_names)
+        target = data.draw(st.sampled_from(names))
+        edited = data.draw(st.sampled_from(names))
+        factor = data.draw(st.floats(min_value=0.1, max_value=10.0,
+                                     allow_nan=False))
+        sens = elmore_sensitivity(tree, target)
+        base = elmore_delay(tree, target)
+        bumped = tree.copy()
+        r0 = bumped.node(edited).resistance
+        bumped.set_resistance(edited, r0 * factor)
+        predicted = base + sens.resistance_sensitivity(edited) * \
+            (r0 * factor - r0)
+        actual = elmore_delay(bumped, target)
+        assert np.isclose(predicted, actual, rtol=1e-9)
+
+    @given(tree=rc_trees(max_nodes=12), data=st.data())
+    @settings(max_examples=40, **COMMON)
+    def test_capacitance_prediction_exact(self, tree, data):
+        names = list(tree.node_names)
+        target = data.draw(st.sampled_from(names))
+        edited = data.draw(st.sampled_from(names))
+        extra = data.draw(st.floats(min_value=0.0, max_value=1e-11,
+                                    allow_nan=False))
+        sens = elmore_sensitivity(tree, target)
+        base = elmore_delay(tree, target)
+        bumped = tree.copy()
+        bumped.add_load(edited, extra)
+        predicted = base + sens.capacitance_sensitivity(edited) * extra
+        assert np.isclose(predicted, elmore_delay(bumped, target),
+                          rtol=1e-9)
+
+    @given(tree=rc_trees(max_nodes=12))
+    @settings(max_examples=40, **COMMON)
+    def test_gradients_nonnegative(self, tree):
+        """T_D is monotone in every element value."""
+        for name in tree.leaves()[:2]:
+            sens = elmore_sensitivity(tree, name)
+            assert np.all(sens.dR >= 0.0)
+            assert np.all(sens.dC >= 0.0)
+
+
+class TestVariationProperties:
+    @given(tree=rc_trees(max_nodes=12),
+           sigma=st.floats(min_value=0.0, max_value=0.3, allow_nan=False))
+    @settings(max_examples=40, **COMMON)
+    def test_mean_is_nominal_and_std_grows(self, tree, sigma):
+        leaf = tree.leaves()[0]
+        nominal = elmore_delay(tree, leaf)
+        stats = elmore_statistics(
+            tree, leaf,
+            VariationModel(resistance_sigma=sigma,
+                           capacitance_sigma=sigma),
+        )
+        assert np.isclose(stats.mean, nominal, rtol=1e-12)
+        assert stats.std >= stats.std_first_order >= 0.0
+        if sigma == 0.0:
+            assert stats.std == 0.0
+
+    @given(tree=rc_trees(max_nodes=10))
+    @settings(max_examples=30, **COMMON)
+    def test_std_bounded_by_full_correlation(self, tree):
+        """Independent-variation std can never exceed the fully-correlated
+        (worst-case) excursion at the same sigma."""
+        sigma = 0.2
+        leaf = tree.leaves()[0]
+        stats = elmore_statistics(
+            tree, leaf,
+            VariationModel(resistance_sigma=sigma,
+                           capacitance_sigma=sigma),
+        )
+        nominal = elmore_delay(tree, leaf)
+        # Fully correlated +1-sigma corner: all R and C up by sigma.
+        corner = nominal * ((1 + sigma) ** 2 - 1)
+        assert stats.std <= corner * (1 + 1e-9)
+
+
+class TestDistributedProperties:
+    @given(
+        resistance=st.floats(min_value=1.0, max_value=1e5,
+                             allow_nan=False),
+        capacitance=st.floats(min_value=1e-15, max_value=1e-10,
+                              allow_nan=False),
+        rd=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        cl=st.floats(min_value=0.0, max_value=1e-11, allow_nan=False),
+    )
+    @settings(max_examples=50, **COMMON)
+    def test_elmore_formula_and_ladder_match(self, resistance,
+                                             capacitance, rd, cl):
+        line = DistributedLine(resistance, capacitance,
+                               driver_resistance=rd, load_capacitance=cl)
+        expected = rd * (capacitance + cl) + \
+            resistance * capacitance / 2 + resistance * cl
+        assert np.isclose(line.elmore_delay(), expected, rtol=1e-9)
+        tree = line.ladder(8)
+        end = "x8"
+        assert np.isclose(
+            elmore_delay(tree, end), expected, rtol=1e-9
+        )
+
+    @given(
+        resistance=st.floats(min_value=10.0, max_value=1e4,
+                             allow_nan=False),
+        capacitance=st.floats(min_value=1e-14, max_value=1e-11,
+                              allow_nan=False),
+    )
+    @settings(max_examples=30, **COMMON)
+    def test_skew_positive_along_line(self, resistance, capacitance):
+        line = DistributedLine(resistance, capacitance)
+        for pos in (0.25, 0.5, 1.0):
+            assert line.skewness(pos) > 0.0
+            assert line.variance(pos) > 0.0
+
+
+class TestReductionInvariance:
+    @given(tree=rc_trees(min_nodes=4, max_nodes=14))
+    @settings(max_examples=30, **COMMON)
+    def test_observed_moments_invariant(self, tree):
+        leaf = tree.leaves()[-1]
+        reduced = reduce_tree(tree, [leaf])
+        full = transfer_moments(tree, 3).at(leaf)
+        red = transfer_moments(reduced, 3).at(leaf)
+        np.testing.assert_allclose(red, full, rtol=1e-7)
+        assert reduced.num_nodes <= tree.num_nodes + 0

@@ -1,0 +1,104 @@
+"""Property-based tests of the signal library and convolution machinery."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.signals import PWLSignal, SaturatedRamp
+from repro.signals.base import exp_convolve_pwl
+
+from tests.properties.strategies import unimodal_signals
+
+COMMON = dict(deadline=None, derandomize=True,
+              suppress_health_check=[HealthCheck.too_slow])
+
+_rates = st.floats(min_value=1e6, max_value=1e12,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestSignalContract:
+    @given(signal=unimodal_signals())
+    @settings(max_examples=50, **COMMON)
+    def test_monotone_and_bounded(self, signal):
+        t = np.linspace(-1e-9, signal.settle_time + 1e-9, 500)
+        v = signal.value(t)
+        assert np.all(np.diff(v) >= -1e-12)
+        assert np.all(v >= 0.0)
+        assert np.all(v <= 1.0 + 1e-12)
+
+    @given(signal=unimodal_signals(), lam=_rates)
+    @settings(max_examples=40, **COMMON)
+    def test_exp_convolution_monotone_bounded(self, signal, lam):
+        """E(t) is nonnegative, below 1/lam, and settles to 1/lam."""
+        t = np.linspace(0.0, signal.settle_time + 40.0 / lam, 300)
+        e = signal.exp_convolution(lam, t)
+        assert np.all(e >= -1e-15 / lam)
+        assert np.all(e <= (1.0 + 1e-9) / lam)
+        assert np.isclose(e[-1], 1.0 / lam, rtol=1e-6)
+
+    @given(signal=unimodal_signals(), lam=_rates)
+    @settings(max_examples=30, **COMMON)
+    def test_exp_convolution_ode_residual(self, signal, lam):
+        """E' + lam E = v(t): check the defining ODE by finite differences
+        away from input kinks."""
+        t0 = signal.settle_time * 0.35 + 1.0 / lam
+        h = min(1.0 / lam, signal.settle_time + 1.0 / lam) * 1e-4
+        t = np.array([t0 - h, t0, t0 + h])
+        e = signal.exp_convolution(lam, t)
+        derivative = (e[2] - e[0]) / (2 * h)
+        residual = derivative + lam * e[1] - float(signal.value(np.asarray(t0)))
+        scale = max(1.0, abs(derivative))
+        assert abs(residual) <= 1e-4 * scale
+
+
+class TestPWLConvolution:
+    @given(
+        lam=_rates,
+        breaks=st.lists(
+            st.floats(min_value=1e-12, max_value=1e-8,
+                      allow_nan=False, allow_infinity=False),
+            min_size=2, max_size=8, unique=True,
+        ),
+    )
+    @settings(max_examples=40, **COMMON)
+    def test_matches_saturated_ramp_on_two_points(self, lam, breaks):
+        """A 2-point PWL is a saturated ramp; closed forms must agree."""
+        t0 = 0.0
+        t1 = max(breaks)
+        pwl = PWLSignal([t0, t1], [0.0, 1.0])
+        ramp = SaturatedRamp(t1)
+        t = np.linspace(0.0, 3 * t1 + 10 / lam, 64)
+        np.testing.assert_allclose(
+            pwl.exp_convolution(lam, t),
+            ramp.exp_convolution(lam, t),
+            rtol=1e-8, atol=1e-12 / lam,
+        )
+
+    @given(lam=_rates)
+    @settings(max_examples=30, **COMMON)
+    def test_exp_convolve_pwl_linearity(self, lam):
+        """The stepper is linear in the waveform values."""
+        grid = np.linspace(0.0, 1e-8, 33)
+        rng = np.random.default_rng(7)
+        va = rng.uniform(0, 1, grid.shape)
+        vb = rng.uniform(0, 1, grid.shape)
+        t = np.linspace(0.0, 2e-8, 17)
+        ea = exp_convolve_pwl(lam, grid, va, t)
+        eb = exp_convolve_pwl(lam, grid, vb, t)
+        eab = exp_convolve_pwl(lam, grid, 2.0 * va + 3.0 * vb, t)
+        np.testing.assert_allclose(eab, 2 * ea + 3 * eb,
+                                   rtol=1e-9, atol=1e-18 / lam)
+
+    @given(lam=_rates)
+    @settings(max_examples=30, **COMMON)
+    def test_off_grid_queries_consistent(self, lam):
+        """Querying between grid points equals querying a denser grid."""
+        grid = np.linspace(0.0, 1e-8, 21)
+        values = np.sqrt(np.linspace(0.0, 1.0, 21))
+        dense_grid = np.linspace(0.0, 1e-8, 201)
+        dense_values = np.interp(dense_grid, grid, values)
+        t = np.linspace(1e-10, 1.5e-8, 40)
+        coarse = exp_convolve_pwl(lam, grid, values, t)
+        dense = exp_convolve_pwl(lam, dense_grid, dense_values, t)
+        np.testing.assert_allclose(coarse, dense, rtol=1e-9,
+                                   atol=1e-15 / lam)

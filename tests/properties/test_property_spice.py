@@ -1,0 +1,93 @@
+"""Property-based round-trip tests of the SPICE reader/writer."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import parse_rc_tree, tree_to_netlist
+from repro.circuit.spice import format_value, parse_value
+from repro.core import elmore_delays
+
+from tests.properties.strategies import rc_trees
+
+COMMON = dict(deadline=None, derandomize=True,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestValueRoundTrip:
+    @given(value=st.floats(min_value=1e-18, max_value=1e13,
+                           allow_nan=False, allow_infinity=False))
+    @settings(max_examples=200, **COMMON)
+    def test_format_parse_round_trip(self, value):
+        assert parse_value(format_value(value)) == \
+            np.float64(f"{value:.6g}") or np.isclose(
+                parse_value(format_value(value)), value, rtol=1e-5
+            )
+
+    @given(
+        mantissa=st.floats(min_value=0.001, max_value=999.0,
+                           allow_nan=False),
+        suffix=st.sampled_from(["", "f", "p", "n", "u", "m", "k", "meg",
+                                "g", "t"]),
+    )
+    @settings(max_examples=150, **COMMON)
+    def test_suffix_parsing_scales(self, mantissa, suffix):
+        scale = {"": 1.0, "f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6,
+                 "m": 1e-3, "k": 1e3, "meg": 1e6, "g": 1e9, "t": 1e12}
+        token = f"{mantissa:.6g}{suffix}"
+        assert np.isclose(parse_value(token),
+                          float(f"{mantissa:.6g}") * scale[suffix],
+                          rtol=1e-12)
+
+
+class TestNetlistRoundTrip:
+    @given(tree=rc_trees(max_nodes=14),
+           amplitude=st.floats(min_value=0.5, max_value=5.0,
+                               allow_nan=False))
+    @settings(max_examples=50, **COMMON)
+    def test_tree_survives_round_trip(self, tree, amplitude):
+        text = tree_to_netlist(tree, title="fuzz", amplitude=amplitude)
+        parsed, parsed_amp = parse_rc_tree(text)
+        assert np.isclose(parsed_amp, amplitude, rtol=1e-5)
+        assert set(parsed.node_names) == set(tree.node_names)
+        for name in tree.node_names:
+            assert np.isclose(
+                parsed.node(name).resistance,
+                tree.node(name).resistance, rtol=1e-5,
+            )
+            assert np.isclose(
+                parsed.node(name).capacitance,
+                tree.node(name).capacitance, rtol=1e-5, atol=1e-30,
+            )
+
+    @given(tree=rc_trees(max_nodes=12))
+    @settings(max_examples=40, **COMMON)
+    def test_elmore_survives_round_trip(self, tree):
+        parsed, _ = parse_rc_tree(tree_to_netlist(tree))
+        original = elmore_delays(tree)
+        for name in tree.node_names:
+            i_orig = tree.index_of(name)
+            reparsed = elmore_delays(parsed)[parsed.index_of(name)]
+            assert np.isclose(reparsed, original[i_orig], rtol=1e-4)
+
+    @given(tree=rc_trees(max_nodes=10))
+    @settings(max_examples=30, **COMMON)
+    def test_formatting_perturbations_parse_identically(self, tree):
+        """Extra comments, blank lines and case changes don't change the
+        parse."""
+        text = tree_to_netlist(tree, title="fuzz")
+        lines = text.splitlines()
+        noisy = []
+        for k, line in enumerate(lines):
+            noisy.append("* noise comment")
+            if line.startswith("R") or line.startswith("C"):
+                noisy.append(line + "   $ trailing")
+            else:
+                noisy.append(line)
+            noisy.append("")
+        clean, _ = parse_rc_tree(text)
+        fuzzed, _ = parse_rc_tree("\n".join(noisy))
+        assert set(fuzzed.node_names) == set(clean.node_names)
+        for name in clean.node_names:
+            assert fuzzed.node(name).resistance == \
+                clean.node(name).resistance

@@ -1,0 +1,143 @@
+"""Unit tests for the rectilinear routing substrate."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import RoutingError
+from repro.core import elmore_delay
+from repro.routing import (
+    manhattan,
+    one_steiner_refinement,
+    rectilinear_mst,
+    route_net,
+    total_wire_length,
+)
+
+
+class TestManhattanAndMST:
+    def test_manhattan(self):
+        assert manhattan((0, 0), (3, 4)) == 7.0
+        assert manhattan((1, 1), (1, 1)) == 0.0
+
+    def test_mst_is_spanning_tree(self):
+        points = [(0, 0), (1, 0), (1, 2), (4, 2), (0, 3)]
+        tree = rectilinear_mst(points)
+        assert tree.number_of_nodes() == 5
+        assert tree.number_of_edges() == 4
+
+    def test_mst_collinear_chain(self):
+        points = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]
+        tree = rectilinear_mst(points)
+        assert total_wire_length(tree) == pytest.approx(3.0)
+
+    def test_mst_needs_two_points(self):
+        with pytest.raises(RoutingError):
+            rectilinear_mst([(0, 0)])
+
+
+class TestSteinerRefinement:
+    def test_classic_three_pin_improvement(self):
+        """Three corner pins: the Hanan point saves wirelength."""
+        points = [(0.0, 0.0), (2.0, 0.0), (0.0, 2.0), (2.0, 2.0)]
+        base = total_wire_length(rectilinear_mst(points))
+        refined_points, refined = one_steiner_refinement(points)
+        assert total_wire_length(refined) <= base
+
+    def test_l_shaped_pins_gain(self):
+        points = [(0.0, 0.0), (10.0, 1.0), (1.0, 10.0)]
+        base = total_wire_length(rectilinear_mst(points))
+        _, refined = one_steiner_refinement(points)
+        assert total_wire_length(refined) < base
+
+    def test_no_gain_on_collinear(self):
+        points = [(0.0, 0.0), (5.0, 0.0), (9.0, 0.0)]
+        refined_points, refined = one_steiner_refinement(points)
+        assert len(refined_points) == 3  # nothing added
+
+    def test_originals_preserved_in_order(self):
+        points = [(0.0, 0.0), (10.0, 1.0), (1.0, 10.0)]
+        refined_points, _ = one_steiner_refinement(points)
+        assert refined_points[:3] == points
+
+
+class TestRouteNet:
+    def test_basic_routing(self):
+        tree, sinks = route_net(
+            driver_position=(0.0, 0.0),
+            sink_positions=[(500e-6, 0.0), (0.0, 300e-6)],
+            driver_resistance=200.0,
+        )
+        tree.validate()
+        assert len(sinks) == 2
+        for node in sinks:
+            assert node in tree
+
+    def test_closer_sink_has_smaller_elmore(self):
+        tree, sinks = route_net(
+            driver_position=(0.0, 0.0),
+            sink_positions=[(100e-6, 0.0), (2000e-6, 0.0)],
+            driver_resistance=200.0,
+        )
+        assert elmore_delay(tree, sinks[0]) < elmore_delay(tree, sinks[1])
+
+    def test_pin_loads_slow_the_net(self):
+        kwargs = dict(
+            driver_position=(0.0, 0.0),
+            sink_positions=[(500e-6, 0.0)],
+            driver_resistance=200.0,
+        )
+        bare, s_bare = route_net(**kwargs)
+        loaded, s_loaded = route_net(pin_loads=[50e-15], **kwargs)
+        assert elmore_delay(loaded, s_loaded[0]) > \
+            elmore_delay(bare, s_bare[0])
+
+    def test_steiner_routing_runs(self):
+        tree, sinks = route_net(
+            driver_position=(0.0, 0.0),
+            sink_positions=[(10e-6, 500e-6), (500e-6, 10e-6),
+                            (500e-6, 500e-6)],
+            driver_resistance=150.0,
+            use_steiner=True,
+        )
+        tree.validate()
+        assert len(sinks) == 3
+
+    def test_coincident_pins_handled(self):
+        tree, sinks = route_net(
+            driver_position=(0.0, 0.0),
+            sink_positions=[(0.0, 0.0)],  # sink on top of the driver
+            driver_resistance=100.0,
+        )
+        tree.validate()
+        assert sinks[0] in tree
+
+    def test_validation(self):
+        with pytest.raises(RoutingError):
+            route_net((0, 0), [], 100.0)
+        with pytest.raises(RoutingError):
+            route_net((0, 0), [(1e-6, 0)], 100.0, pin_loads=[1e-15, 2e-15])
+
+    def test_wire_width_tradeoff(self):
+        """Wider wire: less resistance, more capacitance. For a long net
+        behind a weak driver the capacitance term wins; behind a strong
+        driver the resistance term wins."""
+        common = dict(
+            driver_position=(0.0, 0.0),
+            sink_positions=[(3000e-6, 0.0)],
+        )
+        weak_narrow, s = route_net(
+            driver_resistance=5000.0, wire_width=0.6e-6, **common
+        )
+        weak_wide, _ = route_net(
+            driver_resistance=5000.0, wire_width=4e-6, **common
+        )
+        # Weak driver: wide wire's extra cap dominates -> slower.
+        assert elmore_delay(weak_wide, s[0]) > elmore_delay(weak_narrow, s[0])
+        strong_narrow, _ = route_net(
+            driver_resistance=20.0, wire_width=0.6e-6, **common
+        )
+        strong_wide, _ = route_net(
+            driver_resistance=20.0, wire_width=4e-6, **common
+        )
+        assert elmore_delay(strong_wide, s[0]) < \
+            elmore_delay(strong_narrow, s[0])

@@ -1,0 +1,113 @@
+"""Tests for timing-driven routing."""
+
+import pytest
+
+from repro._exceptions import RoutingError
+from repro.analysis import measure_delay
+from repro.core import elmore_delay
+from repro.routing import route_net, route_net_timing_driven
+
+UM = 1e-6
+
+DRIVER = (0.0, 0.0)
+# One critical sink far away, two cheap sinks clustered near the far one —
+# a wirelength route detours the critical sink through the cluster.
+SINKS = [(1500 * UM, 0.0), (1400 * UM, 300 * UM), (1350 * UM, 380 * UM)]
+LOADS = [15e-15, 8e-15, 8e-15]
+
+
+class TestBasics:
+    def test_never_worse_than_wirelength_route(self):
+        result = route_net_timing_driven(
+            DRIVER, SINKS, driver_resistance=200.0,
+            pin_loads=LOADS,
+        )
+        assert result.objective <= result.wirelength_objective * (1 + 1e-12)
+        result.tree.validate()
+        assert len(result.sink_nodes) == 3
+
+    def test_criticality_shifts_the_route(self):
+        """A heavily weighted critical sink gets a faster path than under
+        uniform weighting."""
+        uniform = route_net_timing_driven(
+            DRIVER, SINKS, 200.0, sink_criticalities=[1.0, 1.0, 1.0],
+            pin_loads=LOADS,
+        )
+        skewed = route_net_timing_driven(
+            DRIVER, SINKS, 200.0, sink_criticalities=[50.0, 0.1, 0.1],
+            pin_loads=LOADS,
+        )
+        t_uniform = elmore_delay(uniform.tree, uniform.sink_nodes[0])
+        t_skewed = elmore_delay(skewed.tree, skewed.sink_nodes[0])
+        assert t_skewed <= t_uniform * (1 + 1e-12)
+
+    def test_objective_matches_weighted_elmore(self):
+        weights = [3.0, 1.0, 0.5]
+        result = route_net_timing_driven(
+            DRIVER, SINKS, 200.0, sink_criticalities=weights,
+            pin_loads=LOADS,
+        )
+        recomputed = sum(
+            w * elmore_delay(result.tree, node)
+            for w, node in zip(weights, result.sink_nodes)
+        )
+        assert result.objective == pytest.approx(recomputed, rel=1e-12)
+
+    def test_improvement_property(self):
+        result = route_net_timing_driven(
+            DRIVER, SINKS, 200.0,
+            sink_criticalities=[50.0, 0.1, 0.1], pin_loads=LOADS,
+        )
+        assert 0.0 <= result.improvement < 1.0
+        if result.moves > 0:
+            assert result.improvement > 0.0
+
+    def test_exact_delay_tracks_elmore_gain(self):
+        """When the optimizer improves the critical sink's Elmore delay
+        meaningfully, the exact delay improves too."""
+        uniform = route_net_timing_driven(
+            DRIVER, SINKS, 200.0, pin_loads=LOADS,
+            sink_criticalities=[1.0, 1.0, 1.0],
+        )
+        skewed = route_net_timing_driven(
+            DRIVER, SINKS, 200.0, pin_loads=LOADS,
+            sink_criticalities=[50.0, 0.1, 0.1],
+        )
+        e_uniform = elmore_delay(uniform.tree, uniform.sink_nodes[0])
+        e_skewed = elmore_delay(skewed.tree, skewed.sink_nodes[0])
+        if e_skewed < e_uniform * 0.95:
+            a_uniform = measure_delay(uniform.tree, uniform.sink_nodes[0])
+            a_skewed = measure_delay(skewed.tree, skewed.sink_nodes[0])
+            assert a_skewed < a_uniform
+
+
+class TestValidation:
+    def test_empty_sinks(self):
+        with pytest.raises(RoutingError):
+            route_net_timing_driven(DRIVER, [], 200.0)
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(RoutingError):
+            route_net_timing_driven(
+                DRIVER, SINKS, 200.0, sink_criticalities=[1.0]
+            )
+
+    def test_negative_weight(self):
+        with pytest.raises(RoutingError):
+            route_net_timing_driven(
+                DRIVER, SINKS, 200.0,
+                sink_criticalities=[1.0, -1.0, 1.0],
+            )
+
+    def test_load_length_mismatch(self):
+        with pytest.raises(RoutingError):
+            route_net_timing_driven(
+                DRIVER, SINKS, 200.0, pin_loads=[1e-15]
+            )
+
+    def test_single_sink(self):
+        result = route_net_timing_driven(
+            DRIVER, [SINKS[0]], 200.0, pin_loads=[LOADS[0]]
+        )
+        assert len(result.sink_nodes) == 1
+        result.tree.validate()

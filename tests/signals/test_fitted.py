@@ -1,0 +1,152 @@
+"""Tests for moment-fitted surrogates and delayed-signal composition."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import SignalError
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.core import delay_bounds, transfer_moments
+from repro.signals import (
+    DelayedSignal,
+    SaturatedRamp,
+    StepInput,
+    fitted_ramp,
+    stage_output_model,
+)
+
+
+class TestDelayedSignal:
+    def test_shifted_values(self):
+        base = SaturatedRamp(2e-9)
+        shifted = DelayedSignal(base, 1e-9)
+        t = np.linspace(0, 5e-9, 50)
+        np.testing.assert_allclose(shifted.value(t), base.value(t - 1e-9))
+
+    def test_moments_shift(self):
+        base = SaturatedRamp(2e-9)
+        shifted = DelayedSignal(base, 1e-9)
+        dm_b, dm_s = base.derivative_moments(), shifted.derivative_moments()
+        assert dm_s.mean == pytest.approx(dm_b.mean + 1e-9)
+        assert dm_s.mu2 == pytest.approx(dm_b.mu2)
+        assert dm_s.mu3 == pytest.approx(dm_b.mu3)
+
+    def test_t50_and_settle(self):
+        shifted = DelayedSignal(SaturatedRamp(2e-9), 1e-9)
+        assert shifted.t50 == pytest.approx(2e-9)
+        assert shifted.settle_time == pytest.approx(3e-9)
+
+    def test_exp_convolution_shift_property(self):
+        base = SaturatedRamp(2e-9)
+        shifted = DelayedSignal(base, 1e-9)
+        lam = 1e9
+        t = np.linspace(0, 8e-9, 60)
+        np.testing.assert_allclose(
+            shifted.exp_convolution(lam, t),
+            np.where(t <= 1e-9, 0.0,
+                     base.exp_convolution(lam, np.maximum(t - 1e-9, 0))),
+        )
+
+    def test_flags_inherited(self):
+        shifted = DelayedSignal(SaturatedRamp(1e-9), 1e-9)
+        assert shifted.derivative_unimodal
+        assert shifted.derivative_symmetric
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SignalError):
+            DelayedSignal(StepInput(), -1e-9)
+
+    def test_bounds_hold_for_delayed_input(self, fig1):
+        """The whole bound pipeline composes with delayed inputs."""
+        signal = DelayedSignal(SaturatedRamp(2e-9), 0.7e-9)
+        analysis = ExactAnalysis(fig1)
+        for node in ("n1", "n5"):
+            b = delay_bounds(fig1, node, signal=signal)
+            actual = measure_delay(analysis, node, signal)
+            assert b.contains(actual, rel_tol=1e-6)
+
+
+class TestFittedRamp:
+    def test_round_trip_moments(self):
+        sig = fitted_ramp(mean=3e-9, mu2=0.25e-18)
+        dm = sig.derivative_moments()
+        assert dm.mean == pytest.approx(3e-9)
+        assert dm.mu2 == pytest.approx(0.25e-18)
+
+    def test_acausal_fit_rejected(self):
+        # Variance too large for the mean: ramp would start before 0.
+        with pytest.raises(SignalError):
+            fitted_ramp(mean=1e-10, mu2=1e-18)
+
+    def test_zero_variance_rejected(self):
+        with pytest.raises(SignalError):
+            fitted_ramp(mean=1e-9, mu2=0.0)
+
+
+class TestStageOutputModel:
+    def test_matches_exact_output_moments(self, fig1):
+        signal = SaturatedRamp(5e-9)
+        surrogate = stage_output_model(fig1, "n5", signal)
+        moments = transfer_moments(fig1, 2)
+        din = signal.derivative_moments()
+        dm = surrogate.derivative_moments()
+        assert dm.mean == pytest.approx(moments.mean("n5") + din.mean)
+        assert dm.mu2 == pytest.approx(
+            moments.variance("n5") + din.mu2, rel=1e-12
+        )
+
+    def test_surrogate_waveform_close_to_exact(self, fig1):
+        """The two-moment ramp tracks the true output waveform."""
+        signal = SaturatedRamp(5e-9)
+        surrogate = stage_output_model(fig1, "n5", signal)
+        analysis = ExactAnalysis(fig1)
+        t = np.linspace(0, 12e-9, 400)
+        exact = analysis.response("n5", signal, t)
+        approx = surrogate.value(t)
+        assert float(np.max(np.abs(exact - approx))) < 0.09
+
+    def test_acausal_fallback_keeps_mean(self, single_rc):
+        """Step into one pole: sigma = mean, the exact fit is acausal, the
+        fallback ramp keeps the mean (hence the Elmore additivity) and
+        shrinks the variance (the conservative direction)."""
+        surrogate = stage_output_model(single_rc, "out", StepInput())
+        dm = surrogate.derivative_moments()
+        assert dm.mean == pytest.approx(1e-9)
+        assert dm.mu2 < (1e-9) ** 2
+
+    def test_chained_stage_bound_still_holds(self, fig1):
+        """Chain two copies of the circuit through the surrogate: the
+        second stage's measured delay obeys its own Elmore bound with the
+        surrogate input."""
+        stage1_out = stage_output_model(fig1, "n5", StepInput())
+        analysis = ExactAnalysis(fig1)
+        b = delay_bounds(fig1, "n5", signal=stage1_out)
+        actual = measure_delay(analysis, "n5", stage1_out)
+        assert b.contains(actual, rel_tol=1e-6)
+
+    def test_chained_delay_close_to_true_cascade(self):
+        """Surrogate-chained total delay approximates the true two-stage
+        cascade (two RC lines separated by an ideal buffer)."""
+        from repro.circuit import rc_line
+        stage = rc_line(6, 120.0, 80e-15, driver_resistance=250.0)
+        analysis = ExactAnalysis(stage)
+
+        # True cascade: stage 2 driven by stage 1's actual output.  An
+        # ideal buffer means stage 2 sees stage 1's waveform directly.
+        t = np.linspace(0.0, 60e-9, 30001)
+        v1 = analysis.step_response("n6", t)
+        # Feed v1 as a PWL into stage 2.
+        from repro.signals import PWLSignal
+        v1 = np.clip(v1 / v1[-1], 0.0, None)
+        v1 = np.minimum.accumulate(v1[::-1])[::-1]  # enforce monotone
+        v1[-1] = 1.0
+        keep = np.concatenate(([0], np.arange(1, t.size)))
+        pwl = PWLSignal(t, np.maximum.accumulate(v1))
+        true_total = measure_delay(analysis, "n6", pwl) + pwl.t50
+
+        # Surrogate cascade.
+        surrogate = stage_output_model(stage, "n6", StepInput())
+        approx_total = measure_delay(analysis, "n6", surrogate) + \
+            surrogate.t50
+        # A two-moment ramp is a coarse shape model; ~10% total-path error
+        # is the expected fidelity class for this kind of surrogate.
+        assert approx_total == pytest.approx(true_total, rel=0.12)

@@ -1,0 +1,251 @@
+"""Unit tests for the input-signal library: shapes, moments, t50."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import SignalError
+from repro.signals import (
+    ExponentialInput,
+    PWLSignal,
+    RaisedCosineRamp,
+    SaturatedRamp,
+    SmoothstepRamp,
+    StepInput,
+)
+
+ALL_SIGNALS = [
+    StepInput(),
+    SaturatedRamp(2e-9),
+    RaisedCosineRamp(2e-9),
+    SmoothstepRamp(2e-9),
+    ExponentialInput(1e-9),
+    PWLSignal([0.0, 1e-9, 3e-9], [0.0, 0.7, 1.0]),
+]
+IDS = ["step", "ramp", "raised_cos", "smoothstep", "exponential", "pwl"]
+
+
+@pytest.mark.parametrize("signal", ALL_SIGNALS, ids=IDS)
+class TestCommonContract:
+    def test_zero_before_t0(self, signal):
+        t = np.array([-5e-9, -1e-12])
+        assert np.all(signal.value(t) == 0.0)
+
+    def test_monotone_nondecreasing(self, signal):
+        t = np.linspace(-1e-9, signal.settle_time + 2e-9, 2000)
+        v = signal.value(t)
+        assert np.all(np.diff(v) >= -1e-12)
+
+    def test_unit_final_value(self, signal):
+        t_end = signal.settle_time + 1e-9
+        assert float(signal.value(np.asarray(t_end))) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_t50_is_half_crossing(self, signal):
+        if isinstance(signal, StepInput):
+            assert signal.t50 == 0.0  # crossing at the jump itself
+            return
+        t50 = signal.t50
+        v = float(signal.value(np.asarray(t50)))
+        assert v == pytest.approx(0.5, abs=1e-9)
+
+    def test_derivative_nonnegative(self, signal):
+        t = np.linspace(0.0, signal.settle_time + 1e-9, 1000)
+        assert np.all(signal.derivative(t) >= 0.0)
+
+    def test_derivative_integrates_to_one(self, signal):
+        if isinstance(signal, StepInput):
+            pytest.skip("impulsive derivative is not sampleable")
+        t = np.linspace(0.0, signal.settle_time + 1e-12, 400001)
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        assert trapezoid(signal.derivative(t), t) == pytest.approx(
+            1.0, rel=1e-4
+        )
+
+    def test_derivative_moments_match_numeric(self, signal):
+        if isinstance(signal, StepInput):
+            pytest.skip("impulsive derivative is not sampleable")
+        t = np.linspace(0.0, signal.settle_time + 1e-12, 400001)
+        f = signal.derivative(t)
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        mean = trapezoid(f * t, t)
+        mu2 = trapezoid(f * (t - mean) ** 2, t)
+        mu3 = trapezoid(f * (t - mean) ** 3, t)
+        dm = signal.derivative_moments()
+        assert dm.mean == pytest.approx(mean, rel=1e-3)
+        assert dm.mu2 == pytest.approx(mu2, rel=1e-3)
+        assert dm.mu3 == pytest.approx(mu3, rel=1e-2, abs=1e-3 * dm.mu2**1.5)
+
+    def test_exp_convolution_against_pwl_fallback(self, signal):
+        """Closed-form exp_convolution must agree with the generic PWL
+        stepper (their common base-class contract)."""
+        from repro.signals.base import Signal
+        lam = 1.0 / 0.7e-9
+        t = np.linspace(0.0, signal.settle_time + 5e-9, 37)
+        closed = signal.exp_convolution(lam, t)
+        generic = Signal.exp_convolution(signal, lam, t)
+        np.testing.assert_allclose(closed, generic, rtol=1e-4, atol=1e-15)
+
+    def test_exp_convolution_settles_to_one_over_lam(self, signal):
+        lam = 1.0 / 0.5e-9
+        t_end = signal.settle_time + 30 * 0.5e-9
+        val = float(signal.exp_convolution(lam, np.asarray(t_end)))
+        assert val == pytest.approx(1.0 / lam, rel=1e-6)
+
+    def test_exp_convolution_rejects_bad_rate(self, signal):
+        with pytest.raises(SignalError):
+            signal.exp_convolution(0.0, np.array([1e-9]))
+
+    def test_describe_nonempty(self, signal):
+        assert signal.describe()
+
+
+class TestStepSpecifics:
+    def test_moments_all_zero(self):
+        dm = StepInput().derivative_moments()
+        assert dm.mean == dm.mu2 == dm.mu3 == 0.0
+        assert dm.sigma == 0.0 and dm.skewness == 0.0
+
+    def test_flags(self):
+        s = StepInput()
+        assert s.derivative_unimodal and s.derivative_symmetric
+
+
+class TestSaturatedRamp:
+    def test_uniform_density_moments(self):
+        tr = 4e-9
+        dm = SaturatedRamp(tr).derivative_moments()
+        assert dm.mean == pytest.approx(tr / 2)
+        assert dm.mu2 == pytest.approx(tr**2 / 12)
+        assert dm.mu3 == 0.0
+
+    def test_value_shape(self):
+        ramp = SaturatedRamp(2e-9)
+        assert float(ramp.value(np.asarray(1e-9))) == pytest.approx(0.5)
+        assert float(ramp.value(np.asarray(5e-9))) == 1.0
+
+    def test_bad_rise_time(self):
+        with pytest.raises(SignalError):
+            SaturatedRamp(0.0)
+        with pytest.raises(SignalError):
+            SaturatedRamp(float("nan"))
+
+
+class TestRaisedCosine:
+    def test_variance_formula(self):
+        tr = 3e-9
+        dm = RaisedCosineRamp(tr).derivative_moments()
+        assert dm.mu2 == pytest.approx(tr**2 * (np.pi**2 - 8) / (4 * np.pi**2))
+
+    def test_smoother_than_linear_ramp(self):
+        """The raised cosine has smaller derivative variance than the
+        linear ramp of equal rise time (mass concentrated centrally)."""
+        tr = 2e-9
+        assert RaisedCosineRamp(tr).derivative_moments().mu2 < \
+            SaturatedRamp(tr).derivative_moments().mu2
+
+
+class TestSmoothstep:
+    def test_beta22_variance(self):
+        tr = 5e-9
+        assert SmoothstepRamp(tr).derivative_moments().mu2 == pytest.approx(
+            tr**2 / 20
+        )
+
+    def test_c1_continuity_at_edges(self):
+        s = SmoothstepRamp(1e-9)
+        peak = 1.5 / 1e-9  # derivative maximum at the midpoint
+        eps = 1e-15
+        assert float(s.derivative(np.asarray(eps))) < 1e-4 * peak
+        assert float(s.derivative(np.asarray(1e-9 - eps))) < 1e-4 * peak
+
+
+class TestExponential:
+    def test_moments(self):
+        tau = 2e-9
+        dm = ExponentialInput(tau).derivative_moments()
+        assert dm.mean == pytest.approx(tau)
+        assert dm.mu2 == pytest.approx(tau**2)
+        assert dm.mu3 == pytest.approx(2 * tau**3)
+        assert dm.skewness == pytest.approx(2.0)
+
+    def test_t50(self):
+        assert ExponentialInput(1e-9).t50 == pytest.approx(1e-9 * np.log(2))
+
+    def test_not_symmetric(self):
+        assert not ExponentialInput(1e-9).derivative_symmetric
+
+    def test_degenerate_pole_rate(self):
+        """exp_convolution with lam == 1/tau hits the repeated-root path."""
+        sig = ExponentialInput(1e-9)
+        lam = 1.0 / 1e-9
+        t = np.linspace(0, 10e-9, 50)
+        vals = sig.exp_convolution(lam, t)
+        # Analytic: (1 - e^{-lam t})/lam - t e^{-lam t}.
+        expected = (1 - np.exp(-lam * t)) / lam - t * np.exp(-lam * t)
+        np.testing.assert_allclose(vals, expected, rtol=1e-9, atol=1e-21)
+
+
+class TestPWL:
+    def test_t50_interpolated(self):
+        sig = PWLSignal([0.0, 2e-9], [0.0, 1.0])
+        assert sig.t50 == pytest.approx(1e-9)
+
+    def test_equivalent_to_saturated_ramp(self):
+        tr = 2e-9
+        pwl = PWLSignal([0.0, tr], [0.0, 1.0])
+        ramp = SaturatedRamp(tr)
+        t = np.linspace(0, 6e-9, 100)
+        np.testing.assert_allclose(pwl.value(t), ramp.value(t))
+        dm_p, dm_r = pwl.derivative_moments(), ramp.derivative_moments()
+        assert dm_p.mean == pytest.approx(dm_r.mean)
+        assert dm_p.mu2 == pytest.approx(dm_r.mu2)
+        lam = 1e9
+        np.testing.assert_allclose(
+            pwl.exp_convolution(lam, t),
+            ramp.exp_convolution(lam, t),
+            rtol=1e-9, atol=1e-21,
+        )
+
+    def test_unimodality_detection(self):
+        rising_then_falling = PWLSignal(
+            [0, 1, 2, 3], [0.0, 0.2, 0.8, 1.0]
+        )
+        assert rising_then_falling.derivative_unimodal
+        bimodal = PWLSignal(
+            [0, 1, 4, 5], [0.0, 0.5, 0.5001, 1.0]
+        )
+        assert not bimodal.derivative_unimodal
+
+    def test_symmetry_detection(self):
+        sym = PWLSignal([0, 1, 2, 3], [0.0, 0.2, 0.8, 1.0])
+        assert sym.derivative_symmetric
+        asym = PWLSignal([0, 1, 3], [0.0, 0.8, 1.0])
+        assert not asym.derivative_symmetric
+
+    def test_validation(self):
+        with pytest.raises(SignalError):
+            PWLSignal([0.0], [0.0])
+        with pytest.raises(SignalError):
+            PWLSignal([0.0, 1.0], [0.0, 0.9])      # doesn't reach 1
+        with pytest.raises(SignalError):
+            PWLSignal([0.0, 1.0], [0.5, 1.0])      # doesn't start at 0
+        with pytest.raises(SignalError):
+            PWLSignal([1.0, 0.0], [0.0, 1.0])      # times not increasing
+        with pytest.raises(SignalError):
+            PWLSignal([0.0, 1.0, 2.0], [0.0, 1.0, 0.5])  # decreasing
+        with pytest.raises(SignalError):
+            PWLSignal([-1.0, 1.0], [0.0, 1.0])     # negative start
+
+    def test_delayed_start(self):
+        sig = PWLSignal([1e-9, 2e-9], [0.0, 1.0])
+        assert float(sig.value(np.asarray(0.5e-9))) == 0.0
+        lam = 1e9
+        # Shifting the ramp start shifts the convolution consistently.
+        base = PWLSignal([0.0, 1e-9], [0.0, 1.0])
+        t = np.linspace(2e-9, 10e-9, 20)
+        np.testing.assert_allclose(
+            sig.exp_convolution(lam, t),
+            base.exp_convolution(lam, t - 1e-9),
+            rtol=1e-6,
+        )

@@ -1,0 +1,100 @@
+"""Tests for gate characterization (linear-driver fitting)."""
+
+import math
+
+import pytest
+
+from repro._exceptions import AnalysisError, ValidationError
+from repro.sta.characterize import (
+    characterize_driver,
+    lumped_load_delay_oracle,
+)
+
+LOADS = [5e-15, 10e-15, 20e-15, 40e-15, 80e-15]
+
+
+class TestRoundTrip:
+    def test_recovers_pure_linear_gate(self):
+        oracle = lumped_load_delay_oracle(
+            driver_resistance=400.0, intrinsic_delay=25e-12
+        )
+        fit = characterize_driver(oracle, LOADS)
+        assert fit.driver_resistance == pytest.approx(400.0, rel=1e-9)
+        assert fit.intrinsic_delay == pytest.approx(25e-12, rel=1e-9)
+        assert fit.max_residual < 1e-18
+
+    def test_parasitic_shows_up_as_intrinsic(self):
+        """Output parasitic cap adds a fixed R*Cp*ln2 to every delay —
+        the fit absorbs it into the intrinsic term."""
+        oracle = lumped_load_delay_oracle(
+            driver_resistance=300.0, parasitic_capacitance=15e-15
+        )
+        fit = characterize_driver(oracle, LOADS)
+        assert fit.driver_resistance == pytest.approx(300.0, rel=1e-9)
+        assert fit.intrinsic_delay == pytest.approx(
+            math.log(2.0) * 300.0 * 15e-15, rel=1e-9
+        )
+
+    def test_predicted_delay_matches_oracle(self):
+        oracle = lumped_load_delay_oracle(500.0, 10e-12)
+        fit = characterize_driver(oracle, LOADS)
+        for load in (7e-15, 33e-15):
+            assert fit.predicted_delay(load) == pytest.approx(
+                oracle(load), rel=1e-9
+            )
+
+    def test_to_cell(self):
+        oracle = lumped_load_delay_oracle(450.0, 20e-12)
+        fit = characterize_driver(oracle, LOADS)
+        cell = fit.to_cell("FITTED", input_capacitance=9e-15)
+        assert cell.driver_resistance == pytest.approx(450.0, rel=1e-9)
+        assert cell.intrinsic_delay == pytest.approx(20e-12, rel=1e-9)
+        assert cell.input_capacitance == 9e-15
+
+
+class TestNonlinearOracle:
+    def test_residual_reports_model_error(self):
+        """A mildly nonlinear gate fits with a nonzero residual the
+        characterization surfaces honestly."""
+        def nonlinear(load):
+            # Delay with a square-root (velocity-saturation-ish) bend.
+            return 20e-12 + math.log(2.0) * 400.0 * load \
+                + 5e-12 * math.sqrt(load / 80e-15)
+
+        fit = characterize_driver(nonlinear, LOADS)
+        assert fit.max_residual > 1e-13
+        # The slope still lands near the linear part.
+        assert fit.driver_resistance == pytest.approx(400.0, rel=0.2)
+
+    def test_load_independent_oracle_rejected(self):
+        with pytest.raises(AnalysisError):
+            characterize_driver(lambda load: 1e-11, LOADS)
+
+    def test_load_validation(self):
+        oracle = lumped_load_delay_oracle(100.0)
+        with pytest.raises(ValidationError):
+            characterize_driver(oracle, [1e-15])
+        with pytest.raises(ValidationError):
+            characterize_driver(oracle, [1e-15, 1e-15])
+        with pytest.raises(ValidationError):
+            characterize_driver(oracle, [1e-15, -1e-15])
+        with pytest.raises(ValidationError):
+            lumped_load_delay_oracle(0.0)
+
+
+class TestUseInSTA:
+    def test_characterized_cell_drives_analysis(self):
+        """A fitted cell slots straight into the STA flow."""
+        from repro.sta import CellLibrary, Design, analyze
+        oracle = lumped_load_delay_oracle(350.0, 30e-12)
+        fit = characterize_driver(oracle, LOADS)
+        lib = CellLibrary(name="fitted")
+        lib.add(fit.to_cell("F_INV"))
+        d = Design("mini", lib)
+        d.add_input("a")
+        d.add_output("z")
+        d.add_instance("u1", "F_INV")
+        d.connect("na", ("@port", "a"), [("u1", "a")])
+        d.connect("nz", ("u1", "y"), [("@port", "z")])
+        result = analyze(d)
+        assert result.critical_delay > 30e-12

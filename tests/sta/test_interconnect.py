@@ -1,0 +1,127 @@
+"""Unit tests for net elaboration (the netlist -> RC tree bridge)."""
+
+import pytest
+
+from repro._exceptions import TimingGraphError
+from repro.circuit import RCTree
+from repro.core import elmore_delay
+from repro.sta import Design, Pin, WireLoadModel, default_library
+from repro.sta.interconnect import elaborate_net
+
+
+@pytest.fixture
+def lib():
+    return default_library()
+
+
+def two_sink_design(lib, positions=False):
+    d = Design("d", lib)
+    d.add_input("a")
+    d.add_output("z")
+    pos = {
+        "u1": (0.0, 0.0), "u2": (200e-6, 0.0), "u3": (0.0, 300e-6),
+    } if positions else {}
+    d.add_instance("u1", "DRV", position=pos.get("u1"))
+    d.add_instance("u2", "INV", position=pos.get("u2"))
+    d.add_instance("u3", "INV", position=pos.get("u3"))
+    d.connect("na", ("@port", "a"), [("u1", "a")])
+    d.connect("n1", ("u1", "y"), [("u2", "a"), ("u3", "a")])
+    d.connect("nz", ("u2", "y"), [("@port", "z")])
+    # u3 output dangles intentionally for these unit tests; don't validate.
+    return d
+
+
+class TestWireLoadPath:
+    def test_star_topology(self, lib):
+        d = two_sink_design(lib)
+        net = d.nets["n1"]
+        elaborated = elaborate_net(d, net, wire_load=WireLoadModel(75.0,
+                                                                   6e-15))
+        tree = elaborated.tree
+        assert tree.node("drv").resistance == lib.get("DRV").driver_resistance
+        assert len(elaborated.sink_nodes) == 2
+        # Each sink node hangs off the hub with the model resistance.
+        for sink, node in elaborated.sink_nodes.items():
+            assert tree.node(node).resistance == 75.0
+
+    def test_sink_loads_added(self, lib):
+        d = two_sink_design(lib)
+        elaborated = elaborate_net(d, d.nets["n1"])
+        inv_cap = lib.get("INV").input_capacitance
+        for sink, node in elaborated.sink_nodes.items():
+            assert elaborated.tree.node(node).capacitance >= inv_cap
+
+    def test_port_driver_resistance(self, lib):
+        d = two_sink_design(lib)
+        elaborated = elaborate_net(
+            d, d.nets["na"], port_driver_resistance=77.0
+        )
+        assert elaborated.tree.node("drv").resistance == 77.0
+
+    def test_port_load_capacitance(self, lib):
+        d = two_sink_design(lib)
+        elaborated = elaborate_net(
+            d, d.nets["nz"], port_load_capacitance=33e-15
+        )
+        sink_node = elaborated.sink_nodes[Pin(Pin.PORT, "z")]
+        assert elaborated.tree.node(sink_node).capacitance >= 33e-15
+
+
+class TestGeometryPath:
+    def test_positions_route_real_wire(self, lib):
+        d = two_sink_design(lib, positions=True)
+        elaborated = elaborate_net(d, d.nets["n1"])
+        # Routed wire carries length-proportional capacitance, far more
+        # than the statistical model's default.
+        assert elaborated.tree.total_capacitance() > 20e-15
+
+    def test_farther_sink_slower(self, lib):
+        d = two_sink_design(lib, positions=True)
+        elaborated = elaborate_net(d, d.nets["n1"])
+        d_u2 = elmore_delay(elaborated.tree,
+                            elaborated.sink_nodes[Pin("u2", "a")])
+        d_u3 = elmore_delay(elaborated.tree,
+                            elaborated.sink_nodes[Pin("u3", "a")])
+        # u3 is 300um away vs u2's 200um.
+        assert d_u3 > d_u2
+
+    def test_missing_position_falls_back(self, lib):
+        d = Design("d", lib)
+        d.add_input("a")
+        d.add_instance("u1", "DRV", position=(0.0, 0.0))
+        d.add_instance("u2", "INV")  # no position
+        d.connect("na", ("@port", "a"), [("u1", "a")])
+        d.connect("n1", ("u1", "y"), [("u2", "a")])
+        elaborated = elaborate_net(d, d.nets["n1"])
+        assert "s0" in elaborated.tree  # wire-load star naming
+
+
+class TestOverridePath:
+    def test_override_used_verbatim(self, lib):
+        d = two_sink_design(lib)
+        tree = RCTree("in")
+        tree.add_node("drv", "in", 123.0, 0.0)
+        tree.add_node("far", "drv", 500.0, 1e-12)
+        mapping = {
+            Pin("u2", "a"): "far",
+            Pin("u3", "a"): "far",
+        }
+        elaborated = elaborate_net(d, d.nets["n1"],
+                                   override=(tree, mapping))
+        assert elaborated.tree is tree
+        assert elaborated.sink_nodes[Pin("u2", "a")] == "far"
+
+    def test_override_missing_sink_rejected(self, lib):
+        d = two_sink_design(lib)
+        tree = RCTree("in")
+        tree.add_node("drv", "in", 123.0, 1e-15)
+        with pytest.raises(TimingGraphError):
+            elaborate_net(d, d.nets["n1"], override=(tree, {}))
+
+
+class TestWireLoadValidation:
+    def test_bad_model_values(self):
+        with pytest.raises(TimingGraphError):
+            WireLoadModel(resistance_per_sink=0.0)
+        with pytest.raises(TimingGraphError):
+            WireLoadModel(capacitance_per_sink=-1e-15)

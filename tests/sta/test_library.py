@@ -1,0 +1,50 @@
+"""Unit tests for the cell library."""
+
+import pytest
+
+from repro._exceptions import TimingGraphError, ValidationError
+from repro.sta.library import Cell, CellLibrary, default_library
+
+
+class TestCell:
+    def test_valid_cell(self):
+        cell = Cell("INV", ("a",), "y", 400.0, 8e-15, 20e-12)
+        assert cell.pin_names == ("a", "y")
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            Cell("BAD", (), "y", 400.0, 8e-15, 20e-12)
+
+    def test_pin_name_clash_rejected(self):
+        with pytest.raises(ValidationError):
+            Cell("BAD", ("y",), "y", 400.0, 8e-15, 20e-12)
+
+    def test_bad_resistance_rejected(self):
+        with pytest.raises(ValidationError):
+            Cell("BAD", ("a",), "y", 0.0, 8e-15, 20e-12)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValidationError):
+            Cell("BAD", ("a",), "y", 400.0, -1e-15, 20e-12)
+        with pytest.raises(ValidationError):
+            Cell("BAD", ("a",), "y", 400.0, 8e-15, -1e-12)
+
+
+class TestCellLibrary:
+    def test_default_library_contents(self):
+        lib = default_library()
+        for name in ("INV", "BUF", "NAND2", "NOR2", "DRV"):
+            assert name in lib
+            cell = lib.get(name)
+            assert cell.driver_resistance > 0
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(TimingGraphError):
+            default_library().get("FLUXCAP")
+
+    def test_duplicate_rejected(self):
+        lib = CellLibrary()
+        cell = Cell("X", ("a",), "y", 1.0, 1e-15, 1e-12)
+        lib.add(cell)
+        with pytest.raises(ValidationError):
+            lib.add(cell)

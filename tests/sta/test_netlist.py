@@ -1,0 +1,142 @@
+"""Unit tests for the gate-level design container."""
+
+import pytest
+
+from repro._exceptions import TimingGraphError
+from repro.sta import Design, Pin, default_library
+
+
+@pytest.fixture
+def lib():
+    return default_library()
+
+
+@pytest.fixture
+def chain(lib):
+    d = Design("chain", lib)
+    d.add_input("a")
+    d.add_output("z")
+    d.add_instance("u1", "INV")
+    d.add_instance("u2", "INV")
+    d.connect("na", ("@port", "a"), [("u1", "a")])
+    d.connect("n1", ("u1", "y"), [("u2", "a")])
+    d.connect("nz", ("u2", "y"), [("@port", "z")])
+    return d
+
+
+class TestConstruction:
+    def test_chain_validates(self, chain):
+        chain.validate()
+        assert len(chain.instances) == 2
+        assert len(chain.nets) == 3
+
+    def test_duplicate_instance_rejected(self, chain):
+        with pytest.raises(TimingGraphError):
+            chain.add_instance("u1", "INV")
+
+    def test_reserved_port_instance_name(self, lib):
+        d = Design("d", lib)
+        with pytest.raises(TimingGraphError):
+            d.add_instance("@port", "INV")
+
+    def test_duplicate_port_rejected(self, chain):
+        with pytest.raises(TimingGraphError):
+            chain.add_input("a")
+        with pytest.raises(TimingGraphError):
+            chain.add_output("a")
+
+    def test_duplicate_net_rejected(self, chain):
+        with pytest.raises(TimingGraphError):
+            chain.connect("na", ("u1", "y"), [("u2", "a")])
+
+    def test_net_without_sinks_rejected(self, lib):
+        d = Design("d", lib)
+        d.add_input("a")
+        with pytest.raises(TimingGraphError):
+            d.connect("n", ("@port", "a"), [])
+
+    def test_pin_double_connection_rejected(self, chain):
+        chain_extra = chain
+        with pytest.raises(TimingGraphError):
+            chain_extra.connect("dup", ("u1", "y"), [("u2", "a")])
+
+    def test_wrong_direction_rejected(self, lib):
+        d = Design("d", lib)
+        d.add_input("a")
+        d.add_instance("u1", "INV")
+        with pytest.raises(TimingGraphError):
+            d.connect("n", ("u1", "a"), [("u1", "y")])  # input driving
+
+    def test_undeclared_port_rejected(self, lib):
+        d = Design("d", lib)
+        d.add_instance("u1", "INV")
+        with pytest.raises(TimingGraphError):
+            d.connect("n", ("@port", "ghost"), [("u1", "a")])
+
+    def test_unknown_instance_rejected(self, lib):
+        d = Design("d", lib)
+        d.add_input("a")
+        with pytest.raises(TimingGraphError):
+            d.connect("n", ("@port", "a"), [("nope", "a")])
+
+    def test_unknown_pin_rejected(self, lib):
+        d = Design("d", lib)
+        d.add_input("a")
+        d.add_instance("u1", "INV")
+        with pytest.raises(TimingGraphError):
+            d.connect("n", ("@port", "a"), [("u1", "qq")])
+
+
+class TestValidation:
+    def test_unconnected_pin_detected(self, lib):
+        d = Design("d", lib)
+        d.add_input("a")
+        d.add_output("z")
+        d.add_instance("u1", "NAND2")
+        d.connect("na", ("@port", "a"), [("u1", "a")])
+        d.connect("nz", ("u1", "y"), [("@port", "z")])
+        # u1.b left dangling.
+        with pytest.raises(TimingGraphError):
+            d.validate()
+
+    def test_unconnected_port_detected(self, lib):
+        d = Design("d", lib)
+        d.add_input("a")
+        d.add_input("unused")
+        d.add_output("z")
+        d.add_instance("u1", "INV")
+        d.connect("na", ("@port", "a"), [("u1", "a")])
+        d.connect("nz", ("u1", "y"), [("@port", "z")])
+        with pytest.raises(TimingGraphError):
+            d.validate()
+
+    def test_combinational_loop_detected(self, lib):
+        d = Design("d", lib)
+        d.add_input("a")
+        d.add_output("z")
+        d.add_instance("u1", "NAND2")
+        d.add_instance("u2", "INV")
+        d.connect("na", ("@port", "a"), [("u1", "a")])
+        d.connect("n1", ("u1", "y"), [("u2", "a")])
+        d.connect("n2", ("u2", "y"), [("u1", "b")])  # loop u1->u2->u1
+        # z driven by nothing? give it a driver from the loop:
+        with pytest.raises(TimingGraphError):
+            d.validate()
+
+
+class TestQueries:
+    def test_net_of(self, chain):
+        assert chain.net_of("u1", "y") == "n1"
+        assert chain.net_of("@port", "a") == "na"
+        with pytest.raises(TimingGraphError):
+            chain.net_of("u1", "zz")
+
+    def test_pin_str(self):
+        assert str(Pin("u1", "a")) == "u1.a"
+        assert str(Pin(Pin.PORT, "clk")) == "clk"
+
+    def test_instance_graph_edges(self, chain):
+        g = chain.instance_graph()
+        assert g.has_edge("in:a", "u1")
+        assert g.has_edge("u1", "u2")
+        assert g.has_edge("u2", "out:z")

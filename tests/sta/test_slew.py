@@ -1,0 +1,93 @@
+"""Tests for slew (transition sigma) propagation in the STA."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExactAnalysis
+from repro.core.moments import transfer_moments
+from repro.sta import Design, Pin, analyze, default_library
+
+
+@pytest.fixture
+def lib():
+    return default_library()
+
+
+@pytest.fixture
+def chain(lib):
+    d = Design("chain", lib)
+    d.add_input("a")
+    d.add_output("z")
+    d.add_instance("u1", "INV")
+    d.add_instance("u2", "INV")
+    d.connect("na", ("@port", "a"), [("u1", "a")])
+    d.connect("n1", ("u1", "y"), [("u2", "a")])
+    d.connect("nz", ("u2", "y"), [("@port", "z")])
+    return d
+
+
+class TestSlewPropagation:
+    def test_slews_populated_everywhere(self, chain):
+        result = analyze(chain)
+        for pin in result.arrival:
+            assert pin in result.slew
+            assert result.slew[pin] >= 0.0
+
+    def test_net_dispersion_additivity(self, chain):
+        """sigma^2 at a sink = sigma^2 at the driver + mu_2(h_net)."""
+        result = analyze(chain)
+        elaborated = result.nets["n1"]
+        moments = transfer_moments(elaborated.tree, 2)
+        sink = Pin("u2", "a")
+        node = elaborated.sink_nodes[sink]
+        driver_slew = result.slew[Pin("u1", "y")]
+        expected = np.sqrt(driver_slew**2 + moments.variance(node))
+        assert result.slew[sink] == pytest.approx(expected, rel=1e-12)
+
+    def test_gate_regenerates_slew(self, chain, lib):
+        result = analyze(chain)
+        assert result.slew[Pin("u1", "y")] == lib.get("INV").output_slew
+
+    def test_input_slew_increases_delay(self, chain):
+        sharp = analyze(chain)
+        slow = analyze(chain, input_slews={"a": 100e-12})
+        assert slow.critical_delay > sharp.critical_delay
+        # The increase comes only from the first gate's slew impact.
+        cell = chain.instances["u1"].cell
+        slew_at_u1 = slow.slew[Pin("u1", "a")]
+        slew_at_u1_sharp = sharp.slew[Pin("u1", "a")]
+        expected_extra = cell.slew_impact * (slew_at_u1 - slew_at_u1_sharp)
+        assert slow.critical_delay - sharp.critical_delay == pytest.approx(
+            expected_extra, rel=1e-9
+        )
+
+    def test_slew_at_output_accessor(self, chain):
+        result = analyze(chain)
+        assert result.slew_at_output("z") == result.slew[Pin(Pin.PORT, "z")]
+        from repro._exceptions import TimingGraphError
+        with pytest.raises(TimingGraphError):
+            result.slew_at_output("nope")
+
+    def test_slew_grows_along_long_wire(self, chain, lib):
+        """A heavy wire disperses the edge: sink slew >> driver slew."""
+        from repro.circuit import rc_line
+        tree = rc_line(12, 300.0, 0.3e-12, driver_resistance=400.0,
+                       prefix="w")
+        override = {"n1": (tree, {Pin("u2", "a"): "w12"})}
+        result = analyze(chain, net_overrides=override)
+        assert result.slew[Pin("u2", "a")] > 5 * result.slew[Pin("u1", "y")]
+
+    def test_sigma_matches_exact_output_dispersion(self, chain):
+        """The propagated sigma at a net sink equals the exact output
+        derivative's standard deviation for a step-driven stage."""
+        result = analyze(chain)
+        elaborated = result.nets["na"]  # driven by an ideal port (slew 0)
+        sink = Pin("u1", "a")
+        node = elaborated.sink_nodes[sink]
+        analysis = ExactAnalysis(elaborated.tree)
+        transfer = analysis.transfer(node)
+        # Exact sigma of h(t) from its moments.
+        m1 = transfer.raw_moment(1)
+        m2 = transfer.raw_moment(2)
+        sigma_exact = np.sqrt(m2 - m1**2)
+        assert result.slew[sink] == pytest.approx(sigma_exact, rel=1e-9)

@@ -1,0 +1,54 @@
+"""Public API surface tests: exports exist, exceptions are coherent."""
+
+import pytest
+
+import repro
+from repro import _exceptions
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis
+        import repro.awe
+        import repro.circuit
+        import repro.core
+        import repro.opt
+        import repro.routing
+        import repro.signals
+        import repro.sta
+        import repro.workloads
+
+        for module in (
+            repro.analysis, repro.awe, repro.circuit, repro.core,
+            repro.opt, repro.routing, repro.signals, repro.sta,
+            repro.workloads,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (
+                    f"{module.__name__} missing export {name}"
+                )
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in _exceptions.__all__:
+            exc = getattr(_exceptions, name)
+            assert issubclass(exc, _exceptions.ReproError)
+
+    def test_convergence_is_analysis_error(self):
+        assert issubclass(
+            _exceptions.ConvergenceError, _exceptions.AnalysisError
+        )
+
+    def test_catchable_at_top_level(self):
+        from repro import RCTree, ReproError
+        tree = RCTree("in")
+        with pytest.raises(ReproError):
+            tree.add_node("a", "ghost", 10.0)

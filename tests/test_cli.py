@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.circuit import tree_to_netlist
+from repro.cli import main, parse_signal_spec
+from repro.signals import (
+    ExponentialInput,
+    RaisedCosineRamp,
+    SaturatedRamp,
+    SmoothstepRamp,
+    StepInput,
+)
+from repro.workloads import fig1_tree
+
+
+@pytest.fixture
+def netlist_path(tmp_path):
+    path = tmp_path / "fig1.sp"
+    path.write_text(tree_to_netlist(fig1_tree(), title="fig1"))
+    return str(path)
+
+
+class TestSignalSpec:
+    def test_step(self):
+        assert isinstance(parse_signal_spec("step"), StepInput)
+
+    def test_ramp_with_units(self):
+        sig = parse_signal_spec("ramp:2ns")
+        assert isinstance(sig, SaturatedRamp)
+        assert sig.rise_time == pytest.approx(2e-9)
+
+    def test_other_kinds(self):
+        assert isinstance(parse_signal_spec("cosine:1ns"), RaisedCosineRamp)
+        assert isinstance(parse_signal_spec("smoothstep:1ns"), SmoothstepRamp)
+        sig = parse_signal_spec("exp:500ps")
+        assert isinstance(sig, ExponentialInput)
+        assert sig.tau == pytest.approx(500e-12)
+
+    def test_plain_seconds(self):
+        assert parse_signal_spec("ramp:2e-9").rise_time == pytest.approx(2e-9)
+
+    def test_bad_specs(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_signal_spec("ramp")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_signal_spec("magic:1ns")
+
+
+class TestAnalyze:
+    def test_all_nodes(self, netlist_path, capsys):
+        assert main(["analyze", netlist_path]) == 0
+        out = capsys.readouterr().out
+        assert "n5" in out and "elmore" in out
+
+    def test_node_subset(self, netlist_path, capsys):
+        assert main(["analyze", netlist_path, "--nodes", "n5,n7"]) == 0
+        out = capsys.readouterr().out
+        assert "n5" in out and "n7" in out
+        assert "\nn1 " not in out
+
+    def test_table1_values_appear(self, netlist_path, capsys):
+        main(["analyze", netlist_path, "--nodes", "n5"])
+        out = capsys.readouterr().out
+        assert "0.919" in out      # actual delay
+        assert "1.2" in out        # elmore
+
+    def test_ramp_signal(self, netlist_path, capsys):
+        assert main(
+            ["analyze", netlist_path, "--signal", "ramp:2ns"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "saturated ramp" in out
+        assert "prh" not in out    # PRH columns are step-only
+
+    def test_unknown_node(self, netlist_path, capsys):
+        assert main(["analyze", netlist_path, "--nodes", "zz"]) == 2
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent.sp"]) == 2
+
+    def test_bad_netlist(self, tmp_path, capsys):
+        path = tmp_path / "bad.sp"
+        path.write_text("R1 a b 100\nC1 b 0 1p\n")  # no source
+        assert main(["analyze", str(path)]) == 1
+
+
+class TestVerify:
+    def test_claims_hold(self, netlist_path, capsys):
+        assert main(["verify", netlist_path]) == 0
+        out = capsys.readouterr().out
+        assert "all claims hold" in out
+        assert out.count("[ok]") == 7
+
+
+class TestPaperTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "n5" in out and "0.919" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "A" in out and "%" in out

@@ -1,0 +1,60 @@
+"""Tests for the CLI waveform subcommand."""
+
+import pytest
+
+from repro.circuit import tree_to_netlist
+from repro.cli import main
+from repro.workloads import fig1_tree
+
+
+@pytest.fixture
+def netlist_path(tmp_path):
+    path = tmp_path / "fig1.sp"
+    path.write_text(tree_to_netlist(fig1_tree(), title="fig1"))
+    return str(path)
+
+
+class TestWaveform:
+    def test_ascii_render(self, netlist_path, capsys):
+        assert main(["waveform", netlist_path, "n5"]) == 0
+        out = capsys.readouterr().out
+        assert "waveform at n5" in out
+        assert "50% delay" in out
+        assert out.count("|") >= 36  # 18 grid rows, two pipes each
+
+    def test_csv_export(self, netlist_path, tmp_path, capsys):
+        csv = tmp_path / "wave.csv"
+        assert main([
+            "waveform", netlist_path, "n5",
+            "--signal", "ramp:2ns", "--csv", str(csv),
+            "--points", "101",
+        ]) == 0
+        lines = csv.read_text().splitlines()
+        assert lines[0] == "time_s,input_v,output_v"
+        assert len(lines) == 102
+        # Output never exceeds input (causal averaging).
+        for line in lines[1:]:
+            _, vin, vout = map(float, line.split(","))
+            assert vout <= vin + 1e-9
+
+    def test_unknown_node(self, netlist_path):
+        assert main(["waveform", netlist_path, "zz"]) == 2
+
+    def test_delay_value_in_output(self, netlist_path, capsys):
+        main(["waveform", netlist_path, "n5"])
+        out = capsys.readouterr().out
+        assert "0.919" in out  # step-input 50% delay at n5
+
+
+class TestStats:
+    def test_stats_table(self, netlist_path, capsys):
+        assert main([
+            "stats", netlist_path, "--nodes", "n5",
+            "--rsigma", "0.12", "--csigma", "0.08",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3-sigma" in out and "n5" in out
+        assert "1.2" in out  # nominal Elmore at n5
+
+    def test_stats_unknown_node(self, netlist_path):
+        assert main(["stats", netlist_path, "--nodes", "zz"]) == 2

@@ -1,0 +1,169 @@
+"""Tests pinning the reconstructed paper circuits to the printed tables."""
+
+import math
+
+import pytest
+
+from repro.analysis import ExactAnalysis, measure_delay
+from repro.core import (
+    delay_lower_bound,
+    elmore_delay,
+    prh_delay_interval,
+    transfer_moments,
+)
+from repro.signals import SaturatedRamp
+from repro.workloads import (
+    FIG1_PROBES,
+    TABLE1_PAPER,
+    TABLE2_PAPER,
+    TABLE2_RISE_TIMES,
+    TREE25_PROBES,
+    fig1_tree,
+    tree25,
+)
+
+
+class TestFig1Table1:
+    """Every column of Table I within tight tolerance of the print."""
+
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return fig1_tree()
+
+    @pytest.fixture(scope="class")
+    def analysis(self, tree):
+        return ExactAnalysis(tree)
+
+    @pytest.mark.parametrize("node", FIG1_PROBES)
+    def test_actual_delay_column(self, tree, analysis, node):
+        actual, *_ = TABLE1_PAPER[node]
+        assert measure_delay(analysis, node) == pytest.approx(
+            actual, rel=1.5e-2
+        )
+
+    @pytest.mark.parametrize("node", FIG1_PROBES)
+    def test_elmore_column(self, tree, node):
+        elmore = TABLE1_PAPER[node][1]
+        assert elmore_delay(tree, node) == pytest.approx(elmore, rel=5e-3)
+
+    @pytest.mark.parametrize("node", FIG1_PROBES)
+    def test_lower_bound_column(self, tree, node):
+        lower = TABLE1_PAPER[node][2]
+        got = delay_lower_bound(tree, node)
+        if lower == 0.0:
+            assert got == 0.0
+        else:
+            assert got == pytest.approx(lower, rel=5e-2)
+
+    @pytest.mark.parametrize("node", FIG1_PROBES)
+    def test_single_pole_column(self, tree, node):
+        # The paper's column is ln2 times its (rounded) T_D.
+        assert math.log(2) * elmore_delay(tree, node) == pytest.approx(
+            TABLE1_PAPER[node][3], rel=1.5e-2
+        )
+
+    @pytest.mark.parametrize("node", FIG1_PROBES)
+    def test_prh_columns(self, tree, node):
+        _, _, _, _, tmax, tmin = TABLE1_PAPER[node]
+        got_min, got_max = prh_delay_interval(tree, node)
+        assert got_max == pytest.approx(tmax, rel=1.5e-2)
+        if tmin == 0.0:
+            assert got_min == 0.0
+        else:
+            assert got_min == pytest.approx(tmin, rel=5e-2)
+
+    def test_topology(self, tree):
+        assert tree.num_nodes == 7
+        assert set(tree.leaves()) == {"n5", "n7"}
+
+
+class TestTree25Table2:
+    """Table II's error shape: errors fall with distance and rise time."""
+
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return tree25()
+
+    @pytest.fixture(scope="class")
+    def analysis(self, tree):
+        return ExactAnalysis(tree)
+
+    def test_node_count(self, tree):
+        assert tree.num_nodes == 25
+
+    @pytest.mark.parametrize("probe", ["A", "B", "C"])
+    def test_elmore_targets(self, tree, probe):
+        node = TREE25_PROBES[probe]
+        assert elmore_delay(tree, node) == pytest.approx(
+            TABLE2_PAPER[probe]["elmore"], rel=5e-3
+        )
+
+    @pytest.mark.parametrize("probe", ["A", "B", "C"])
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_delay_entries_close_to_paper(self, analysis, tree, probe, k):
+        node = TREE25_PROBES[probe]
+        rise = TABLE2_RISE_TIMES[k]
+        measured = measure_delay(analysis, node, SaturatedRamp(rise))
+        paper = TABLE2_PAPER[probe]["delays"][k]
+        assert measured == pytest.approx(paper, rel=0.12)
+
+    def test_error_decreases_with_rise_time(self, analysis, tree):
+        for probe, node in TREE25_PROBES.items():
+            td = elmore_delay(tree, node)
+            errors = []
+            for rise in TABLE2_RISE_TIMES:
+                d = measure_delay(analysis, node, SaturatedRamp(rise))
+                errors.append(abs((d - td) / d))
+            assert errors[0] > errors[1] > errors[2]
+
+    def test_error_decreases_downstream(self, analysis, tree):
+        """Fig. 14's other axis: at fixed rise time the relative error
+        falls from A to B to C."""
+        for rise in TABLE2_RISE_TIMES:
+            errs = []
+            for probe in ("A", "B", "C"):
+                node = TREE25_PROBES[probe]
+                td = elmore_delay(tree, node)
+                d = measure_delay(analysis, node, SaturatedRamp(rise))
+                errs.append(abs((d - td) / d))
+            assert errs[0] > errs[1] > errs[2]
+
+    def test_skew_decreases_downstream(self, tree):
+        """Fig. 13: the impulse response gets less skewed downstream."""
+        moments = transfer_moments(tree, 3)
+        gammas = [
+            moments.skewness(TREE25_PROBES[p]) for p in ("A", "B", "C")
+        ]
+        assert gammas[0] > gammas[1] > gammas[2] > 0.0
+
+
+class TestGenerators:
+    def test_corpus_deterministic(self):
+        from repro.workloads import random_tree_corpus
+        a = random_tree_corpus(5, seed=3)
+        b = random_tree_corpus(5, seed=3)
+        assert [t.num_nodes for t in a] == [t.num_nodes for t in b]
+
+    def test_corpus_sizes_in_range(self):
+        from repro.workloads import random_tree_corpus
+        corpus = random_tree_corpus(20, size_range=(3, 9), seed=1)
+        assert all(3 <= t.num_nodes <= 9 for t in corpus)
+
+    def test_line_family(self):
+        from repro.workloads import line_family
+        family = line_family(sizes=(5, 10))
+        assert [t.num_nodes for t in family] == [5, 10]
+
+    def test_clock_family(self):
+        from repro.workloads import clock_tree_family
+        family = clock_tree_family(depths=(2, 3), fanout=2)
+        assert [t.num_nodes for t in family] == [3, 7]
+
+    def test_corpus_validation(self):
+        from repro._exceptions import ValidationError
+        from repro.workloads import random_tree_corpus
+        import pytest as _pytest
+        with _pytest.raises(ValidationError):
+            random_tree_corpus(0)
+        with _pytest.raises(ValidationError):
+            random_tree_corpus(3, size_range=(5, 2))

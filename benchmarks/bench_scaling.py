@@ -11,8 +11,17 @@ This bench times
 on RC lines of increasing length, asserting the asymptotic gap: growing
 the tree 16x grows the path-traced runtime by far less than the dense
 runtime, and the cost ratio at the largest size exceeds 10x.
+
+A second table compares the per-sample scalar recursion against the
+vectorized batch engine (``repro.core.batch``) evaluating B parameter
+vectors at once, asserting the batched path wins by >= 5x at B=1000 on
+the 256-node line.
+
+Set ``REPRO_BENCH_QUICK=1`` for a fast smoke run (smaller trees and
+batches, relaxed assertions) — used by the CI smoke job.
 """
 
+import os
 import time
 
 import numpy as np
@@ -21,10 +30,13 @@ import pytest
 from repro.analysis.mna import mna_transfer_moments
 from repro.circuit import rc_line
 from repro.core import rph_time_constants, transfer_moments
+from repro.core.batch import batch_transfer_moments, compile_topology
 
 from benchmarks._helpers import render_table, report
 
-SIZES = (64, 256, 1024)
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+SIZES = (16, 64, 128) if QUICK else (64, 256, 1024)
+BATCH_B = 64 if QUICK else 1000
 TREES = {n: rc_line(n, 25.0, 30e-15, driver_resistance=180.0) for n in SIZES}
 
 
@@ -68,5 +80,51 @@ def test_scaling_path_tracing(benchmark):
     )
 
     # The dense path falls behind as N grows, decisively at N=1024.
-    assert ratios[SIZES[-1]] > 10.0
-    assert ratios[SIZES[-1]] > ratios[SIZES[0]]
+    # Quick mode only smoke-tests that both paths run; the tiny trees it
+    # uses are too noisy for the complexity-ordering assertions.
+    if not QUICK:
+        assert ratios[SIZES[-1]] > 10.0
+        assert ratios[SIZES[-1]] > ratios[SIZES[0]]
+
+
+def test_scaling_batched(benchmark):
+    """Vectorized batch engine vs B repeated scalar recursions."""
+    mid = SIZES[len(SIZES) // 2]
+    topo_mid = compile_topology(TREES[mid])
+    benchmark(batch_transfer_moments, topo_mid, 3,
+              np.tile(topo_mid.resistances, (8, 1)),
+              np.tile(topo_mid.capacitances, (8, 1)))
+
+    rows = []
+    speedups = {}
+    for n in SIZES:
+        tree = TREES[n]
+        topo = compile_topology(tree)
+        rng = np.random.default_rng(7)
+        res = topo.resistances * rng.uniform(0.9, 1.1,
+                                             (BATCH_B, topo.num_nodes))
+        cap = topo.capacitances * rng.uniform(0.9, 1.1,
+                                              (BATCH_B, topo.num_nodes))
+        t_scalar = _time(transfer_moments, tree, 3)
+        t_batch = _time(batch_transfer_moments, topo, 3, res, cap)
+        speedups[n] = BATCH_B * t_scalar / t_batch
+        rows.append([
+            str(n),
+            str(BATCH_B),
+            f"{BATCH_B * t_scalar * 1e3:.3f} ms",
+            f"{t_batch * 1e3:.3f} ms",
+            f"{speedups[n]:.1f}x",
+        ])
+    report(
+        "scaling_batched",
+        render_table(
+            f"Batched moment engine (orders <= 3, B={BATCH_B} parameter "
+            "vectors) vs B scalar recursions (RC lines)",
+            ["nodes", "B", "scalar x B", "batched", "speedup"],
+            rows,
+        ),
+    )
+
+    # The batched engine must win decisively: >= 5x at B=1000 on the
+    # 256-node line (relaxed to "not slower" in quick mode).
+    assert speedups[SIZES[1]] > (1.0 if QUICK else 5.0)

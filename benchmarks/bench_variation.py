@@ -10,8 +10,18 @@ thousands of Monte-Carlo tree evaluations.  This bench:
 
 Asserted: the nominal value is the exact mean; analytic vs MC std agrees
 within 6%; the analytic path is > 100x faster than the sampling loop.
+
+A second table compares the two ``monte_carlo_elmore`` backends — the
+historical per-sample Python walk (``method="loop"``) against the
+vectorized batch engine (``method="batch"``) — on a 256-node random
+tree at B=1000 samples, asserting identical samples and a >= 5x
+speedup.
+
+Set ``REPRO_BENCH_QUICK=1`` for a fast smoke run (smaller tree and
+sample count, relaxed speedup assertion).
 """
 
+import os
 import time
 
 import numpy as np
@@ -24,11 +34,15 @@ from repro.core.variation import (
     monte_carlo_elmore,
 )
 from repro.workloads import fig1_tree
+from repro.workloads.generators import random_tree
 
 from benchmarks._helpers import ns, render_table, report
 
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 MODEL = VariationModel(resistance_sigma=0.12, capacitance_sigma=0.08)
 MC_SAMPLES = 6000
+BATCH_NODES = 64 if QUICK else 256
+BATCH_SAMPLES = 64 if QUICK else 1000
 
 CASES = [
     ("fig1/n5", fig1_tree(), "n5"),
@@ -53,7 +67,8 @@ def test_variation(benchmark):
         t_analytic = time.perf_counter() - start
         start = time.perf_counter()
         samples = monte_carlo_elmore(tree, node, MODEL,
-                                     samples=MC_SAMPLES, seed=1)
+                                     samples=MC_SAMPLES, seed=1,
+                                     method="loop")
         t_mc = time.perf_counter() - start
         mc_mean = float(np.mean(samples))
         mc_std = float(np.std(samples))
@@ -75,3 +90,40 @@ def test_variation(benchmark):
             rows,
         ),
     )
+
+
+def test_variation_batched(benchmark):
+    """Per-sample MC loop vs the vectorized batch backend."""
+    tree = random_tree(BATCH_NODES, seed=42)
+    node = tree.leaves()[-1]
+    benchmark(monte_carlo_elmore, tree, node, MODEL,
+              samples=BATCH_SAMPLES, seed=3, method="batch")
+
+    start = time.perf_counter()
+    loop = monte_carlo_elmore(tree, node, MODEL, samples=BATCH_SAMPLES,
+                              seed=3, method="loop")
+    t_loop = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = monte_carlo_elmore(tree, node, MODEL, samples=BATCH_SAMPLES,
+                                 seed=3, method="batch")
+    t_batch = time.perf_counter() - start
+
+    # Same seed => the two backends consume identical parameter draws.
+    np.testing.assert_allclose(batched, loop, rtol=1e-9)
+    speedup = t_loop / max(t_batch, 1e-9)
+    report(
+        "variation_batched",
+        render_table(
+            f"monte_carlo_elmore backends — {BATCH_NODES}-node random "
+            f"tree, B={BATCH_SAMPLES} samples",
+            ["backend", "time", "mean (ns)", "std (ns)"],
+            [
+                ["loop", f"{t_loop * 1e3:.2f} ms",
+                 ns(float(np.mean(loop))), ns(float(np.std(loop)))],
+                ["batch", f"{t_batch * 1e3:.2f} ms",
+                 ns(float(np.mean(batched))), ns(float(np.std(batched)))],
+                ["speedup", f"{speedup:.1f}x", "", ""],
+            ],
+        ),
+    )
+    assert speedup > (1.0 if QUICK else 5.0)

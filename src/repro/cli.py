@@ -196,16 +196,42 @@ def _cmd_stats(args) -> int:
     model = VariationModel(
         resistance_sigma=args.rsigma, capacitance_sigma=args.csigma
     )
+    mc = None
+    if args.samples > 0:
+        # One batched sweep evaluates every node for every sample.
+        import numpy as np
+
+        from repro.core.batch import batch_elmore_delays, compile_topology
+        from repro.core.variation import sample_parameter_batch
+
+        res, cap = sample_parameter_batch(
+            tree, model, args.samples, seed=args.seed
+        )
+        mc = batch_elmore_delays(compile_topology(tree), res, cap)
     print(f"variation: R +-{args.rsigma * 100:.0f}%  "
           f"C +-{args.csigma * 100:.0f}%   (times in ns)")
-    print(f"{'node':>10} {'nominal':>9} {'std':>9} {'3-sigma':>9}")
+    header = f"{'node':>10} {'nominal':>9} {'std':>9} {'3-sigma':>9}"
+    if mc is not None:
+        header += f" {'mc-p50':>9} {'mc-p99':>9}"
+        print(f"monte carlo: {args.samples} batched samples "
+              f"(seed {args.seed})")
+    print(header)
     for node in nodes:
         stats = elmore_statistics(tree, node, model)
-        print(
+        line = (
             f"{node:>10} {_format_ns(stats.mean):>9} "
             f"{_format_ns(stats.std):>9} "
             f"{_format_ns(stats.quantile_bound(3.0)):>9}"
         )
+        if mc is not None:
+            import numpy as np
+
+            column = mc[:, tree.index_of(node)]
+            line += (
+                f" {_format_ns(float(np.quantile(column, 0.5))):>9}"
+                f" {_format_ns(float(np.quantile(column, 0.99))):>9}"
+            )
+        print(line)
     return 0
 
 
@@ -293,6 +319,15 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--csigma", type=float, default=0.1,
         help="relative sigma of every capacitance (default 0.1)",
+    )
+    stats.add_argument(
+        "--samples", type=int, default=0,
+        help="add Monte-Carlo quantile columns from one batched sweep "
+             "of this many samples (default 0 = analytic only)",
+    )
+    stats.add_argument(
+        "--seed", type=int, default=0,
+        help="Monte-Carlo seed (default 0)",
     )
     stats.set_defaults(func=_cmd_stats)
 

@@ -1,0 +1,531 @@
+"""Batched moment/Elmore evaluation over a compiled tree topology.
+
+The scalar engines (:mod:`repro.core.elmore`, :mod:`repro.core.moments`)
+walk the tree with per-node Python loops — exact, simple, and the oracle
+the tests pin everything to, but interpreter-bound: evaluating B parameter
+sets (Monte-Carlo variation samples, process corners, sizing candidates)
+costs B full tree walks.
+
+This module compiles an :class:`~repro.circuit.rctree.RCTree` **once**
+into flat CSR-style topology arrays (parent pointers, nodes grouped by
+depth, per-level parent indices) and then evaluates the paper's whole
+moment pipeline for ``(B, N)`` resistance/capacitance matrices at a time
+with pure NumPy level sweeps — no per-node Python loop anywhere:
+
+* Elmore delays ``T_D`` (eq. (4)) for every node of every batch row;
+* transfer coefficients ``m_0..m_q`` (eq. (8)-(9)) up to ``q = 3``;
+* raw/central distribution moments, ``sigma`` and skewness (eq. (27));
+* the paper's bound pair ``[max(T_D - sigma, 0), T_D]`` (Theorem +
+  Corollary 1).
+
+The two tree recursions both become sweeps over *depth levels*:
+
+* subtree accumulation (post-order) — iterate levels deepest-first and
+  fold each level's values into its parents; sibling contributions are
+  merged with ``np.add.reduceat`` over children pre-sorted by parent at
+  compile time (buffered, unlike ``np.add.at``);
+* root-path accumulation (pre-order) — iterate levels shallowest-first
+  and gather each level's parent prefix (plain fancy indexing; parents
+  live in already-finished levels).
+
+Internally both sweeps run on a transposed ``(N, B)`` workspace so each
+level touches contiguous rows rather than strided columns.
+
+Each sweep is O(depth) NumPy calls over ``(B, level_size)`` blocks, so the
+per-sample cost collapses as B grows — the speedup is measured in
+``benchmarks/bench_scaling.py`` and ``benchmarks/bench_variation.py``.
+
+A topology may also describe a *forest* (several independent trees laid
+out side by side, parents of all tree roots = -1).  The STA engine uses
+this to evaluate every net of a netlist through a single batched call
+(:func:`compile_forest`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro._exceptions import AnalysisError, ValidationError
+from repro.circuit.rctree import RCTree
+
+__all__ = [
+    "TreeTopology",
+    "BatchMoments",
+    "compile_topology",
+    "compile_forest",
+    "batch_transfer_moments",
+    "batch_elmore_delays",
+    "batch_delay_bounds",
+]
+
+
+@dataclass(frozen=True)
+class TreeTopology:
+    """Immutable compiled traversal structure of an RC tree (or forest).
+
+    Attributes
+    ----------
+    parents:
+        Parent index per node, ``-1`` for children of the input node
+        (or for the root node of each tree in a forest).
+    levels:
+        Node-index arrays grouped by depth, shallowest first.  Within a
+        level the arrays are in node-index (topological) order.
+    level_parents:
+        ``parents[levels[k]]`` precomputed per level (entries of the first
+        level are ``-1`` and never dereferenced).
+    node_names:
+        Node names in index order (forest names may be qualified).
+    resistances, capacitances:
+        The compile-time nominal element values, used as defaults when a
+        batched call passes ``None`` for one of the matrices.
+    """
+
+    parents: np.ndarray
+    levels: Tuple[np.ndarray, ...]
+    level_parents: Tuple[np.ndarray, ...]
+    node_names: Tuple[str, ...]
+    resistances: np.ndarray
+    capacitances: np.ndarray
+    _index: Dict[str, int] = field(repr=False, default_factory=dict)
+    # Per level: (children sorted by parent, their parents, the unique
+    # parents, reduceat segment starts) with root entries dropped, or
+    # None when a level holds only roots.  Drives both sweep kernels.
+    _segments: Tuple[Optional[Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                    np.ndarray]], ...] = field(
+        repr=False, default=())
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of (non-input) nodes."""
+        return int(self.parents.shape[0])
+
+    @property
+    def depth(self) -> int:
+        """Maximum node depth = number of level sweeps per recursion."""
+        return len(self.levels)
+
+    def index_of(self, name: str) -> int:
+        """Dense index of node ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ValidationError(f"unknown node {name!r}") from None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        parents: np.ndarray,
+        names: Sequence[str],
+        resistances: np.ndarray,
+        capacitances: np.ndarray,
+    ) -> "TreeTopology":
+        """Compile from flat parent-pointer arrays (parents precede
+        children, as :class:`RCTree` guarantees by construction)."""
+        parents = np.asarray(parents, dtype=np.int64)
+        n = parents.shape[0]
+        depth = np.zeros(n, dtype=np.int64)
+        for i in range(n):  # one-time compile cost, cached afterwards
+            p = parents[i]
+            depth[i] = 1 if p < 0 else depth[p] + 1
+        levels = []
+        level_parents = []
+        segments = []
+        for d in range(1, int(depth.max(initial=0)) + 1):
+            idx = np.flatnonzero(depth == d)
+            levels.append(idx)
+            level_parents.append(parents[idx])
+            keep = parents[idx] >= 0
+            if not keep.any():
+                segments.append(None)
+                continue
+            kept, kept_par = idx[keep], parents[idx][keep]
+            order = np.argsort(kept_par, kind="stable")
+            idx_sorted, par_sorted = kept[order], kept_par[order]
+            uniq, starts = np.unique(par_sorted, return_index=True)
+            segments.append((idx_sorted, par_sorted, uniq, starts))
+        res = np.array(resistances, dtype=np.float64)
+        cap = np.array(capacitances, dtype=np.float64)
+        res.setflags(write=False)
+        cap.setflags(write=False)
+        parents.setflags(write=False)
+        for arr in levels + level_parents:
+            arr.setflags(write=False)
+        for seg in segments:
+            if seg is not None:
+                for arr in seg:
+                    arr.setflags(write=False)
+        topo = cls(
+            parents=parents,
+            levels=tuple(levels),
+            level_parents=tuple(level_parents),
+            node_names=tuple(names),
+            resistances=res,
+            capacitances=cap,
+            _segments=tuple(segments),
+        )
+        topo._index.update({name: k for k, name in enumerate(names)})
+        return topo
+
+    # ------------------------------------------------------------------
+    # The two vectorized tree recursions
+    # ------------------------------------------------------------------
+    def _subtree_sums_T(self, work: np.ndarray) -> None:
+        """In-place post-order accumulation on an ``(N, B)`` workspace.
+
+        Each level's rows fold into their parents' rows; siblings merge
+        through buffered ``np.add.reduceat`` segment sums over children
+        pre-sorted by parent (precomputed in ``_segments``).
+        """
+        for seg in reversed(self._segments):
+            if seg is None:
+                continue
+            idx_sorted, _, uniq, starts = seg
+            work[uniq] += np.add.reduceat(work[idx_sorted], starts, axis=0)
+
+    def _rootpath_sums_T(self, work: np.ndarray) -> None:
+        """In-place pre-order accumulation on an ``(N, B)`` workspace.
+
+        Levels run shallowest-first so every parent row is already a
+        finished prefix sum when its children gather it.
+        """
+        for seg in self._segments:
+            if seg is None:
+                continue
+            idx_sorted, par_sorted, _, _ = seg
+            work[idx_sorted] += work[par_sorted]
+
+    def _to_workspace(self, values: np.ndarray) -> np.ndarray:
+        """Copy ``(..., N)`` values into a writable ``(N, B)`` array."""
+        arr = np.asarray(values, dtype=np.float64)
+        return np.array(arr.reshape(-1, self.num_nodes).T,
+                        dtype=np.float64, order="C", copy=True)
+
+    def subtree_sums(self, values: np.ndarray) -> np.ndarray:
+        """Batched post-order accumulation.
+
+        ``out[..., i] = sum of values[..., j] over j in subtree(i)`` —
+        the vectorized form of the downstream-capacitance recursion.
+        ``values`` has shape ``(..., num_nodes)``.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        work = self._to_workspace(arr)
+        self._subtree_sums_T(work)
+        return np.ascontiguousarray(work.T).reshape(arr.shape)
+
+    def rootpath_sums(self, values: np.ndarray) -> np.ndarray:
+        """Batched pre-order accumulation.
+
+        ``out[..., i] = sum of values[..., j] over j on the input-to-i
+        path`` — the vectorized form of the delay/moment propagation.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        work = self._to_workspace(arr)
+        self._rootpath_sums_T(work)
+        return np.ascontiguousarray(work.T).reshape(arr.shape)
+
+    # ------------------------------------------------------------------
+    # Parameter validation / broadcasting
+    # ------------------------------------------------------------------
+    def broadcast_parameters(
+        self,
+        resistances: Optional[np.ndarray] = None,
+        capacitances: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Validate and broadcast R/C inputs to a common ``(B, N)`` shape.
+
+        ``None`` selects the compile-time nominal values; a 1-D array is a
+        single batch row; 2-D arrays are taken as ``(B, N)``.
+        """
+        r = self._coerce("resistances", resistances, self.resistances)
+        c = self._coerce("capacitances", capacitances, self.capacitances)
+        if r.shape[0] != c.shape[0]:
+            if r.shape[0] == 1:
+                r = np.broadcast_to(r, c.shape)
+            elif c.shape[0] == 1:
+                c = np.broadcast_to(c, r.shape)
+            else:
+                raise ValidationError(
+                    "resistance and capacitance batches disagree: "
+                    f"{r.shape[0]} vs {c.shape[0]} rows"
+                )
+        if not np.isfinite(r).all() or (r <= 0.0).any():
+            raise ValidationError(
+                "batched resistances must be finite and > 0"
+            )
+        if not np.isfinite(c).all() or (c < 0.0).any():
+            raise ValidationError(
+                "batched capacitances must be finite and >= 0"
+            )
+        rows = np.flatnonzero(c.sum(axis=1) <= 0.0)
+        if rows.size:
+            raise ValidationError(
+                f"batch rows {rows[:5].tolist()} carry no capacitance "
+                "(an RC tree without capacitance has no dynamics)"
+            )
+        return r, c
+
+    def _coerce(
+        self, label: str, values: Optional[np.ndarray], default: np.ndarray
+    ) -> np.ndarray:
+        if values is None:
+            return default.reshape(1, -1)
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.ndim != 2 or arr.shape[1] != self.num_nodes:
+            raise ValidationError(
+                f"{label} must have shape (B, {self.num_nodes}) or "
+                f"({self.num_nodes},), got {arr.shape}"
+            )
+        return arr
+
+
+def compile_topology(tree: RCTree) -> TreeTopology:
+    """Compile ``tree`` into a :class:`TreeTopology`, cached on the tree.
+
+    The compiled structure is stored in the tree's internal cache, which
+    every mutation (``add_node``/``set_*``) clears — repeated calls after
+    parameter edits recompile only when the *topology arrays* are gone,
+    and callers that hold the returned object keep it valid as long as
+    the wiring (not the element values) is unchanged.
+    """
+    cached = tree._cache.get("batch_topology")
+    if cached is None:
+        tree.validate()
+        cached = TreeTopology.from_arrays(
+            tree.parents,
+            tree.node_names,
+            tree.resistances,
+            tree.capacitances,
+        )
+        tree._cache["batch_topology"] = cached
+    return cached  # type: ignore[return-value]
+
+
+def compile_forest(
+    trees: Sequence[RCTree],
+) -> Tuple[TreeTopology, Tuple[int, ...]]:
+    """Compile several trees into one side-by-side forest topology.
+
+    Returns ``(topology, offsets)`` where node ``i`` of ``trees[k]`` maps
+    to forest index ``offsets[k] + i``.  Forest node names are qualified
+    as ``"{k}/{name}"`` so they stay unique across trees.  One batched
+    evaluation over the forest computes every tree's moments at once —
+    this is how the STA engine evaluates all nets of a netlist through a
+    single call.
+    """
+    if not trees:
+        raise ValidationError("compile_forest needs at least one tree")
+    parents: List[np.ndarray] = []
+    names: List[str] = []
+    res: List[np.ndarray] = []
+    cap: List[np.ndarray] = []
+    offsets: List[int] = []
+    offset = 0
+    for k, tree in enumerate(trees):
+        tree.validate()
+        offsets.append(offset)
+        p = tree.parents.copy()
+        p[p >= 0] += offset
+        parents.append(p)
+        names.extend(f"{k}/{name}" for name in tree.node_names)
+        res.append(tree.resistances)
+        cap.append(tree.capacitances)
+        offset += tree.num_nodes
+    return (
+        TreeTopology.from_arrays(
+            np.concatenate(parents),
+            names,
+            np.concatenate(res),
+            np.concatenate(cap),
+        ),
+        tuple(offsets),
+    )
+
+
+def _as_topology(tree: Union[RCTree, TreeTopology]) -> TreeTopology:
+    if isinstance(tree, TreeTopology):
+        return tree
+    return compile_topology(tree)
+
+
+def batch_elmore_delays(
+    tree: Union[RCTree, TreeTopology],
+    resistances: Optional[np.ndarray] = None,
+    capacitances: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Elmore delays for B parameter sets at once: ``(B, N)`` out.
+
+    The batched form of :func:`repro.core.elmore.elmore_delays`: one
+    post-order sweep accumulates downstream capacitance, one pre-order
+    sweep accumulates ``R_i * Cdown_i`` along every root path — for the
+    whole batch simultaneously.
+    """
+    topo = _as_topology(tree)
+    r, c = topo.broadcast_parameters(resistances, capacitances)
+    work = topo._to_workspace(c)
+    topo._subtree_sums_T(work)
+    work *= np.ascontiguousarray(r.T)
+    topo._rootpath_sums_T(work)
+    return np.ascontiguousarray(work.T)
+
+
+def batch_transfer_moments(
+    tree: Union[RCTree, TreeTopology],
+    order: int,
+    resistances: Optional[np.ndarray] = None,
+    capacitances: Optional[np.ndarray] = None,
+) -> "BatchMoments":
+    """Transfer coefficients ``m_0..m_order`` for B parameter sets.
+
+    The batched form of :func:`repro.core.moments.transfer_moments`: per
+    order, one post-order sweep forms the subtree capacitive currents and
+    one pre-order sweep propagates ``m_q = m_q(parent) - R_i * I_q``.
+
+    Returns a :class:`BatchMoments` whose coefficient array has shape
+    ``(order + 1, B, N)``.
+    """
+    if not isinstance(order, (int, np.integer)) or isinstance(order, bool):
+        raise ValidationError(f"order must be an integer >= 1, got {order!r}")
+    if order < 1:
+        raise ValidationError(f"order must be >= 1, got {order!r}")
+    topo = _as_topology(tree)
+    r, c = topo.broadcast_parameters(resistances, capacitances)
+    b = max(r.shape[0], c.shape[0])
+    n = topo.num_nodes
+    r_t = np.ascontiguousarray(r.T)
+    c_t = np.ascontiguousarray(c.T)
+    coeffs = np.zeros((order + 1, b, n), dtype=np.float64)
+    coeffs[0] = 1.0
+    prev = np.ones((n, b), dtype=np.float64)
+    for q in range(1, order + 1):
+        currents = c_t * prev
+        topo._subtree_sums_T(currents)
+        prev = -r_t * currents
+        topo._rootpath_sums_T(prev)
+        coeffs[q] = prev.T
+    return BatchMoments(topology=topo, coefficients=coeffs)
+
+
+def batch_delay_bounds(
+    tree: Union[RCTree, TreeTopology],
+    resistances: Optional[np.ndarray] = None,
+    capacitances: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The paper's step-input bound pair for B parameter sets.
+
+    Returns ``(lower, upper)`` arrays of shape ``(B, N)``:
+    ``upper = T_D`` (Theorem) and ``lower = max(T_D - sigma, 0)``
+    (Corollary 1), per batch row and node.
+    """
+    moments = batch_transfer_moments(
+        tree, 2, resistances=resistances, capacitances=capacitances
+    )
+    return moments.delay_bounds()
+
+
+@dataclass(frozen=True)
+class BatchMoments:
+    """Per-node transfer coefficients for a batch of parameter sets.
+
+    The batched analogue of
+    :class:`repro.core.moments.TransferMoments`: ``coefficients[q, b, i]``
+    is ``m_q`` at node ``i`` for batch row ``b``; all derived quantities
+    come back as ``(B, N)`` arrays (or ``(B,)`` for a single node).
+    """
+
+    topology: TreeTopology
+    coefficients: np.ndarray
+
+    @property
+    def order(self) -> int:
+        """Highest computed moment order."""
+        return self.coefficients.shape[0] - 1
+
+    @property
+    def batch_size(self) -> int:
+        """Number of parameter sets evaluated."""
+        return self.coefficients.shape[1]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of tree nodes."""
+        return self.coefficients.shape[2]
+
+    def _node_index(self, node: Union[str, int]) -> int:
+        if isinstance(node, str):
+            return self.topology.index_of(node)
+        return int(node)
+
+    def _require_order(self, q: int) -> None:
+        if self.order < q:
+            raise AnalysisError(
+                f"moment order {q} requested but only {self.order} computed"
+            )
+
+    # ------------------------------------------------------------------
+    # (B, N) derived quantities
+    # ------------------------------------------------------------------
+    def elmore_delays(self) -> np.ndarray:
+        """Elmore delay ``T_D = -m_1`` per batch row and node, ``(B, N)``."""
+        return -self.coefficients[1]
+
+    def variance(self) -> np.ndarray:
+        """Second central moment ``mu_2 = 2 m_2 - m_1^2``, ``(B, N)``."""
+        self._require_order(2)
+        m1 = self.coefficients[1]
+        m2 = self.coefficients[2]
+        return 2.0 * m2 - m1 * m1
+
+    def sigma(self) -> np.ndarray:
+        """``sqrt(mu_2)`` with roundoff negatives clipped, ``(B, N)``."""
+        return np.sqrt(np.maximum(self.variance(), 0.0))
+
+    def third_central_moment(self) -> np.ndarray:
+        """``mu_3 = -6 m_3 + 6 m_1 m_2 - 2 m_1^3``, ``(B, N)``."""
+        self._require_order(3)
+        m1 = self.coefficients[1]
+        m2 = self.coefficients[2]
+        m3 = self.coefficients[3]
+        return -6.0 * m3 + 6.0 * m1 * m2 - 2.0 * m1**3
+
+    def skewness(self) -> np.ndarray:
+        """Coefficient of skewness ``gamma = mu_3 / mu_2^1.5``, ``(B, N)``.
+
+        Zero-variance nodes get ``gamma = 0`` (a point mass has no skew).
+        """
+        mu2 = self.variance()
+        mu3 = self.third_central_moment()
+        safe = np.where(mu2 > 0.0, mu2, 1.0)
+        return np.where(mu2 > 0.0, mu3 / safe**1.5, 0.0)
+
+    def raw_moments(self) -> np.ndarray:
+        """Distribution moments ``M_q = (-1)^q q! m_q``,
+        shape ``(order + 1, B, N)``."""
+        q = np.arange(self.order + 1)
+        scale = np.where(q % 2 == 0, 1.0, -1.0) * np.array(
+            [math.factorial(int(v)) for v in q], dtype=np.float64
+        )
+        return scale[:, None, None] * self.coefficients
+
+    def delay_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Step-input ``(lower, upper)`` bound arrays, each ``(B, N)``."""
+        upper = self.elmore_delays()
+        lower = np.maximum(upper - self.sigma(), 0.0)
+        return lower, upper
+
+    # ------------------------------------------------------------------
+    # Single-node views (each (B,))
+    # ------------------------------------------------------------------
+    def at(self, node: Union[str, int]) -> np.ndarray:
+        """Coefficients ``m_0..m_order`` at ``node``: ``(order + 1, B)``."""
+        return self.coefficients[:, :, self._node_index(node)].copy()
+
+    def mean(self, node: Union[str, int]) -> np.ndarray:
+        """Elmore delay at ``node`` per batch row, ``(B,)``."""
+        return -self.coefficients[1, :, self._node_index(node)]

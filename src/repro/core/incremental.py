@@ -26,7 +26,8 @@ import numpy as np
 
 from repro._exceptions import ValidationError
 from repro.circuit.rctree import RCTree
-from repro.core.elmore import downstream_capacitance
+from repro.core.batch import TreeTopology, batch_elmore_delays, \
+    compile_topology
 
 __all__ = ["IncrementalElmore"]
 
@@ -49,7 +50,9 @@ class IncrementalElmore:
     """
 
     def __init__(self, tree: RCTree) -> None:
-        tree.validate()
+        # The compiled topology is immutable and shared with the source
+        # tree's cache; element edits below never invalidate it.
+        self._topology = compile_topology(tree)
         self._names = tree.node_names
         self._index: Dict[str, int] = {
             name: k for k, name in enumerate(self._names)
@@ -57,8 +60,13 @@ class IncrementalElmore:
         self._parent = tree.parents.copy()
         self._res = tree.resistances.copy()
         self._cap = tree.capacitances.copy()
-        self._cdown = downstream_capacitance(tree)
+        self._cdown = self._topology.subtree_sums(self._cap)
         self._input = tree.input_node
+
+    @property
+    def topology(self) -> TreeTopology:
+        """The compiled traversal structure (valid across element edits)."""
+        return self._topology
 
     # ------------------------------------------------------------------
     def _idx(self, name: str) -> int:
@@ -77,14 +85,27 @@ class IncrementalElmore:
         return float(total)
 
     def delays(self) -> Dict[str, float]:
-        """All node delays (O(N); for occasional full snapshots)."""
-        n = self._names
-        out = np.empty(len(n), dtype=np.float64)
-        for i in range(len(n)):
-            p = self._parent[i]
-            upstream = out[p] if p >= 0 else 0.0
-            out[i] = upstream + self._res[i] * self._cdown[i]
-        return {name: float(out[k]) for k, name in enumerate(n)}
+        """All node delays (one vectorized sweep; for full snapshots)."""
+        out = self._topology.rootpath_sums(self._res * self._cdown)
+        return {name: float(out[k]) for k, name in enumerate(self._names)}
+
+    def sweep(
+        self,
+        resistances: np.ndarray = None,
+        capacitances: np.ndarray = None,
+    ) -> np.ndarray:
+        """Batched what-if delays over the current snapshot's topology.
+
+        ``(B, N)`` resistance/capacitance candidates in, ``(B, N)`` Elmore
+        delays out — ``None`` reuses the snapshot's current values.  The
+        cached topology is shared, so evaluating B sizing or placement
+        candidates costs two level sweeps instead of B tree rebuilds.
+        """
+        return batch_elmore_delays(
+            self._topology,
+            self._res if resistances is None else resistances,
+            self._cap if capacitances is None else capacitances,
+        )
 
     # ------------------------------------------------------------------
     def set_capacitance(self, node: str, value: float) -> None:

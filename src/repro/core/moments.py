@@ -64,6 +64,10 @@ def transfer_moments(tree: RCTree, order: int) -> "TransferMoments":
         Container exposing coefficients, distribution moments, central
         moments and skewness per node.
     """
+    if not isinstance(order, (int, np.integer)) or isinstance(order, bool):
+        raise ValidationError(
+            f"order must be an integer >= 1, got {order!r}"
+        )
     if order < 1:
         raise ValidationError(f"order must be >= 1, got {order!r}")
     tree.validate()
@@ -165,6 +169,17 @@ def moments_of_impulse_train(
     weights = np.asarray(weights, dtype=np.float64)
     if times.shape != weights.shape:
         raise ValidationError("times and weights must have the same shape")
+    if times.size == 0:
+        raise ValidationError(
+            "impulse train is empty: need at least one (time, weight) "
+            "pair to form moments"
+        )
+    if not isinstance(order, (int, np.integer)) or isinstance(order, bool):
+        raise ValidationError(
+            f"order must be an integer >= 0, got {order!r}"
+        )
+    if order < 0:
+        raise ValidationError(f"order must be >= 0, got {order!r}")
     return np.array(
         [float(np.sum(weights * times**q)) for q in range(order + 1)]
     )

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro._exceptions import AnalysisError, ValidationError
 from repro.circuit.rctree import RCTree
+from repro.core.batch import batch_elmore_delays, compile_topology
 from repro.core.elmore import elmore_delays
 from repro.core.sensitivity import elmore_sensitivity
 
@@ -44,6 +45,7 @@ __all__ = [
     "DelayStatistics",
     "elmore_statistics",
     "monte_carlo_elmore",
+    "sample_parameter_batch",
 ]
 
 
@@ -153,6 +155,32 @@ def elmore_statistics(
     )
 
 
+def sample_parameter_batch(
+    tree: RCTree,
+    model: VariationModel,
+    samples: int,
+    seed: int = 0,
+    clip: float = 0.99,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw ``(R, C)`` matrices of shape ``(samples, N)`` under ``model``.
+
+    Gaussian relative variations, clipped at ``+-clip`` to keep elements
+    physical.  The draw order matches the historical per-sample loop
+    (per sample: N resistance normals, then N capacitance normals), so a
+    given seed produces the same parameter sets regardless of whether
+    they are consumed one by one or as a batch.
+    """
+    if samples < 1:
+        raise AnalysisError("need at least one sample")
+    rng = np.random.default_rng(seed)
+    sr, sc = model.sigma_arrays(tree)
+    n = tree.num_nodes
+    draws = rng.normal(0.0, 1.0, (samples, 2, n))
+    xr = np.clip(draws[:, 0, :] * sr, -clip, clip)
+    xc = np.clip(draws[:, 1, :] * sc, -clip, clip)
+    return tree.resistances * (1.0 + xr), tree.capacitances * (1.0 + xc)
+
+
 def monte_carlo_elmore(
     tree: RCTree,
     node: str,
@@ -160,23 +188,36 @@ def monte_carlo_elmore(
     samples: int = 2000,
     seed: int = 0,
     clip: float = 0.99,
+    method: str = "batch",
 ) -> np.ndarray:
     """Monte-Carlo samples of ``T_D(node)`` under Gaussian relative
     variations (clipped at ``+-clip`` to keep elements physical).
 
     Returns the sample array; use for validating :func:`elmore_statistics`
     or for non-Gaussian empirical quantiles.
+
+    ``method="batch"`` (default) evaluates all samples through one
+    vectorized sweep of :func:`repro.core.batch.batch_elmore_delays` over
+    the tree's cached topology; ``method="loop"`` keeps the historical
+    per-sample tree walk (retained as the reference the batched path is
+    benchmarked against in ``benchmarks/bench_variation.py``).  Both
+    methods consume the identical parameter stream for a given seed.
     """
-    if samples < 1:
-        raise AnalysisError("need at least one sample")
-    rng = np.random.default_rng(seed)
-    sr, sc = model.sigma_arrays(tree)
-    res0 = tree.resistances
-    cap0 = tree.capacitances
+    if method not in ("batch", "loop"):
+        raise ValidationError(
+            f"method must be 'batch' or 'loop', got {method!r}"
+        )
+    target = tree.index_of(node)
+    res, cap = sample_parameter_batch(
+        tree, model, samples, seed=seed, clip=clip
+    )
+
+    if method == "batch":
+        delays = batch_elmore_delays(compile_topology(tree), res, cap)
+        return np.ascontiguousarray(delays[:, target])
+
     parent = tree.parents
     n = tree.num_nodes
-    target = tree.index_of(node)
-
     # Path mask for the target (edges on its root path).
     on_path = np.zeros(n, dtype=bool)
     i = target
@@ -186,14 +227,10 @@ def monte_carlo_elmore(
 
     out = np.empty(samples, dtype=np.float64)
     for s in range(samples):
-        xr = np.clip(rng.normal(0.0, 1.0, n) * sr, -clip, clip)
-        xc = np.clip(rng.normal(0.0, 1.0, n) * sc, -clip, clip)
-        res = res0 * (1.0 + xr)
-        cap = cap0 * (1.0 + xc)
-        cdown = cap.copy()
+        cdown = cap[s].copy()
         for i in range(n - 1, -1, -1):
             p = parent[i]
             if p >= 0:
                 cdown[p] += cdown[i]
-        out[s] = float(np.sum((res * cdown)[on_path]))
+        out[s] = float(np.sum((res[s] * cdown)[on_path]))
     return out

@@ -28,10 +28,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro._exceptions import TimingGraphError
 from repro.analysis.responses import measure_delay
 from repro.analysis.state_space import ExactAnalysis
+from repro.core.batch import (
+    batch_transfer_moments,
+    compile_forest,
+    compile_topology,
+)
 from repro.core.metrics import METRICS
 from repro.core.moments import transfer_moments
 
@@ -41,9 +47,10 @@ from repro.sta.netlist import Design, Pin
 
 def _net_dispersion(net: ElaboratedNet) -> Dict["Pin", float]:
     """Per-sink variance ``mu_2(h)`` of the net's impulse response."""
-    moments = transfer_moments(net.tree, 2)
+    moments = batch_transfer_moments(compile_topology(net.tree), 2)
+    mu2 = np.maximum(moments.variance()[0], 0.0)
     return {
-        sink: max(moments.variance(node), 0.0)
+        sink: float(mu2[net.tree.index_of(node)])
         for sink, node in net.sink_nodes.items()
     }
 
@@ -51,10 +58,58 @@ __all__ = ["TimingResult", "PathElement", "analyze", "DELAY_MODELS"]
 
 
 def _elmore_model(net: ElaboratedNet) -> Dict[Pin, float]:
-    moments = transfer_moments(net.tree, 1)
+    delays = batch_transfer_moments(
+        compile_topology(net.tree), 1
+    ).elmore_delays()[0]
     return {
-        sink: moments.mean(node) for sink, node in net.sink_nodes.items()
+        sink: float(delays[net.tree.index_of(node)])
+        for sink, node in net.sink_nodes.items()
     }
+
+
+def _precompute_elmore_batched(
+    design: Design,
+    nets: Dict[str, ElaboratedNet],
+    wire_load,
+    net_overrides,
+) -> None:
+    """Evaluate every net of the design through ONE batched call.
+
+    All nets are elaborated up front, their RC trees are compiled side by
+    side into a single forest topology, and one order-2
+    :func:`batch_transfer_moments` sweep yields every sink's Elmore delay
+    (arrival propagation) and impulse-response variance (slew
+    propagation) at once.  The per-net results land in the same caches
+    the lazy per-net path uses, so :func:`_propagate_net_to` finds them
+    already populated.
+    """
+    order: List[str] = []
+    for net_name, net in design.nets.items():
+        if net_name not in nets:
+            override = (net_overrides or {}).get(net_name)
+            nets[net_name] = elaborate_net(
+                design, net, wire_load=wire_load, override=override
+            )
+        order.append(net_name)
+    if not order:
+        return
+    topology, offsets = compile_forest([nets[n].tree for n in order])
+    moments = batch_transfer_moments(topology, 2)
+    delays = moments.elmore_delays()[0]
+    mu2 = np.maximum(moments.variance()[0], 0.0)
+    for net_name, offset in zip(order, offsets):
+        elaborated = nets[net_name]
+        cache = _delay_cache_of(elaborated)
+        sink_index = {
+            sink: offset + elaborated.tree.index_of(node)
+            for sink, node in elaborated.sink_nodes.items()
+        }
+        cache[net_name] = {
+            sink: float(delays[i]) for sink, i in sink_index.items()
+        }
+        cache[("dispersion", net_name)] = {
+            sink: float(mu2[i]) for sink, i in sink_index.items()
+        }
 
 
 def _exact_model(net: ElaboratedNet) -> Dict[Pin, float]:
@@ -217,6 +272,11 @@ def analyze(
     slews: Dict[Pin, float] = {}
     predecessor: Dict[Pin, Tuple[Optional[Pin], str, str, float]] = {}
     nets: Dict[str, ElaboratedNet] = {}
+    if delay_model == "elmore":
+        # Delay and dispersion don't depend on arrivals, so the whole
+        # netlist's interconnect is evaluated in one batched forest sweep
+        # before arrival propagation begins.
+        _precompute_elmore_batched(design, nets, wire_load, net_overrides)
 
     for port in design.inputs:
         pin = Pin(Pin.PORT, port)

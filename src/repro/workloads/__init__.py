@@ -2,9 +2,11 @@
 
 from repro.workloads.generators import (
     clock_tree_family,
+    corner_batch,
     line_family,
     mixed_corpus,
     random_tree_corpus,
+    variation_batch,
 )
 from repro.workloads.paper import (
     FIG1_PROBES,
@@ -28,4 +30,6 @@ __all__ = [
     "line_family",
     "clock_tree_family",
     "mixed_corpus",
+    "variation_batch",
+    "corner_batch",
 ]

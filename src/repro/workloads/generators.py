@@ -19,6 +19,8 @@ __all__ = [
     "line_family",
     "clock_tree_family",
     "mixed_corpus",
+    "variation_batch",
+    "corner_batch",
 ]
 
 
@@ -93,6 +95,54 @@ def clock_tree_family(
         )
         for depth in depths
     ]
+
+
+def variation_batch(
+    tree: RCTree,
+    samples: int,
+    resistance_sigma: float = 0.1,
+    capacitance_sigma: float = 0.1,
+    seed: int = 1995,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Seeded ``(R, C)`` matrices of shape ``(samples, N)`` for batched
+    Monte-Carlo rows (thin wrapper over the variation model's sampler).
+
+    Feed the result straight to
+    :func:`repro.core.batch.batch_elmore_delays` /
+    :func:`~repro.core.batch.batch_transfer_moments`.
+    """
+    from repro.core.variation import VariationModel, sample_parameter_batch
+
+    model = VariationModel(
+        resistance_sigma=resistance_sigma,
+        capacitance_sigma=capacitance_sigma,
+    )
+    return sample_parameter_batch(tree, model, samples, seed=seed)
+
+
+def corner_batch(
+    tree: RCTree,
+    r_scales: Tuple[float, ...] = (0.85, 1.0, 1.15),
+    c_scales: Tuple[float, ...] = (0.85, 1.0, 1.15),
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The full process-corner cross product as one parameter batch.
+
+    Returns ``(R, C)`` of shape ``(len(r_scales) * len(c_scales), N)``:
+    row ``i * len(c_scales) + j`` scales every resistance by
+    ``r_scales[i]`` and every capacitance by ``c_scales[j]`` — multi-corner
+    timing becomes a single batched sweep instead of one tree rebuild per
+    corner.
+    """
+    if not r_scales or not c_scales:
+        raise ValidationError("corner_batch needs at least one scale each")
+    if any(s <= 0 for s in r_scales) or any(s <= 0 for s in c_scales):
+        raise ValidationError("corner scale factors must be > 0")
+    rs = np.repeat(np.asarray(r_scales, dtype=np.float64), len(c_scales))
+    cs = np.tile(np.asarray(c_scales, dtype=np.float64), len(r_scales))
+    return (
+        rs[:, None] * tree.resistances[None, :],
+        cs[:, None] * tree.capacitances[None, :],
+    )
 
 
 def mixed_corpus(seed: int = 42) -> List[RCTree]:

@@ -206,6 +206,24 @@ class TestConversions:
         with pytest.raises(ValidationError):
             moments_of_impulse_train(np.ones(3), np.ones(4), 2)
 
+    def test_impulse_train_empty_input_rejected(self):
+        with pytest.raises(ValidationError, match="empty"):
+            moments_of_impulse_train(np.array([]), np.array([]), 2)
+
+    def test_impulse_train_order_validated(self):
+        with pytest.raises(ValidationError, match="order"):
+            moments_of_impulse_train(np.ones(2), np.ones(2), -1)
+        with pytest.raises(ValidationError, match="order"):
+            moments_of_impulse_train(np.ones(2), np.ones(2), 1.5)
+
+    def test_transfer_moments_order_validated(self, simple_line):
+        with pytest.raises(ValidationError, match="order"):
+            transfer_moments(simple_line, 0)
+        with pytest.raises(ValidationError, match="order"):
+            transfer_moments(simple_line, -3)
+        with pytest.raises(ValidationError, match="integer"):
+            transfer_moments(simple_line, 2.5)
+
 
 class TestCentralMomentAdditivity:
     """Appendix B: central moments add under convolution.

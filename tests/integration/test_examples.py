@@ -22,6 +22,7 @@ EXAMPLES = [
     "repeater_insertion.py",
     "clock_skew.py",
     "variation_aware_timing.py",
+    "batched_variation_sweep.py",
     "crosstalk_limits.py",
 ]
 
@@ -71,6 +72,11 @@ class TestExampleContent:
     def test_clock_skew_bound(self):
         out = run_example("clock_skew.py")
         assert "certified skew bound" in out
+
+    def test_batched_sweep_matches_loop(self):
+        out = run_example("batched_variation_sweep.py")
+        assert "identical samples" in out
+        assert "lower <= T_D everywhere" in out
 
     def test_crosstalk_limits(self):
         out = run_example("crosstalk_limits.py")

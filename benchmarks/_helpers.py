@@ -2,14 +2,28 @@
 
 Each benchmark regenerates one table or figure of the paper, asserts the
 qualitative shape the paper reports, prints the reproduction next to the
-paper's printed numbers, and appends the rendered table to
-``benchmarks/results/`` so EXPERIMENTS.md can be assembled from real runs.
+paper's printed numbers, and persists two artifacts under
+``benchmarks/results/``:
+
+* ``<name>.txt`` — the rendered monospace table (for EXPERIMENTS.md);
+* ``<name>.json`` — the same data machine-readable: header + rows plus
+  environment info, schema-tagged so downstream tooling can diff runs.
+
+Both files are written atomically (temp file + ``os.replace``) so an
+interrupted or parallel run never leaves truncated results behind.
 """
 
+import json
 import os
-from typing import Iterable, List, Sequence
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.report import atomic_write_text, environment_info
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Schema tag stamped into every ``<name>.json`` row file.
+ROW_SCHEMA = "repro.bench_rows/1"
 
 NS = 1e-9
 
@@ -38,10 +52,41 @@ def render_table(
     return "\n".join(lines)
 
 
-def report(name: str, text: str) -> None:
-    """Print the table and persist it under benchmarks/results/."""
+def report(
+    name: str,
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    extra: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Print the table and persist ``<name>.txt`` + ``<name>.json``.
+
+    ``extra`` carries benchmark-specific scalars (speedups, corpus sizes)
+    into the JSON row file alongside the tabulated data.
+    """
+    rows = [list(map(str, row)) for row in rows]
+    text = render_table(title, header, rows)
     print("\n" + text + "\n")
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w",
+    atomic_write_text(os.path.join(RESULTS_DIR, f"{name}.txt"), text + "\n")
+    payload = {
+        "schema": ROW_SCHEMA,
+        "name": name,
+        "title": title,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0"),
+        "environment": environment_info(),
+        "header": list(header),
+        "rows": rows,
+        "extra": dict(extra or {}),
+    }
+    atomic_write_text(
+        os.path.join(RESULTS_DIR, f"{name}.json"),
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+    )
+
+
+def load_rows(name: str) -> Dict[str, Any]:
+    """Read back a benchmark's JSON row file (for tooling/tests)."""
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"),
               encoding="utf-8") as handle:
-        handle.write(text + "\n")
+        return json.load(handle)

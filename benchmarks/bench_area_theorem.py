@@ -23,7 +23,7 @@ from repro.signals import (
 )
 from repro.workloads import fig1_tree, random_tree_corpus
 
-from benchmarks._helpers import ns, render_table, report
+from benchmarks._helpers import ns, report
 
 SIGNALS = [
     ("step", StepInput()),
@@ -56,12 +56,10 @@ def test_area_theorem(benchmark):
             assert rel < 1e-5
     report(
         "area_theorem",
-        render_table(
-            "Eq. (48) — area between input and output equals T_D "
-            "(Fig. 1 circuit)",
-            ["node", "input", "T_D", "measured area", "rel err"],
-            rows,
-        ),
+        "Eq. (48) — area between input and output equals T_D "
+        "(Fig. 1 circuit)",
+        ["node", "input", "T_D", "measured area", "rel err"],
+        rows,
     )
 
     # Corpus sweep at the leaves with a ramp input.

@@ -27,7 +27,7 @@ from repro.opt import (
     insert_buffers,
 )
 
-from benchmarks._helpers import ns, render_table, report
+from benchmarks._helpers import ns, report
 
 BUF = BufferType("REP", input_capacitance=14e-15,
                  output_resistance=100.0, intrinsic_delay=28e-12)
@@ -72,13 +72,11 @@ def test_buffering(benchmark):
         ])
     report(
         "buffering",
-        render_table(
-            "Repeater insertion (van Ginneken, Elmore objective) on "
-            "growing wires",
-            ["length", "unbuffered (ns)", "buffered (ns)", "#buffers",
-             "saved"],
-            rows,
-        ),
+        "Repeater insertion (van Ginneken, Elmore objective) on "
+        "growing wires",
+        ["length", "unbuffered (ns)", "buffered (ns)", "#buffers",
+         "saved"],
+        rows,
     )
 
     # Quadratic vs ~linear growth.

@@ -18,7 +18,7 @@ from repro.core import elmore_delay
 from repro.signals import SaturatedRamp
 from repro.workloads import FIG1_PROBES, fig1_tree
 
-from benchmarks._helpers import ns, render_table, report
+from benchmarks._helpers import ns, report
 
 RISE_TIMES = tuple(float(x) for x in np.geomspace(0.1e-9, 100e-9, 10))
 
@@ -54,11 +54,9 @@ def test_fig12(benchmark, tree, analysis):
     ]
     report(
         "fig12",
-        render_table(
-            "Fig. 12 — 50% delay vs input rise time (ns); "
-            "each curve approaches T_D from below",
-            header, rows,
-        ),
+        "Fig. 12 — 50% delay vs input rise time (ns); "
+        "each curve approaches T_D from below",
+        header, rows,
     )
 
     for node in FIG1_PROBES:

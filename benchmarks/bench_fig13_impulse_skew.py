@@ -22,7 +22,7 @@ from repro.core import transfer_moments
 from repro.core.statistics import waveform_stats
 from repro.workloads import TREE25_PROBES, tree25
 
-from benchmarks._helpers import ns, render_table, report
+from benchmarks._helpers import ns, report
 
 
 @pytest.fixture(scope="module")
@@ -66,13 +66,11 @@ def test_fig13(benchmark, tree):
         ])
     report(
         "fig13",
-        render_table(
-            "Fig. 13 — impulse responses at A (driver), B (middle), "
-            "C (leaf): skew decays downstream",
-            ["probe", "node", "mode", "median", "mean (=T_D)", "gamma",
-             "(mean-median)/mean"],
-            rows,
-        ),
+        "Fig. 13 — impulse responses at A (driver), B (middle), "
+        "C (leaf): skew decays downstream",
+        ["probe", "node", "mode", "median", "mean (=T_D)", "gamma",
+         "(mean-median)/mean"],
+        rows,
     )
 
     # The figure's message, in numbers: skewness falls downstream, and so

@@ -22,7 +22,7 @@ from repro.core import elmore_delays
 from repro.signals import SaturatedRamp
 from repro.workloads import tree25
 
-from benchmarks._helpers import ns, render_table, report
+from benchmarks._helpers import ns, report
 
 RISE_TIMES = (1e-9, 2e-9, 5e-9, 10e-9)
 
@@ -65,11 +65,9 @@ def test_fig14(benchmark, tree, analysis):
         rows.append(row)
     report(
         "fig14",
-        render_table(
-            "Fig. 14 — relative Elmore error |delay - T_D|/delay vs "
-            "distance from driver, per input rise time",
-            header, rows,
-        ),
+        "Fig. 14 — relative Elmore error |delay - T_D|/delay vs "
+        "distance from driver, per input rise time",
+        header, rows,
     )
 
     for tr in RISE_TIMES:

@@ -21,7 +21,7 @@ from repro.analysis import ExactAnalysis, threshold_crossing
 from repro.core.statistics import waveform_stats
 from repro.workloads import fig1_tree
 
-from benchmarks._helpers import ns, render_table, report
+from benchmarks._helpers import ns, report
 
 SAMPLES = 6001
 
@@ -63,12 +63,10 @@ def test_fig3_fig5(benchmark, analysis):
         ])
     report(
         "fig3_fig5",
-        render_table(
-            "Figs. 3/5 — impulse-response statistics at C5 and C1 (ns)",
-            ["figure", "node", "mode", "median", "mean", "gamma",
-             "unimodal", "step t50"],
-            rows,
-        ),
+        "Figs. 3/5 — impulse-response statistics at C5 and C1 (ns)",
+        ["figure", "node", "mode", "median", "mean", "gamma",
+         "unimodal", "step t50"],
+        rows,
     )
 
     for node in ("n1", "n5"):

@@ -16,7 +16,7 @@ from repro.circuit import balanced_tree
 from repro.core import elmore_delay
 from repro.core.incremental import IncrementalElmore
 
-from benchmarks._helpers import render_table, report
+from benchmarks._helpers import report
 
 DEPTHS = (6, 9, 12)
 EDITS = 60
@@ -78,12 +78,12 @@ def test_incremental(benchmark):
         ])
     report(
         "incremental",
-        render_table(
-            f"Incremental vs batch Elmore in a {EDITS}-edit optimization "
-            "loop (balanced trees)",
-            ["nodes", "incremental", "batch recompute", "speedup"],
-            rows,
-        ),
+        f"Incremental vs batch Elmore in a {EDITS}-edit optimization "
+        "loop (balanced trees)",
+        ["nodes", "incremental", "batch recompute", "speedup"],
+        rows,
+        extra={"edits": EDITS,
+               "speedup": {str(d): s for d, s in speedups.items()}},
     )
 
     assert speedups[DEPTHS[-1]] > 10.0

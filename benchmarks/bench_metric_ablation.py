@@ -28,7 +28,7 @@ from repro.core.metrics import METRICS
 from repro.core.moments import transfer_moments
 from repro.workloads import random_tree_corpus
 
-from benchmarks._helpers import render_table, report
+from benchmarks._helpers import report
 
 CORPUS = random_tree_corpus(120, size_range=(4, 30), seed=77)
 ORDER = 8  # enough moments for every metric including awe4
@@ -81,13 +81,11 @@ def test_metric_ablation(benchmark):
         ])
     report(
         "metric_ablation",
-        render_table(
-            "Metric ablation — signed error vs exact 50% delay at corpus "
-            "leaves (step input)",
-            ["metric", "samples", "mean |err|", "max |err|",
-             "% optimistic"],
-            rows,
-        ),
+        "Metric ablation — signed error vs exact 50% delay at corpus "
+        "leaves (step input)",
+        ["metric", "samples", "mean |err|", "max |err|",
+         "% optimistic"],
+        rows,
     )
 
     # The Theorem: Elmore never underestimates.

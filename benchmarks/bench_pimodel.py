@@ -29,7 +29,7 @@ from repro.circuit import RCTree
 from repro.core.moments import admittance_moments
 from repro.workloads import random_tree_corpus
 
-from benchmarks._helpers import render_table, report
+from benchmarks._helpers import report
 
 CORPUS = random_tree_corpus(60, size_range=(5, 40), seed=11)
 
@@ -107,13 +107,11 @@ def test_pimodel(benchmark):
         row += ["", "", ""]
     report(
         "pimodel",
-        render_table(
-            "Pi-model fidelity over 60 random trees, by driver/tree "
-            "resistance ratio",
-            ["driver strength", "median waveform dev", "max waveform dev",
-             "max 3-moment rel err", "stages checked", "negative mu2/mu3"],
-            rows,
-        ),
+        "Pi-model fidelity over 60 random trees, by driver/tree "
+        "resistance ratio",
+        ["driver strength", "median waveform dev", "max waveform dev",
+         "max 3-moment rel err", "stages checked", "negative mu2/mu3"],
+        rows,
     )
 
     assert max(moment_errors) < 1e-9

@@ -32,7 +32,7 @@ from repro.circuit import rc_line
 from repro.core import rph_time_constants, transfer_moments
 from repro.core.batch import batch_transfer_moments, compile_topology
 
-from benchmarks._helpers import render_table, report
+from benchmarks._helpers import report
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 SIZES = (16, 64, 128) if QUICK else (64, 256, 1024)
@@ -70,13 +70,14 @@ def test_scaling_path_tracing(benchmark):
         ])
     report(
         "scaling",
-        render_table(
-            "Scaling — path tracing / O(N) moments vs dense MNA moments "
-            "(RC lines)",
-            ["nodes", "elmore+PRH (O(N))", "moments q<=3 (O(N))",
-             "dense MNA", "dense/O(N)"],
-            rows,
-        ),
+        "Scaling — path tracing / O(N) moments vs dense MNA moments "
+        "(RC lines)",
+        ["nodes", "elmore+PRH (O(N))", "moments q<=3 (O(N))",
+         "dense MNA", "dense/O(N)"],
+        rows,
+        extra={"dense_over_on_ratio": {str(n): r for n, r in
+                                       ratios.items()},
+               "sizes": SIZES},
     )
 
     # The dense path falls behind as N grows, decisively at N=1024.
@@ -117,12 +118,12 @@ def test_scaling_batched(benchmark):
         ])
     report(
         "scaling_batched",
-        render_table(
-            f"Batched moment engine (orders <= 3, B={BATCH_B} parameter "
-            "vectors) vs B scalar recursions (RC lines)",
-            ["nodes", "B", "scalar x B", "batched", "speedup"],
-            rows,
-        ),
+        f"Batched moment engine (orders <= 3, B={BATCH_B} parameter "
+        "vectors) vs B scalar recursions (RC lines)",
+        ["nodes", "B", "scalar x B", "batched", "speedup"],
+        rows,
+        extra={"batch_size": BATCH_B,
+               "speedup": {str(n): s for n, s in speedups.items()}},
     )
 
     # The batched engine must win decisively: >= 5x at B=1000 on the

@@ -24,7 +24,7 @@ import pytest
 
 from repro.sta import Design, Pin, analyze, default_library
 
-from benchmarks._helpers import render_table, report
+from benchmarks._helpers import report
 
 
 def build_random_design(layers=6, width=15, seed=3):
@@ -99,12 +99,10 @@ def test_sta_elmore_vs_exact(benchmark):
     ]]
     report(
         "sta",
-        render_table(
-            "Elmore-model STA vs exact-model STA on a random 6x15 design",
-            ["gates", "nets", "exact critical", "elmore critical",
-             "pessimism", "pin bound violations", "worst output (e/x)"],
-            rows,
-        ),
+        "Elmore-model STA vs exact-model STA on a random 6x15 design",
+        ["gates", "nets", "exact critical", "elmore critical",
+         "pessimism", "pin bound violations", "worst output (e/x)"],
+        rows,
     )
 
     assert violations == 0

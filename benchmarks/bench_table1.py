@@ -27,7 +27,7 @@ from repro.core import (
 )
 from repro.workloads import FIG1_PROBES, TABLE1_PAPER, fig1_tree
 
-from benchmarks._helpers import ns, render_table, report
+from benchmarks._helpers import ns, report
 
 
 def compute_table1(tree, analysis):
@@ -76,8 +76,8 @@ def test_table1(benchmark, tree, analysis):
         ])
     report(
         "table1",
-        render_table("Table I — delay bounds for the Fig. 1 circuit (ns)",
-                     header, printed),
+        "Table I — delay bounds for the Fig. 1 circuit (ns)",
+                 header, printed,
     )
 
     for node in FIG1_PROBES:

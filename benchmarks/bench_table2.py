@@ -22,7 +22,7 @@ from repro.workloads import (
     tree25,
 )
 
-from benchmarks._helpers import ns, render_table, report
+from benchmarks._helpers import ns, report
 
 
 @pytest.fixture(scope="module")
@@ -72,11 +72,9 @@ def test_table2(benchmark, tree, analysis):
         printed.append(row)
     report(
         "table2",
-        render_table(
-            "Table II — delay and relative Elmore error vs rise time "
-            "(25-node tree)",
-            header, printed,
-        ),
+        "Table II — delay and relative Elmore error vs rise time "
+        "(25-node tree)",
+        header, printed,
     )
 
     for probe in ("A", "B", "C"):

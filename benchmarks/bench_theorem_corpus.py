@@ -19,7 +19,7 @@ from repro.analysis import ExactAnalysis, measure_delay
 from repro.core import prh_bounds, transfer_moments
 from repro.workloads import random_tree_corpus
 
-from benchmarks._helpers import render_table, report
+from benchmarks._helpers import report
 
 CORPUS = random_tree_corpus(200, size_range=(3, 40), seed=1995)
 
@@ -64,17 +64,15 @@ def test_theorem_corpus(benchmark):
 
     report(
         "theorem_corpus",
-        render_table(
-            "Theorem sweep — 200 random RC trees, every node checked "
-            "against all three bounds",
-            ["nodes checked", "violations", "delay/T_D min",
-             "delay/T_D median", "delay/T_D max"],
-            [[
-                str(total), str(violations),
-                f"{ratios.min():.3f}", f"{np.median(ratios):.3f}",
-                f"{ratios.max():.3f}",
-            ]],
-        ),
+        "Theorem sweep — 200 random RC trees, every node checked "
+        "against all three bounds",
+        ["nodes checked", "violations", "delay/T_D min",
+         "delay/T_D median", "delay/T_D max"],
+        [[
+            str(total), str(violations),
+            f"{ratios.min():.3f}", f"{np.median(ratios):.3f}",
+            f"{ratios.max():.3f}",
+        ]],
     )
 
     assert violations == 0

@@ -20,7 +20,7 @@ from repro.analysis import measure_delay
 from repro.core import elmore_delay
 from repro.routing import route_net_timing_driven
 
-from benchmarks._helpers import render_table, report
+from benchmarks._helpers import report
 
 UM = 1e-6
 CASES = 10
@@ -82,13 +82,11 @@ def test_timing_driven_routing(benchmark):
         ])
     report(
         "timing_driven_routing",
-        render_table(
-            "Timing-driven vs wirelength-driven routing: critical-sink "
-            "delay (ps)",
-            ["net", "moves", "elmore WL", "elmore TD", "exact WL",
-             "exact TD"],
-            rows,
-        ),
+        "Timing-driven vs wirelength-driven routing: critical-sink "
+        "delay (ps)",
+        ["net", "moves", "elmore WL", "elmore TD", "exact WL",
+         "exact TD"],
+        rows,
     )
     assert moved >= CASES // 2
     assert improved >= moved * 0.6

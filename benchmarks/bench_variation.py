@@ -36,7 +36,7 @@ from repro.core.variation import (
 from repro.workloads import fig1_tree
 from repro.workloads.generators import random_tree
 
-from benchmarks._helpers import ns, render_table, report
+from benchmarks._helpers import ns, report
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 MODEL = VariationModel(resistance_sigma=0.12, capacitance_sigma=0.08)
@@ -82,13 +82,11 @@ def test_variation(benchmark):
         assert t_mc / max(t_analytic, 1e-9) > 100.0
     report(
         "variation",
-        render_table(
-            f"Analytic Elmore variation statistics vs {MC_SAMPLES}-sample "
-            "Monte Carlo (12% R, 8% C)",
-            ["case", "mean (ns)", "MC mean", "std (ns)", "MC std",
-             "speedup"],
-            rows,
-        ),
+        f"Analytic Elmore variation statistics vs {MC_SAMPLES}-sample "
+        "Monte Carlo (12% R, 8% C)",
+        ["case", "mean (ns)", "MC mean", "std (ns)", "MC std",
+         "speedup"],
+        rows,
     )
 
 
@@ -113,17 +111,17 @@ def test_variation_batched(benchmark):
     speedup = t_loop / max(t_batch, 1e-9)
     report(
         "variation_batched",
-        render_table(
-            f"monte_carlo_elmore backends — {BATCH_NODES}-node random "
-            f"tree, B={BATCH_SAMPLES} samples",
-            ["backend", "time", "mean (ns)", "std (ns)"],
-            [
-                ["loop", f"{t_loop * 1e3:.2f} ms",
-                 ns(float(np.mean(loop))), ns(float(np.std(loop)))],
-                ["batch", f"{t_batch * 1e3:.2f} ms",
-                 ns(float(np.mean(batched))), ns(float(np.std(batched)))],
-                ["speedup", f"{speedup:.1f}x", "", ""],
-            ],
-        ),
+        f"monte_carlo_elmore backends — {BATCH_NODES}-node random "
+        f"tree, B={BATCH_SAMPLES} samples",
+        ["backend", "time", "mean (ns)", "std (ns)"],
+        [
+            ["loop", f"{t_loop * 1e3:.2f} ms",
+             ns(float(np.mean(loop))), ns(float(np.std(loop)))],
+            ["batch", f"{t_batch * 1e3:.2f} ms",
+             ns(float(np.mean(batched))), ns(float(np.std(batched)))],
+            ["speedup", f"{speedup:.1f}x", "", ""],
+        ],
+        extra={"samples": BATCH_SAMPLES, "nodes": BATCH_NODES,
+               "speedup": speedup},
     )
     assert speedup > (1.0 if QUICK else 5.0)

@@ -29,6 +29,8 @@ Quick start::
     assert b.lower <= d <= b.upper
 """
 
+import logging as _logging
+
 from repro._exceptions import (
     AnalysisError,
     ConvergenceError,
@@ -96,6 +98,10 @@ from repro.signals import (
     SmoothstepRamp,
     StepInput,
 )
+
+# Library logging contract: quiet by default.  Applications opt in with
+# ``repro.obs.configure_logging`` (the CLI's ``-v``) or their own handler.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 

@@ -8,6 +8,7 @@ Usage::
                                              [--csv out.csv]
     python -m repro table1
     python -m repro table2
+    python -m repro report RUN_REPORT.json
 
 ``analyze`` prints, per node, the measured 50% delay plus every bound the
 library implements.  ``verify`` checks the paper's claims (Lemmas 1-2,
@@ -15,16 +16,28 @@ Theorem, Corollary 1) numerically on the given circuit.  ``waveform``
 renders the exact output waveform as ASCII art (and optionally CSV).
 ``table1`` and ``table2`` regenerate the paper's tables from the
 reconstructed circuits.
+
+Every subcommand additionally accepts the observability flags:
+
+* ``--trace`` — record spans and print the span tree to stderr;
+* ``--trace-out FILE`` — write the full JSON run report (implies
+  ``--trace``); pretty-print it later with ``repro report FILE``;
+* ``--metrics-out FILE`` — dump the metrics registry (Prometheus text
+  when FILE ends in ``.prom``, JSON otherwise);
+* ``-v/--verbose`` — log to stderr (``-v`` INFO, ``-vv`` DEBUG, the
+  level at which span boundaries are logged).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import math
 import sys
 from typing import List, Optional
 
-from repro._exceptions import ReproError
+from repro import obs
+from repro._exceptions import ReproError, ValidationError
 from repro.analysis import ExactAnalysis, measure_delay
 from repro.circuit import parse_rc_tree
 from repro.core import (
@@ -41,18 +54,41 @@ from repro.signals import (
     StepInput,
 )
 
-__all__ = ["main", "parse_signal_spec"]
+__all__ = ["main", "parse_signal_spec", "parse_time_spec"]
+
+logger = logging.getLogger(__name__)
 
 _TIME_SUFFIXES = {"s": 1.0, "ms": 1e-3, "us": 1e-6, "ns": 1e-9, "ps": 1e-12,
                   "fs": 1e-15}
 
 
-def _parse_time(token: str) -> float:
-    token = token.strip().lower()
+def parse_time_spec(token: str) -> float:
+    """Parse a time like ``2ns``/``500ps``/``1e-9`` into seconds.
+
+    Raises :class:`ValidationError` with a readable message on garbage
+    or non-positive values — the CLI wraps this into an argparse error
+    instead of letting a raw traceback escape.
+    """
+    text = token.strip().lower()
+    scale = 1.0
     for suffix in sorted(_TIME_SUFFIXES, key=len, reverse=True):
-        if token.endswith(suffix):
-            return float(token[: -len(suffix)]) * _TIME_SUFFIXES[suffix]
-    return float(token)
+        if text.endswith(suffix):
+            scale = _TIME_SUFFIXES[suffix]
+            text = text[: -len(suffix)]
+            break
+    try:
+        value = float(text) * scale
+    except ValueError:
+        raise ValidationError(
+            f"cannot parse time {token!r}: expected a number with an "
+            "optional unit suffix (s, ms, us, ns, ps, fs), e.g. '2ns'"
+        ) from None
+    if not value > 0.0:
+        raise ValidationError(
+            f"time {token!r} must be > 0 (a signal cannot rise in "
+            "zero or negative time)"
+        )
+    return value
 
 
 def parse_signal_spec(spec: str) -> Signal:
@@ -69,16 +105,69 @@ def parse_signal_spec(spec: str) -> Signal:
         raise argparse.ArgumentTypeError(
             f"signal {kind!r} needs a time parameter, e.g. '{kind}:2ns'"
         )
-    value = _parse_time(param)
-    if kind == "ramp":
-        return SaturatedRamp(value)
-    if kind == "cosine":
-        return RaisedCosineRamp(value)
-    if kind == "smoothstep":
-        return SmoothstepRamp(value)
-    if kind == "exp":
-        return ExponentialInput(value)
+    try:
+        value = parse_time_spec(param)
+        if kind == "ramp":
+            return SaturatedRamp(value)
+        if kind == "cosine":
+            return RaisedCosineRamp(value)
+        if kind == "smoothstep":
+            return SmoothstepRamp(value)
+        if kind == "exp":
+            return ExponentialInput(value)
+    except ReproError as exc:
+        # Signal constructors validate too (SignalError); surface both
+        # as clean argparse usage errors, never a traceback.
+        raise argparse.ArgumentTypeError(str(exc)) from exc
     raise argparse.ArgumentTypeError(f"unknown signal kind {kind!r}")
+
+
+def _int_arg(label: str, minimum: Optional[int] = None):
+    """argparse ``type=`` factory: integer with a clear validation
+    message (ValidationError-backed, reported as a usage error)."""
+
+    def parse(token: str) -> int:
+        try:
+            try:
+                value = int(token)
+            except ValueError:
+                raise ValidationError(
+                    f"{label} must be an integer, got {token!r}"
+                ) from None
+            if minimum is not None and value < minimum:
+                raise ValidationError(
+                    f"{label} must be >= {minimum}, got {value}"
+                )
+        except ValidationError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from exc
+        return value
+
+    return parse
+
+
+def _float_arg(label: str, minimum: Optional[float] = None):
+    """argparse ``type=`` factory: float with a clear validation
+    message (ValidationError-backed, reported as a usage error)."""
+
+    def parse(token: str) -> float:
+        try:
+            try:
+                value = float(token)
+            except ValueError:
+                raise ValidationError(
+                    f"{label} must be a number, got {token!r}"
+                ) from None
+            if value != value:  # NaN
+                raise ValidationError(f"{label} must not be NaN")
+            if minimum is not None and value < minimum:
+                raise ValidationError(
+                    f"{label} must be >= {minimum}, got {value}"
+                )
+        except ValidationError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from exc
+        return value
+
+    return parse
 
 
 def _format_ns(value: float) -> str:
@@ -276,6 +365,12 @@ def _cmd_table2(_args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    report = obs.load_report(args.report)
+    print(obs.render_report(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -283,10 +378,31 @@ def build_parser() -> argparse.ArgumentParser:
         description="Elmore delay bounds for RC trees "
                     "(Gupta/Tutuianu/Pileggi reproduction)",
     )
+    # Observability flags shared by every subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace", action="store_true",
+        help="record spans and print the span tree to stderr",
+    )
+    common.add_argument(
+        "--trace-out", default="", metavar="FILE",
+        help="write the JSON run report to FILE (implies --trace); "
+             "pretty-print it later with 'repro report FILE'",
+    )
+    common.add_argument(
+        "--metrics-out", default="", metavar="FILE",
+        help="dump the metrics registry to FILE (Prometheus text for "
+             "*.prom, JSON otherwise)",
+    )
+    common.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log to stderr (-v INFO, -vv DEBUG)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze = sub.add_parser(
-        "analyze", help="bound analysis of a SPICE RC-tree netlist"
+        "analyze", parents=[common],
+        help="bound analysis of a SPICE RC-tree netlist",
     )
     analyze.add_argument("netlist", help="path to the netlist file")
     analyze.add_argument(
@@ -300,39 +416,42 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.set_defaults(func=_cmd_analyze)
 
     verify = sub.add_parser(
-        "verify", help="numerically verify the paper's claims on a netlist"
+        "verify", parents=[common],
+        help="numerically verify the paper's claims on a netlist",
     )
     verify.add_argument("netlist", help="path to the netlist file")
     verify.set_defaults(func=_cmd_verify)
 
     stats = sub.add_parser(
-        "stats", help="Elmore statistics under process variation"
+        "stats", parents=[common],
+        help="Elmore statistics under process variation",
     )
     stats.add_argument("netlist", help="path to the netlist file")
     stats.add_argument(
         "--nodes", default="", help="comma-separated node subset"
     )
     stats.add_argument(
-        "--rsigma", type=float, default=0.1,
+        "--rsigma", type=_float_arg("--rsigma", minimum=0.0), default=0.1,
         help="relative sigma of every resistance (default 0.1)",
     )
     stats.add_argument(
-        "--csigma", type=float, default=0.1,
+        "--csigma", type=_float_arg("--csigma", minimum=0.0), default=0.1,
         help="relative sigma of every capacitance (default 0.1)",
     )
     stats.add_argument(
-        "--samples", type=int, default=0,
+        "--samples", type=_int_arg("--samples", minimum=0), default=0,
         help="add Monte-Carlo quantile columns from one batched sweep "
              "of this many samples (default 0 = analytic only)",
     )
     stats.add_argument(
-        "--seed", type=int, default=0,
+        "--seed", type=_int_arg("--seed"), default=0,
         help="Monte-Carlo seed (default 0)",
     )
     stats.set_defaults(func=_cmd_stats)
 
     waveform = sub.add_parser(
-        "waveform", help="render a node's exact output waveform"
+        "waveform", parents=[common],
+        help="render a node's exact output waveform",
     )
     waveform.add_argument("netlist", help="path to the netlist file")
     waveform.add_argument("node", help="node to observe")
@@ -341,30 +460,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="input signal spec (see 'analyze')",
     )
     waveform.add_argument(
-        "--points", type=int, default=501, help="sample count"
+        "--points", type=_int_arg("--points", minimum=2), default=501,
+        help="sample count (>= 2)",
     )
     waveform.add_argument("--csv", default="", help="write samples to CSV")
     waveform.set_defaults(func=_cmd_waveform)
 
-    table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
+    table1 = sub.add_parser(
+        "table1", parents=[common],
+        help="regenerate the paper's Table I",
+    )
     table1.set_defaults(func=_cmd_table1)
-    table2 = sub.add_parser("table2", help="regenerate the paper's Table II")
+    table2 = sub.add_parser(
+        "table2", parents=[common],
+        help="regenerate the paper's Table II",
+    )
     table2.set_defaults(func=_cmd_table2)
+
+    report = sub.add_parser(
+        "report", parents=[common],
+        help="pretty-print a JSON run report written by --trace-out",
+    )
+    report.add_argument("report", help="path to the run-report JSON file")
+    report.set_defaults(func=_cmd_report)
     return parser
+
+
+def _seed_of(args) -> Optional[int]:
+    seed = getattr(args, "seed", None)
+    return int(seed) if seed is not None else None
+
+
+def _write_metrics(path: str) -> None:
+    registry = obs.get_registry()
+    if path.endswith(".prom"):
+        obs.atomic_write_text(path, registry.to_prometheus_text())
+    else:
+        obs.atomic_write_text(path, registry.to_json() + "\n")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        obs.configure_logging(args.verbose)
+    trace_on = bool(args.trace or args.trace_out)
+    tracer = obs.get_tracer()
+    was_enabled = tracer.enabled
+    if trace_on:
+        tracer.reset()
+        obs.get_registry().reset()
+        tracer.enable()
+        logger.info("tracing enabled for 'repro %s'", args.command)
     try:
-        return args.func(args)
+        with tracer.span(f"repro.{args.command}"):
+            code = args.func(args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        tracer.enabled = was_enabled
+    if trace_on:
+        if args.trace_out:
+            obs.write_report(
+                args.trace_out,
+                command=f"repro {args.command}",
+                seed=_seed_of(args),
+                tracer=tracer,
+            )
+            print(f"run report written to {args.trace_out}",
+                  file=sys.stderr)
+        if args.trace:
+            print("\n" + obs.render_span_tree(tracer.to_dicts()),
+                  file=sys.stderr)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

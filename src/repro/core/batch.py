@@ -43,6 +43,7 @@ this to evaluate every net of a netlist through a single batched call
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -51,6 +52,31 @@ import numpy as np
 
 from repro._exceptions import AnalysisError, ValidationError
 from repro.circuit.rctree import RCTree
+from repro.obs.metrics import counter as _counter
+from repro.obs.trace import span as _span
+
+logger = logging.getLogger(__name__)
+
+# Observability: spans carry (B, N, depth) per sweep; counters track the
+# compile cache and total evaluated rows (docs/observability.md).
+_COMPILES = _counter(
+    "topology_compile_total",
+    "Tree/forest topologies compiled into level-sweep arrays",
+)
+_CACHE_HITS = _counter(
+    "topology_cache_hits_total",
+    "compile_topology calls served from the tree's cache",
+)
+_CACHE_MISSES = _counter(
+    "topology_cache_misses_total",
+    "compile_topology calls that had to compile",
+)
+_SWEEPS = _counter(
+    "batch_sweeps_total", "Batched moment/Elmore evaluations"
+)
+_SWEEP_ROWS = _counter(
+    "batch_rows_total", "Parameter rows evaluated by batched sweeps"
+)
 
 __all__ = [
     "TreeTopology",
@@ -127,6 +153,24 @@ class TreeTopology:
         """Compile from flat parent-pointer arrays (parents precede
         children, as :class:`RCTree` guarantees by construction)."""
         parents = np.asarray(parents, dtype=np.int64)
+        n = parents.shape[0]
+        with _span("batch.compile", metric="topology_compile_seconds",
+                   N=n) as sp:
+            topo = cls._from_arrays(
+                parents, names, resistances, capacitances
+            )
+            sp.set_attribute("depth", topo.depth)
+        _COMPILES.inc()
+        return topo
+
+    @classmethod
+    def _from_arrays(
+        cls,
+        parents: np.ndarray,
+        names: Sequence[str],
+        resistances: np.ndarray,
+        capacitances: np.ndarray,
+    ) -> "TreeTopology":
         n = parents.shape[0]
         depth = np.zeros(n, dtype=np.int64)
         for i in range(n):  # one-time compile cost, cached afterwards
@@ -296,6 +340,10 @@ def compile_topology(tree: RCTree) -> TreeTopology:
     """
     cached = tree._cache.get("batch_topology")
     if cached is None:
+        _CACHE_MISSES.inc()
+        logger.debug(
+            "topology cache miss: compiling %d-node tree", tree.num_nodes
+        )
         tree.validate()
         cached = TreeTopology.from_arrays(
             tree.parents,
@@ -304,6 +352,8 @@ def compile_topology(tree: RCTree) -> TreeTopology:
             tree.capacitances,
         )
         tree._cache["batch_topology"] = cached
+    else:
+        _CACHE_HITS.inc()
     return cached  # type: ignore[return-value]
 
 
@@ -321,6 +371,13 @@ def compile_forest(
     """
     if not trees:
         raise ValidationError("compile_forest needs at least one tree")
+    with _span("batch.compile_forest", trees=len(trees)):
+        return _compile_forest(trees)
+
+
+def _compile_forest(
+    trees: Sequence[RCTree],
+) -> Tuple[TreeTopology, Tuple[int, ...]]:
     parents: List[np.ndarray] = []
     names: List[str] = []
     res: List[np.ndarray] = []
@@ -367,12 +424,18 @@ def batch_elmore_delays(
     whole batch simultaneously.
     """
     topo = _as_topology(tree)
-    r, c = topo.broadcast_parameters(resistances, capacitances)
-    work = topo._to_workspace(c)
-    topo._subtree_sums_T(work)
-    work *= np.ascontiguousarray(r.T)
-    topo._rootpath_sums_T(work)
-    return np.ascontiguousarray(work.T)
+    with _span("batch.elmore_delays", metric="batch_sweep_seconds",
+               N=topo.num_nodes) as sp:
+        r, c = topo.broadcast_parameters(resistances, capacitances)
+        sp.set_attribute("B", r.shape[0])
+        _SWEEPS.inc()
+        _SWEEP_ROWS.inc(r.shape[0])
+        with _span("batch.level_sweeps", depth=topo.depth):
+            work = topo._to_workspace(c)
+            topo._subtree_sums_T(work)
+            work *= np.ascontiguousarray(r.T)
+            topo._rootpath_sums_T(work)
+        return np.ascontiguousarray(work.T)
 
 
 def batch_transfer_moments(
@@ -395,21 +458,27 @@ def batch_transfer_moments(
     if order < 1:
         raise ValidationError(f"order must be >= 1, got {order!r}")
     topo = _as_topology(tree)
-    r, c = topo.broadcast_parameters(resistances, capacitances)
-    b = max(r.shape[0], c.shape[0])
-    n = topo.num_nodes
-    r_t = np.ascontiguousarray(r.T)
-    c_t = np.ascontiguousarray(c.T)
-    coeffs = np.zeros((order + 1, b, n), dtype=np.float64)
-    coeffs[0] = 1.0
-    prev = np.ones((n, b), dtype=np.float64)
-    for q in range(1, order + 1):
-        currents = c_t * prev
-        topo._subtree_sums_T(currents)
-        prev = -r_t * currents
-        topo._rootpath_sums_T(prev)
-        coeffs[q] = prev.T
-    return BatchMoments(topology=topo, coefficients=coeffs)
+    with _span("batch.transfer_moments", metric="batch_sweep_seconds",
+               N=topo.num_nodes, order=order) as sp:
+        r, c = topo.broadcast_parameters(resistances, capacitances)
+        b = max(r.shape[0], c.shape[0])
+        sp.set_attribute("B", b)
+        _SWEEPS.inc()
+        _SWEEP_ROWS.inc(b)
+        n = topo.num_nodes
+        r_t = np.ascontiguousarray(r.T)
+        c_t = np.ascontiguousarray(c.T)
+        coeffs = np.zeros((order + 1, b, n), dtype=np.float64)
+        coeffs[0] = 1.0
+        prev = np.ones((n, b), dtype=np.float64)
+        for q in range(1, order + 1):
+            with _span("batch.moment_sweep", q=q, depth=topo.depth):
+                currents = c_t * prev
+                topo._subtree_sums_T(currents)
+                prev = -r_t * currents
+                topo._rootpath_sums_T(prev)
+                coeffs[q] = prev.T
+        return BatchMoments(topology=topo, coefficients=coeffs)
 
 
 def batch_delay_bounds(

@@ -27,6 +27,13 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from repro.circuit.rctree import RCTree
+from repro.obs.metrics import counter as _counter
+from repro.obs.trace import span as _span
+
+_SCALAR_WALKS = _counter(
+    "scalar_walks_total",
+    "Per-node Python tree walks by the scalar oracles",
+)
 
 __all__ = [
     "elmore_delay",
@@ -62,15 +69,18 @@ def elmore_delays(tree: RCTree) -> np.ndarray:
     root path.
     """
     tree.validate()
-    cdown = downstream_capacitance(tree)
-    parent = tree.parents
-    res = tree.resistances
-    out = np.empty(tree.num_nodes, dtype=np.float64)
-    for i in range(tree.num_nodes):
-        p = parent[i]
-        upstream = out[p] if p >= 0 else 0.0
-        out[i] = upstream + res[i] * cdown[i]
-    return out
+    _SCALAR_WALKS.inc()
+    with _span("elmore.scalar_walk", metric="scalar_walk_seconds",
+               N=tree.num_nodes):
+        cdown = downstream_capacitance(tree)
+        parent = tree.parents
+        res = tree.resistances
+        out = np.empty(tree.num_nodes, dtype=np.float64)
+        for i in range(tree.num_nodes):
+            p = parent[i]
+            upstream = out[p] if p >= 0 else 0.0
+            out[i] = upstream + res[i] * cdown[i]
+        return out
 
 
 def elmore_delay(

@@ -28,6 +28,17 @@ from repro._exceptions import ValidationError
 from repro.circuit.rctree import RCTree
 from repro.core.batch import TreeTopology, batch_elmore_delays, \
     compile_topology
+from repro.obs.metrics import counter as _counter
+from repro.obs.trace import span as _span
+
+_EDITS = _counter(
+    "incremental_edits_total",
+    "Element edits applied to IncrementalElmore snapshots",
+)
+_QUERIES = _counter(
+    "incremental_queries_total",
+    "Single-node delay queries answered incrementally",
+)
 
 __all__ = ["IncrementalElmore"]
 
@@ -52,16 +63,17 @@ class IncrementalElmore:
     def __init__(self, tree: RCTree) -> None:
         # The compiled topology is immutable and shared with the source
         # tree's cache; element edits below never invalidate it.
-        self._topology = compile_topology(tree)
-        self._names = tree.node_names
-        self._index: Dict[str, int] = {
-            name: k for k, name in enumerate(self._names)
-        }
-        self._parent = tree.parents.copy()
-        self._res = tree.resistances.copy()
-        self._cap = tree.capacitances.copy()
-        self._cdown = self._topology.subtree_sums(self._cap)
-        self._input = tree.input_node
+        with _span("incremental.snapshot", N=tree.num_nodes):
+            self._topology = compile_topology(tree)
+            self._names = tree.node_names
+            self._index: Dict[str, int] = {
+                name: k for k, name in enumerate(self._names)
+            }
+            self._parent = tree.parents.copy()
+            self._res = tree.resistances.copy()
+            self._cap = tree.capacitances.copy()
+            self._cdown = self._topology.subtree_sums(self._cap)
+            self._input = tree.input_node
 
     @property
     def topology(self) -> TreeTopology:
@@ -77,6 +89,7 @@ class IncrementalElmore:
 
     def delay(self, node: str) -> float:
         """Current Elmore delay at ``node`` (O(depth))."""
+        _QUERIES.inc()
         i = self._idx(node)
         total = 0.0
         while i >= 0:
@@ -114,6 +127,7 @@ class IncrementalElmore:
             raise ValidationError(
                 f"capacitance must be finite and >= 0, got {value!r}"
             )
+        _EDITS.inc()
         i = self._idx(node)
         delta = value - self._cap[i]
         self._cap[i] = value
@@ -134,6 +148,7 @@ class IncrementalElmore:
             raise ValidationError(
                 f"resistance must be finite and > 0, got {value!r}"
             )
+        _EDITS.inc()
         self._res[self._idx(node)] = value
 
     # ------------------------------------------------------------------

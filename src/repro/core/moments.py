@@ -36,6 +36,13 @@ import numpy as np
 
 from repro._exceptions import AnalysisError, ValidationError
 from repro.circuit.rctree import RCTree
+from repro.obs.metrics import counter as _counter
+from repro.obs.trace import span as _span
+
+_SCALAR_WALKS = _counter(
+    "scalar_walks_total",
+    "Per-node Python tree walks by the scalar oracles",
+)
 
 __all__ = [
     "TransferMoments",
@@ -71,28 +78,31 @@ def transfer_moments(tree: RCTree, order: int) -> "TransferMoments":
     if order < 1:
         raise ValidationError(f"order must be >= 1, got {order!r}")
     tree.validate()
-    n = tree.num_nodes
-    parent = tree.parents
-    res = tree.resistances
-    cap = tree.capacitances
+    _SCALAR_WALKS.inc()
+    with _span("moments.scalar_walk", metric="scalar_walk_seconds",
+               N=tree.num_nodes, order=order):
+        n = tree.num_nodes
+        parent = tree.parents
+        res = tree.resistances
+        cap = tree.capacitances
 
-    coeffs = np.zeros((order + 1, n), dtype=np.float64)
-    coeffs[0, :] = 1.0
-    for q in range(1, order + 1):
-        weighted = cap * coeffs[q - 1]
-        # Post-order accumulation of subtree capacitive "currents".
-        subtree = weighted.copy()
-        for i in range(n - 1, -1, -1):
-            p = parent[i]
-            if p >= 0:
-                subtree[p] += subtree[i]
-        # Pre-order propagation from the input node (m_q = 0 there).
-        mq = coeffs[q]
-        for i in range(n):
-            p = parent[i]
-            upstream = mq[p] if p >= 0 else 0.0
-            mq[i] = upstream - res[i] * subtree[i]
-    return TransferMoments(tree, coeffs)
+        coeffs = np.zeros((order + 1, n), dtype=np.float64)
+        coeffs[0, :] = 1.0
+        for q in range(1, order + 1):
+            weighted = cap * coeffs[q - 1]
+            # Post-order accumulation of subtree capacitive "currents".
+            subtree = weighted.copy()
+            for i in range(n - 1, -1, -1):
+                p = parent[i]
+                if p >= 0:
+                    subtree[p] += subtree[i]
+            # Pre-order propagation from the input node (m_q = 0 there).
+            mq = coeffs[q]
+            for i in range(n):
+                p = parent[i]
+                upstream = mq[p] if p >= 0 else 0.0
+                mq[i] = upstream - res[i] * subtree[i]
+        return TransferMoments(tree, coeffs)
 
 
 def admittance_moments(tree: RCTree, order: int) -> np.ndarray:

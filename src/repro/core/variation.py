@@ -39,6 +39,13 @@ from repro.circuit.rctree import RCTree
 from repro.core.batch import batch_elmore_delays, compile_topology
 from repro.core.elmore import elmore_delays
 from repro.core.sensitivity import elmore_sensitivity
+from repro.obs.metrics import counter as _counter
+from repro.obs.trace import span as _span
+
+_SAMPLES_DRAWN = _counter(
+    "variation_samples_total",
+    "Monte-Carlo parameter samples drawn for variation sweeps",
+)
 
 __all__ = [
     "VariationModel",
@@ -121,6 +128,15 @@ def elmore_statistics(
 
     O(N) on top of one sensitivity evaluation.
     """
+    with _span("variation.analytic_stats", node=node):
+        return _elmore_statistics(tree, node, model)
+
+
+def _elmore_statistics(
+    tree: RCTree,
+    node: str,
+    model: VariationModel,
+) -> DelayStatistics:
     sens = elmore_sensitivity(tree, node)
     res = tree.resistances
     cap = tree.capacitances
@@ -172,13 +188,16 @@ def sample_parameter_batch(
     """
     if samples < 1:
         raise AnalysisError("need at least one sample")
-    rng = np.random.default_rng(seed)
-    sr, sc = model.sigma_arrays(tree)
-    n = tree.num_nodes
-    draws = rng.normal(0.0, 1.0, (samples, 2, n))
-    xr = np.clip(draws[:, 0, :] * sr, -clip, clip)
-    xc = np.clip(draws[:, 1, :] * sc, -clip, clip)
-    return tree.resistances * (1.0 + xr), tree.capacitances * (1.0 + xc)
+    _SAMPLES_DRAWN.inc(samples)
+    with _span("variation.sample_batch", samples=samples,
+               N=tree.num_nodes):
+        rng = np.random.default_rng(seed)
+        sr, sc = model.sigma_arrays(tree)
+        n = tree.num_nodes
+        draws = rng.normal(0.0, 1.0, (samples, 2, n))
+        xr = np.clip(draws[:, 0, :] * sr, -clip, clip)
+        xc = np.clip(draws[:, 1, :] * sc, -clip, clip)
+        return tree.resistances * (1.0 + xr), tree.capacitances * (1.0 + xc)
 
 
 def monte_carlo_elmore(
@@ -207,30 +226,33 @@ def monte_carlo_elmore(
         raise ValidationError(
             f"method must be 'batch' or 'loop', got {method!r}"
         )
-    target = tree.index_of(node)
-    res, cap = sample_parameter_batch(
-        tree, model, samples, seed=seed, clip=clip
-    )
+    with _span("variation.monte_carlo",
+               metric=f"variation_{method}_seconds",
+               samples=samples, method=method, node=node):
+        target = tree.index_of(node)
+        res, cap = sample_parameter_batch(
+            tree, model, samples, seed=seed, clip=clip
+        )
 
-    if method == "batch":
-        delays = batch_elmore_delays(compile_topology(tree), res, cap)
-        return np.ascontiguousarray(delays[:, target])
+        if method == "batch":
+            delays = batch_elmore_delays(compile_topology(tree), res, cap)
+            return np.ascontiguousarray(delays[:, target])
 
-    parent = tree.parents
-    n = tree.num_nodes
-    # Path mask for the target (edges on its root path).
-    on_path = np.zeros(n, dtype=bool)
-    i = target
-    while i >= 0:
-        on_path[i] = True
-        i = parent[i]
+        parent = tree.parents
+        n = tree.num_nodes
+        # Path mask for the target (edges on its root path).
+        on_path = np.zeros(n, dtype=bool)
+        i = target
+        while i >= 0:
+            on_path[i] = True
+            i = parent[i]
 
-    out = np.empty(samples, dtype=np.float64)
-    for s in range(samples):
-        cdown = cap[s].copy()
-        for i in range(n - 1, -1, -1):
-            p = parent[i]
-            if p >= 0:
-                cdown[p] += cdown[i]
-        out[s] = float(np.sum((res[s] * cdown)[on_path]))
-    return out
+        out = np.empty(samples, dtype=np.float64)
+        for s in range(samples):
+            cdown = cap[s].copy()
+            for i in range(n - 1, -1, -1):
+                p = parent[i]
+                if p >= 0:
+                    cdown[p] += cdown[i]
+            out[s] = float(np.sum((res[s] * cdown)[on_path]))
+        return out

@@ -26,8 +26,18 @@ from repro.circuit.rctree import RCTree
 from repro.core.bounds import area_theorem_delay
 from repro.core.moments import transfer_moments
 from repro.core.statistics import WaveformStats, waveform_stats
+from repro.obs.metrics import counter as _counter
+from repro.obs.trace import span as _span
 from repro.signals.base import Signal
 from repro.signals.step import StepInput
+
+_SAMPLES_EVALUATED = _counter(
+    "verify_samples_total",
+    "Impulse-response grid points sampled during verification",
+)
+_NODES_VERIFIED = _counter(
+    "verify_nodes_total", "Nodes checked against the paper's claims"
+)
 
 __all__ = ["NodeVerdict", "TreeVerdict", "verify_tree", "verify_area_theorem"]
 
@@ -108,10 +118,25 @@ def verify_tree(
     sampled on the union of a fine grid over ``mean + 8 sigma`` (where
     the mass lives) and a coarse grid out to the settle horizon.
     """
-    analysis = ExactAnalysis(tree)
-    moments = transfer_moments(tree, 3)
-    verdicts: List[NodeVerdict] = []
-    for name in nodes if nodes is not None else tree.node_names:
+    target_nodes = list(nodes if nodes is not None else tree.node_names)
+    with _span("verify.tree", nodes=len(target_nodes), samples=samples):
+        analysis = ExactAnalysis(tree)
+        moments = transfer_moments(tree, 3)
+        verdicts: List[NodeVerdict] = []
+        for name in target_nodes:
+            verdicts.append(
+                _verify_node(analysis, moments, name, samples)
+            )
+    return TreeVerdict(nodes=verdicts)
+
+
+def _verify_node(
+    analysis: ExactAnalysis,
+    moments,
+    name: str,
+    samples: int,
+) -> NodeVerdict:
+    with _span("verify.node", node=name) as sp:
         transfer = analysis.transfer(name)
         horizon = transfer.settle_time(1e-9)
         mass_span = moments.mean(name) + 8.0 * moments.sigma(name)
@@ -119,6 +144,9 @@ def verify_tree(
         if 0.0 < mass_span < horizon:
             fine = np.linspace(0.0, mass_span, samples)
             t = np.unique(np.concatenate((fine, t)))
+        _NODES_VERIFIED.inc()
+        _SAMPLES_EVALUATED.inc(t.size)
+        sp.set_attribute("grid", int(t.size))
         h = transfer.impulse_response(t)
         stats = waveform_stats(t, h)
         nonneg = bool(np.min(h) >= -1e-9 * max(np.max(h), 1e-300))
@@ -128,22 +156,19 @@ def verify_tree(
         actual = measure_delay(analysis, name, StepInput())
         gamma = moments.skewness(name)
         tol = 1e-9 * max(elmore, 1e-300)
-        verdicts.append(
-            NodeVerdict(
-                node=name,
-                stats=stats,
-                elmore=elmore,
-                lower_bound=lower,
-                actual_delay=actual,
-                unimodal=stats.unimodal,
-                nonnegative=nonneg,
-                skew_nonnegative=gamma >= -1e-9,
-                ordering_holds=stats.ordering_holds,
-                upper_bound_holds=actual <= elmore + tol,
-                lower_bound_holds=actual >= lower - tol,
-            )
+        return NodeVerdict(
+            node=name,
+            stats=stats,
+            elmore=elmore,
+            lower_bound=lower,
+            actual_delay=actual,
+            unimodal=stats.unimodal,
+            nonnegative=nonneg,
+            skew_nonnegative=gamma >= -1e-9,
+            ordering_holds=stats.ordering_holds,
+            upper_bound_holds=actual <= elmore + tol,
+            lower_bound_holds=actual >= lower - tol,
         )
-    return TreeVerdict(nodes=verdicts)
 
 
 def verify_area_theorem(
@@ -158,13 +183,15 @@ def verify_area_theorem(
     """
     if signal is None:
         signal = StepInput()
-    analysis = ExactAnalysis(tree)
-    transfer = analysis.transfer(node)
-    horizon = max(signal.settle_time, 0.0) + transfer.settle_time(1e-12)
-    t = np.linspace(0.0, horizon, samples)
-    vin = signal.value(t)
-    vout = transfer.response(signal, t)
-    area = area_theorem_delay(t, vin, vout)
-    elmore = transfer_moments(tree, 1).mean(node)
-    rel = abs(area - elmore) / elmore if elmore > 0 else float("inf")
-    return {"elmore": elmore, "area": area, "relative_error": rel}
+    with _span("verify.area_theorem", node=node, samples=samples):
+        _SAMPLES_EVALUATED.inc(samples)
+        analysis = ExactAnalysis(tree)
+        transfer = analysis.transfer(node)
+        horizon = max(signal.settle_time, 0.0) + transfer.settle_time(1e-12)
+        t = np.linspace(0.0, horizon, samples)
+        vin = signal.value(t)
+        vout = transfer.response(signal, t)
+        area = area_theorem_delay(t, vin, vout)
+        elmore = transfer_moments(tree, 1).mean(node)
+        rel = abs(area - elmore) / elmore if elmore > 0 else float("inf")
+        return {"elmore": elmore, "area": area, "relative_error": rel}

@@ -1,0 +1,55 @@
+"""Stdlib logging wiring for the ``repro`` logger hierarchy.
+
+The library itself only ever *emits*: every module logs through
+``logging.getLogger(__name__)`` under the ``repro`` namespace, and
+``repro/__init__`` installs a ``NullHandler`` so an un-configured
+application sees nothing (the stdlib contract for libraries).
+
+Applications — and the CLI's ``-v/--verbose`` flag — opt in through
+:func:`configure_logging`, which attaches one stderr handler to the
+``repro`` logger.  Calling it again replaces the previous handler
+instead of stacking duplicates, so repeated CLI invocations in one
+process (the test suite) stay idempotent.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["configure_logging", "reset_logging"]
+
+_HANDLER: Optional[logging.Handler] = None
+
+
+def configure_logging(
+    verbosity: int = 1, stream: Optional[IO[str]] = None
+) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` logger.
+
+    ``verbosity`` 1 maps to INFO, 2+ to DEBUG (the level at which span
+    boundaries are logged).  Returns the installed handler.
+    """
+    global _HANDLER
+    logger = logging.getLogger("repro")
+    if _HANDLER is not None:
+        logger.removeHandler(_HANDLER)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    level = logging.DEBUG if verbosity >= 2 else logging.INFO
+    handler.setLevel(level)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    _HANDLER = handler
+    return handler
+
+
+def reset_logging() -> None:
+    """Detach the handler installed by :func:`configure_logging`."""
+    global _HANDLER
+    if _HANDLER is not None:
+        logging.getLogger("repro").removeHandler(_HANDLER)
+        _HANDLER = None

@@ -1,0 +1,335 @@
+"""Counters, gauges, and histograms with JSON/Prometheus exporters.
+
+A :class:`MetricsRegistry` holds named metrics; the library increments a
+handful of them at function granularity (never per node), so the
+registry is always on — unlike tracing there is no enable switch,
+because a counter bump is a few hundred nanoseconds against milliseconds
+of NumPy work.
+
+Naming follows Prometheus conventions (``docs/observability.md``):
+``*_total`` for counters, ``*_seconds`` for duration histograms, bare
+nouns for gauges.  Names are validated against the Prometheus charset so
+the text exporter always emits scrapeable output.
+
+Exporters:
+
+* :meth:`MetricsRegistry.to_dict` / :meth:`to_json` — structured state,
+  round-trippable through :meth:`MetricsRegistry.from_dict`;
+* :meth:`MetricsRegistry.to_prometheus_text` — the text exposition
+  format (``# HELP``/``# TYPE`` + samples).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import re
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro._exceptions import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "DEFAULT_SECONDS_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram buckets for durations in seconds (1 µs .. 10 s).
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValidationError(
+            f"metric name {name!r} is not Prometheus-legal "
+            "([a-zA-Z_:][a-zA-Z0-9_:]*)"
+        )
+    return name
+
+
+class Counter:
+    """Monotonically increasing count (``*_total``)."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name} cannot decrease (got {amount!r})"
+            )
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter (registry reset; not a runtime operation)."""
+        self.value = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable state."""
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+class Gauge:
+    """Last-written value (sizes, capacities, configuration)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record ``value`` as the gauge's current reading."""
+        self.value = float(value)
+
+    def reset(self) -> None:
+        """Zero the gauge."""
+        self.value = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable state."""
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+class Histogram:
+    """Cumulative-bucket histogram plus count/sum/min/max.
+
+    ``bounds`` are the upper edges of the finite buckets; an implicit
+    ``+Inf`` bucket catches the rest (Prometheus semantics: bucket ``i``
+    counts observations ``<= bounds[i]``, cumulatively).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "count",
+                 "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(sorted(buckets or DEFAULT_SECONDS_BUCKETS))
+        if not bounds:
+            raise ValidationError(
+                f"histogram {name} needs at least one bucket bound"
+            )
+        self.bounds: Tuple[float, ...] = bounds
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count: int = 0
+        self.sum: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> List[Tuple[Union[float, str], int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending at +Inf."""
+        out: List[Tuple[Union[float, str], int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append(("+Inf", self.count))
+        return out
+
+    def reset(self) -> None:
+        """Zero every bucket and statistic."""
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable state."""
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "buckets": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors.
+
+    Metric objects are stable once created: library modules hold direct
+    references, and :meth:`reset` zeroes values without invalidating
+    those references (there is deliberately no ``remove``).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValidationError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            created = cls(name, help=help, **kwargs)
+            self._metrics[name] = created
+            return created
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The metric named ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """Registered metric names in registration order."""
+        return list(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every metric, keeping registrations (and references)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
+
+    # -- exporters -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """``{name: state}`` for every registered metric."""
+        return {name: m.to_dict() for name, m in self._metrics.items()}
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict[str, Any]]) -> "MetricsRegistry":
+        """Rebuild a registry (values included) from :meth:`to_dict`."""
+        registry = cls()
+        for name, state in data.items():
+            kind = state.get("kind")
+            if kind == "counter":
+                registry.counter(name, state.get("help", "")).value = \
+                    float(state.get("value", 0.0))
+            elif kind == "gauge":
+                registry.gauge(name, state.get("help", "")).value = \
+                    float(state.get("value", 0.0))
+            elif kind == "histogram":
+                hist = registry.histogram(
+                    name, state.get("help", ""),
+                    buckets=state.get("buckets"),
+                )
+                hist.bucket_counts = [int(v) for v in
+                                      state.get("bucket_counts", [])]
+                hist.count = int(state.get("count", 0))
+                hist.sum = float(state.get("sum", 0.0))
+                hist.min = state.get("min")
+                hist.max = state.get("max")
+            else:
+                raise ValidationError(
+                    f"unknown metric kind {kind!r} for {name!r}"
+                )
+        return registry
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format for every metric."""
+        lines: List[str] = []
+        for name, metric in self._metrics.items():
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for bound, running in metric.cumulative_buckets():
+                    le = bound if isinstance(bound, str) else repr(bound)
+                    lines.append(
+                        f'{name}_bucket{{le="{le}"}} {running}'
+                    )
+                lines.append(f"{name}_sum {metric.sum!r}")
+                lines.append(f"{name}_count {metric.count}")
+            else:
+                value = metric.value
+                text = repr(value) if value != int(value) else str(int(value))
+                lines.append(f"{name} {text}")
+        return "\n".join(lines) + "\n"
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry the library's metrics live in."""
+    return _REGISTRY
+
+
+def counter(name: str, help: str = "") -> Counter:
+    """Get or create a counter on the global registry."""
+    return _REGISTRY.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    """Get or create a gauge on the global registry."""
+    return _REGISTRY.gauge(name, help)
+
+
+def histogram(
+    name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+) -> Histogram:
+    """Get or create a histogram on the global registry."""
+    return _REGISTRY.histogram(name, help, buckets=buckets)

@@ -24,6 +24,7 @@ edge to their ``output_slew``.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -31,6 +32,14 @@ import networkx as nx
 import numpy as np
 
 from repro._exceptions import TimingGraphError
+from repro.obs.metrics import counter as _counter
+from repro.obs.trace import span as _span
+
+logger = logging.getLogger(__name__)
+
+_NETS_EVALUATED = _counter(
+    "sta_nets_total", "Nets whose interconnect delays were evaluated"
+)
 from repro.analysis.responses import measure_delay
 from repro.analysis.state_space import ExactAnalysis
 from repro.core.batch import (
@@ -83,33 +92,40 @@ def _precompute_elmore_batched(
     the lazy per-net path uses, so :func:`_propagate_net_to` finds them
     already populated.
     """
-    order: List[str] = []
-    for net_name, net in design.nets.items():
-        if net_name not in nets:
-            override = (net_overrides or {}).get(net_name)
-            nets[net_name] = elaborate_net(
-                design, net, wire_load=wire_load, override=override
-            )
-        order.append(net_name)
-    if not order:
-        return
-    topology, offsets = compile_forest([nets[n].tree for n in order])
-    moments = batch_transfer_moments(topology, 2)
-    delays = moments.elmore_delays()[0]
-    mu2 = np.maximum(moments.variance()[0], 0.0)
-    for net_name, offset in zip(order, offsets):
-        elaborated = nets[net_name]
-        cache = _delay_cache_of(elaborated)
-        sink_index = {
-            sink: offset + elaborated.tree.index_of(node)
-            for sink, node in elaborated.sink_nodes.items()
-        }
-        cache[net_name] = {
-            sink: float(delays[i]) for sink, i in sink_index.items()
-        }
-        cache[("dispersion", net_name)] = {
-            sink: float(mu2[i]) for sink, i in sink_index.items()
-        }
+    with _span("sta.forest_precompute", nets=len(design.nets)) as sp:
+        order: List[str] = []
+        for net_name, net in design.nets.items():
+            if net_name not in nets:
+                override = (net_overrides or {}).get(net_name)
+                nets[net_name] = elaborate_net(
+                    design, net, wire_load=wire_load, override=override
+                )
+            order.append(net_name)
+        if not order:
+            return
+        _NETS_EVALUATED.inc(len(order))
+        topology, offsets = compile_forest([nets[n].tree for n in order])
+        sp.set_attribute("forest_nodes", topology.num_nodes)
+        logger.debug(
+            "forest precompute: %d nets, %d nodes in one batched call",
+            len(order), topology.num_nodes,
+        )
+        moments = batch_transfer_moments(topology, 2)
+        delays = moments.elmore_delays()[0]
+        mu2 = np.maximum(moments.variance()[0], 0.0)
+        for net_name, offset in zip(order, offsets):
+            elaborated = nets[net_name]
+            cache = _delay_cache_of(elaborated)
+            sink_index = {
+                sink: offset + elaborated.tree.index_of(node)
+                for sink, node in elaborated.sink_nodes.items()
+            }
+            cache[net_name] = {
+                sink: float(delays[i]) for sink, i in sink_index.items()
+            }
+            cache[("dispersion", net_name)] = {
+                sink: float(mu2[i]) for sink, i in sink_index.items()
+            }
 
 
 def _exact_model(net: ElaboratedNet) -> Dict[Pin, float]:
@@ -266,7 +282,21 @@ def analyze(
             f"unknown delay model {delay_model!r}; "
             f"choose from {sorted(DELAY_MODELS)}"
         )
-    design.validate()
+    with _span("sta.analyze", model=delay_model) as sp:
+        result = _analyze(design, delay_model, input_arrivals,
+                          input_slews, wire_load, net_overrides)
+        sp.set_attribute("nets", len(result.nets))
+        return result
+
+
+def _analyze(
+    design: Design,
+    delay_model: str,
+    input_arrivals: Optional[Dict[str, float]],
+    input_slews: Optional[Dict[str, float]],
+    wire_load: Optional[WireLoadModel],
+    net_overrides: Optional[Dict[str, Tuple]],
+) -> TimingResult:
     model = DELAY_MODELS[delay_model]
     arrivals: Dict[Pin, float] = {}
     slews: Dict[Pin, float] = {}
@@ -351,9 +381,13 @@ def _propagate_net_to(
     elaborated = nets[net_name]
     cache = _delay_cache_of(elaborated)
     if net_name not in cache:
-        cache[net_name] = model(elaborated)
+        _NETS_EVALUATED.inc()
+        with _span("sta.net", net=net_name,
+                   nodes=elaborated.tree.num_nodes):
+            cache[net_name] = model(elaborated)
     if ("dispersion", net_name) not in cache:
-        cache[("dispersion", net_name)] = _net_dispersion(elaborated)
+        with _span("sta.net_dispersion", net=net_name):
+            cache[("dispersion", net_name)] = _net_dispersion(elaborated)
     delays = cache[net_name]
     dispersion = cache[("dispersion", net_name)]
     driver = net.driver

@@ -24,6 +24,7 @@ EXAMPLES = [
     "variation_aware_timing.py",
     "batched_variation_sweep.py",
     "crosstalk_limits.py",
+    "traced_sweep.py",
 ]
 
 

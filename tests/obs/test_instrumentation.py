@@ -1,0 +1,194 @@
+"""Differential tests: instrumentation must never change results.
+
+Two invariants are pinned here:
+
+* with tracing *disabled* (the default), instrumented code paths return
+  bit-for-bit the same arrays as with tracing enabled — the spans only
+  observe, never perturb;
+* the instrumented batched engine still matches the scalar oracle to
+  1e-9 relative, so wrapping the hot loops in spans did not reorder or
+  alter the arithmetic.
+
+Plus smoke coverage that the expected spans and counters actually fire
+when tracing is on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import RCTree, random_tree, rc_line
+from repro.core.batch import (
+    batch_elmore_delays,
+    batch_transfer_moments,
+    compile_topology,
+)
+from repro.core.elmore import elmore_delays
+from repro.core.incremental import IncrementalElmore
+from repro.core.moments import transfer_moments
+from repro.core.variation import (
+    VariationModel,
+    monte_carlo_elmore,
+)
+from repro.core.verification import verify_tree
+from repro.obs import get_registry, get_tracer, tracing, tracing_enabled
+from repro.sta import Design, analyze, default_library
+from repro.workloads import fig1_tree
+
+
+@pytest.fixture
+def tree():
+    return random_tree(40, seed=9)
+
+
+def _rebuild(tree, res_row, cap_row):
+    """A fresh tree with the same wiring and one batch row's elements."""
+    clone = RCTree(tree.input_node)
+    for i, name in enumerate(tree.node_names):
+        view = tree.node(name)
+        clone.add_node(name, view.parent, float(res_row[i]),
+                       float(cap_row[i]))
+    return clone
+
+
+def _sweep_inputs(tree, batch=16, seed=3):
+    topo = compile_topology(tree)
+    rng = np.random.default_rng(seed)
+    res = topo.resistances * rng.uniform(0.8, 1.2, (batch, topo.num_nodes))
+    cap = topo.capacitances * rng.uniform(0.8, 1.2, (batch, topo.num_nodes))
+    return topo, res, cap
+
+
+class TestTracingNeverChangesResults:
+    def test_batch_sweep_bit_for_bit(self, tree):
+        topo, res, cap = _sweep_inputs(tree)
+        assert not tracing_enabled()
+        baseline = batch_elmore_delays(topo, res, cap)
+        with tracing():
+            traced = batch_elmore_delays(topo, res, cap)
+        assert np.array_equal(baseline, traced)
+
+    def test_moment_sweep_bit_for_bit(self, tree):
+        topo, res, cap = _sweep_inputs(tree)
+        baseline = batch_transfer_moments(topo, 3, res, cap)
+        with tracing():
+            traced = batch_transfer_moments(topo, 3, res, cap)
+        assert np.array_equal(baseline.coefficients, traced.coefficients)
+
+    def test_scalar_walks_bit_for_bit(self, tree):
+        base_delays = elmore_delays(tree)
+        base_moments = transfer_moments(tree, 3)
+        with tracing():
+            assert np.array_equal(base_delays, elmore_delays(tree))
+            traced_moments = transfer_moments(tree, 3)
+        for name in tree.node_names:
+            assert base_moments.mean(name) == traced_moments.mean(name)
+
+    def test_monte_carlo_bit_for_bit(self, tree):
+        model = VariationModel(resistance_sigma=0.1,
+                               capacitance_sigma=0.1)
+        node = tree.leaves()[0]
+        baseline = monte_carlo_elmore(tree, node, model, samples=64,
+                                      seed=5)
+        with tracing():
+            traced = monte_carlo_elmore(tree, node, model, samples=64,
+                                        seed=5)
+        assert np.array_equal(baseline, traced)
+
+
+class TestInstrumentedBatchVsScalarOracle:
+    def test_elmore_matches_scalar_walk(self, tree):
+        topo, res, cap = _sweep_inputs(tree, batch=8)
+        with tracing():
+            batched = batch_elmore_delays(topo, res, cap)
+        for b in range(res.shape[0]):
+            shadow = _rebuild(tree, res[b], cap[b])
+            np.testing.assert_allclose(
+                batched[b], elmore_delays(shadow), rtol=1e-9
+            )
+
+    def test_moments_match_scalar_walk(self, tree):
+        topo, res, cap = _sweep_inputs(tree, batch=8)
+        with tracing():
+            batched = batch_transfer_moments(topo, 3, res, cap)
+        for b in range(res.shape[0]):
+            shadow = _rebuild(tree, res[b], cap[b])
+            scalar = transfer_moments(shadow, 3)
+            np.testing.assert_allclose(
+                batched.coefficients[:, b, :], scalar.coefficients,
+                rtol=1e-9, atol=0.0,
+            )
+
+
+class TestSpansAndCounters:
+    def test_batch_phases_traced(self):
+        tree = rc_line(32, 50.0, 2e-13)
+        with tracing() as tracer:
+            topo, res, cap = _sweep_inputs(tree)
+            batch_elmore_delays(topo, res, cap)
+        # Fresh tree => a compile span; the sweep nests its level sweeps.
+        assert tracer.find("batch.compile")
+        sweeps = tracer.find("batch.elmore_delays")
+        assert sweeps and sweeps[0].attributes["B"] == 16
+        assert [c.name for c in sweeps[0].children] == \
+            ["batch.level_sweeps"]
+
+    def test_verification_traced(self):
+        tree = fig1_tree()
+        with tracing() as tracer:
+            verdict = verify_tree(tree, nodes=["n5"], samples=301)
+        assert verdict.nodes[0].node == "n5"
+        roots = tracer.find("verify.tree")
+        assert roots and roots[0].attributes["nodes"] == 1
+        node_spans = tracer.find("verify.node")
+        assert node_spans and node_spans[0].attributes["grid"] >= 301
+
+    def test_sta_traced(self):
+        lib = default_library()
+        d = Design("mini", lib)
+        d.add_input("a")
+        d.add_output("z")
+        d.add_instance("u0", "INV")
+        d.connect("n0", ("@port", "a"), [("u0", "a")])
+        d.connect("nz", ("u0", "y"), [("@port", "z")])
+        with tracing() as tracer:
+            analyze(d, delay_model="elmore")
+        spans = tracer.find("sta.analyze")
+        assert spans and spans[0].attributes["model"] == "elmore"
+        assert spans[0].attributes["nets"] == 2
+
+    def test_counters_tick(self, tree):
+        registry = get_registry()
+        registry.counter("scalar_walks_total").reset()
+        walks = registry.counter("scalar_walks_total")
+        before = walks.value
+        elmore_delays(tree)
+        transfer_moments(tree, 2)
+        assert walks.value == before + 2
+
+    def test_incremental_counters(self, tree):
+        registry = get_registry()
+        edits = registry.counter("incremental_edits_total")
+        queries = registry.counter("incremental_queries_total")
+        e0, q0 = edits.value, queries.value
+        inc = IncrementalElmore(tree)
+        leaf = tree.leaves()[0]
+        inc.delay(leaf)
+        inc.set_capacitance(leaf, 1e-13)
+        inc.set_resistance(leaf, 75.0)
+        inc.delay(leaf)
+        assert edits.value == e0 + 2
+        assert queries.value == q0 + 2
+
+    def test_histogram_fed_by_span_metric(self):
+        tree = rc_line(16, 50.0, 2e-13)
+        hist = get_registry().histogram("batch_sweep_seconds")
+        before = hist.count
+        with tracing():
+            topo, res, cap = _sweep_inputs(tree, batch=4)
+            batch_elmore_delays(topo, res, cap)
+        assert hist.count == before + 1
+
+    def test_leftover_state_is_cleared(self):
+        # The tracing() scopes above must not leak an enabled tracer.
+        assert not tracing_enabled()
+        assert get_tracer().span("x").__class__.__name__ == "_NullSpan"

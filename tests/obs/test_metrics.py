@@ -1,0 +1,147 @@
+"""Tests for counters/gauges/histograms and their exporters."""
+
+import json
+
+import pytest
+
+from repro._exceptions import ValidationError
+from repro.obs import (
+    DEFAULT_SECONDS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc(self, registry):
+        c = registry.counter("edits_total", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_cannot_decrease(self, registry):
+        c = registry.counter("edits_total")
+        with pytest.raises(ValidationError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_object(self, registry):
+        a = registry.counter("edits_total", "first wins")
+        b = registry.counter("edits_total", "ignored")
+        assert a is b
+        assert a.help == "first wins"
+
+    def test_kind_conflict(self, registry):
+        registry.counter("thing_total")
+        with pytest.raises(ValidationError):
+            registry.gauge("thing_total")
+
+    def test_illegal_name(self, registry):
+        with pytest.raises(ValidationError):
+            registry.counter("bad-name")
+        with pytest.raises(ValidationError):
+            registry.counter("9starts_with_digit")
+
+
+class TestGauge:
+    def test_set(self, registry):
+        g = registry.gauge("capacity")
+        g.set(7)
+        g.set(3.5)
+        assert g.value == 3.5
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative(self, registry):
+        h = registry.histogram("lat_seconds", buckets=[0.1, 1.0, 10.0])
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+        assert h.min == 0.05 and h.max == 50.0
+        assert h.mean == pytest.approx(56.05 / 5)
+        assert h.cumulative_buckets() == [
+            (0.1, 1), (1.0, 3), (10.0, 4), ("+Inf", 5),
+        ]
+
+    def test_boundary_value_counts_in_its_bucket(self, registry):
+        # Prometheus semantics: le is inclusive.
+        h = registry.histogram("b_seconds", buckets=[1.0, 2.0])
+        h.observe(1.0)
+        assert h.cumulative_buckets() == [(1.0, 1), (2.0, 1), ("+Inf", 1)]
+
+    def test_default_buckets(self, registry):
+        h = registry.histogram("d_seconds")
+        assert h.bounds == DEFAULT_SECONDS_BUCKETS
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("x_seconds").mean == 0.0
+
+
+class TestRegistry:
+    def test_reset_keeps_references(self, registry):
+        c = registry.counter("a_total")
+        h = registry.histogram("b_seconds")
+        c.inc(3)
+        h.observe(0.5)
+        registry.reset()
+        assert registry.counter("a_total") is c
+        assert c.value == 0
+        assert h.count == 0 and h.min is None
+        c.inc()  # the held reference still feeds the registry
+        assert registry.get("a_total").value == 1
+
+    def test_names_in_registration_order(self, registry):
+        registry.counter("z_total")
+        registry.gauge("a")
+        assert registry.names() == ["z_total", "a"]
+
+
+class TestExporters:
+    def _populate(self, registry):
+        registry.counter("sweeps_total", "sweeps").inc(2)
+        registry.gauge("depth").set(5)
+        h = registry.histogram("t_seconds", "timings", buckets=[0.1, 1.0])
+        h.observe(0.05)
+        h.observe(0.5)
+        return registry
+
+    def test_json_round_trip(self, registry):
+        self._populate(registry)
+        data = json.loads(registry.to_json())
+        rebuilt = MetricsRegistry.from_dict(data)
+        assert rebuilt.to_dict() == registry.to_dict()
+        assert rebuilt.counter("sweeps_total").value == 2
+        hist = rebuilt.get("t_seconds")
+        assert hist.count == 2
+        assert hist.cumulative_buckets() == [(0.1, 1), (1.0, 2),
+                                             ("+Inf", 2)]
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry.from_dict({"x": {"kind": "summary"}})
+
+    def test_prometheus_text(self, registry):
+        self._populate(registry)
+        text = registry.to_prometheus_text()
+        assert text.endswith("\n")
+        assert "# HELP sweeps_total sweeps" in text
+        assert "# TYPE sweeps_total counter" in text
+        assert "sweeps_total 2" in text
+        assert "depth 5" in text
+        assert "# TYPE t_seconds histogram" in text
+        assert 't_seconds_bucket{le="0.1"} 1' in text
+        assert 't_seconds_bucket{le="1.0"} 2' in text
+        assert 't_seconds_bucket{le="+Inf"} 2' in text
+        assert "t_seconds_count 2" in text
+        # Every non-comment line is "name{labels} value" — scrapeable.
+        for line in text.strip().split("\n"):
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)
+            assert name_part[0].isalpha() or name_part[0] == "_"

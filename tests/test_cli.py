@@ -1,11 +1,12 @@
 """Tests for the command-line interface."""
 
 import argparse
+import json
 
 import pytest
 
 from repro.circuit import tree_to_netlist
-from repro.cli import main, parse_signal_spec
+from repro.cli import main, parse_signal_spec, parse_time_spec
 from repro.signals import (
     ExponentialInput,
     RaisedCosineRamp,
@@ -105,3 +106,113 @@ class TestPaperTables:
         assert main(["table2"]) == 0
         out = capsys.readouterr().out
         assert "A" in out and "%" in out
+
+
+class TestTimeSpec:
+    def test_units(self):
+        from repro._exceptions import ValidationError
+
+        assert parse_time_spec("2ns") == pytest.approx(2e-9)
+        assert parse_time_spec("500ps") == pytest.approx(5e-10)
+        assert parse_time_spec("1e-9") == pytest.approx(1e-9)
+        with pytest.raises(ValidationError):
+            parse_time_spec("fast")
+        with pytest.raises(ValidationError):
+            parse_time_spec("0ns")
+        with pytest.raises(ValidationError):
+            parse_time_spec("-2ns")
+
+
+class TestValidation:
+    """Bad numeric flags exit 2 with a usage message, never a traceback."""
+
+    def test_negative_samples(self, netlist_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", netlist_path, "--samples", "-5"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--samples must be >= 0" in err
+
+    def test_non_integer_samples(self, netlist_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", netlist_path, "--samples", "many"])
+        assert excinfo.value.code == 2
+        assert "--samples must be an integer" in capsys.readouterr().err
+
+    def test_negative_sigma(self, netlist_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", netlist_path, "--rsigma", "-0.1"])
+        assert excinfo.value.code == 2
+        assert "--rsigma must be >= 0" in capsys.readouterr().err
+
+    def test_too_few_points(self, netlist_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["waveform", netlist_path, "n5", "--points", "1"])
+        assert excinfo.value.code == 2
+        assert "--points must be >= 2" in capsys.readouterr().err
+
+    def test_negative_signal_time(self, netlist_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", netlist_path, "--signal", "ramp:-2ns"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be > 0" in err and "Traceback" not in err
+
+
+class TestObservabilityFlags:
+    def test_trace_prints_span_tree(self, netlist_path, capsys):
+        assert main(["analyze", netlist_path, "--nodes", "n5",
+                     "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "repro.analyze" in err
+        assert "cum" in err and "self" in err
+
+    def test_trace_out_report_round_trip(self, netlist_path, tmp_path,
+                                         capsys):
+        out = str(tmp_path / "run.json")
+        assert main(["stats", netlist_path, "--samples", "50",
+                     "--seed", "3", "--trace-out", out]) == 0
+        capsys.readouterr()
+        report = json.loads(open(out).read())
+        assert report["schema"] == "repro.run_report/1"
+        assert report["command"] == "repro stats"
+        assert report["seed"] == 3
+        names = {s["name"] for s in report["spans"]}
+        assert "repro.stats" in names
+        # The report subcommand renders it back.
+        assert main(["report", out]) == 0
+        text = capsys.readouterr().out
+        assert "repro.stats" in text
+        assert "batch.elmore_delays" in text
+
+    def test_report_rejects_non_report(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"not": "a report"}))
+        assert main(["report", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_out_json(self, netlist_path, tmp_path, capsys):
+        out = str(tmp_path / "metrics.json")
+        assert main(["verify", netlist_path, "--metrics-out", out]) == 0
+        metrics = json.loads(open(out).read())
+        assert metrics["verify_nodes_total"]["value"] >= 7
+        assert metrics["verify_samples_total"]["kind"] == "counter"
+
+    def test_metrics_out_prometheus(self, netlist_path, tmp_path, capsys):
+        out = str(tmp_path / "metrics.prom")
+        assert main(["analyze", netlist_path, "--nodes", "n5",
+                     "--metrics-out", out]) == 0
+        text = open(out).read()
+        assert "# TYPE topology_compile_total counter" in text
+
+    def test_tracing_disabled_after_run(self, netlist_path, capsys):
+        from repro.obs import tracing_enabled
+
+        assert main(["analyze", netlist_path, "--nodes", "n5",
+                     "--trace"]) == 0
+        assert not tracing_enabled()
+
+    def test_no_flags_no_observability_output(self, netlist_path, capsys):
+        assert main(["analyze", netlist_path, "--nodes", "n5"]) == 0
+        err = capsys.readouterr().err
+        assert err == ""

@@ -19,61 +19,18 @@ both endpoints.)
 The timed kernel is a full Elmore-model STA run (design of ~90 gates).
 """
 
-import numpy as np
 import pytest
 
-from repro.sta import Design, Pin, analyze, default_library
+from repro.workloads import random_design
+
+from repro.sta import analyze
 
 from benchmarks._helpers import report
 
-
-def build_random_design(layers=6, width=15, seed=3):
-    rng = np.random.default_rng(seed)
-    lib = default_library()
-    design = Design("bench", lib)
-    kinds = ("INV", "NAND2", "NOR2", "AND2", "OR2")
-    for k in range(width):
-        design.add_input(f"i{k}")
-    previous = [("@port", f"i{k}") for k in range(width)]
-    pitch = 40e-6
-    net_id = 0
-    for layer in range(layers):
-        current = []
-        for k in range(width):
-            kind = kinds[int(rng.integers(0, len(kinds)))]
-            name = f"g{layer}_{k}"
-            design.add_instance(
-                name, kind,
-                position=(layer * pitch, k * pitch +
-                          float(rng.uniform(-5e-6, 5e-6))),
-            )
-            current.append((name, "y"))
-        # Wire each gate input to a random driver of the previous layer.
-        pending = {}
-        for k in range(width):
-            name = f"g{layer}_{k}"
-            cell = design.instances[name].cell
-            for pin in cell.inputs:
-                src = previous[int(rng.integers(0, len(previous)))]
-                pending.setdefault(src, []).append((name, pin))
-        for src, sinks in pending.items():
-            design.connect(f"n{net_id}", src, sinks)
-            net_id += 1
-        # Random fanin selection can leave some drivers unused; expose
-        # them as observation outputs so every pin is connected.
-        unused = [src for src in previous if src not in pending]
-        for src in unused:
-            port = f"o_unused{net_id}"
-            design.add_output(port)
-            design.connect(f"n{net_id}", src, [("@port", port)])
-            net_id += 1
-        previous = current
-    for k, src in enumerate(previous):
-        design.add_output(f"o{k}")
-        design.connect(f"n{net_id}", src, [("@port", f"o{k}")])
-        net_id += 1
-    return design
-
+# The generator moved to repro.workloads so the CLI's `repro sta`
+# subcommand and the parallel determinism gates exercise the same
+# designs; the old name stays importable for existing tooling.
+build_random_design = random_design
 
 DESIGN = build_random_design()
 

@@ -1,0 +1,15 @@
+"""Version compatibility shims shared across the package.
+
+Keep every interpreter/numpy version bridge here so individual modules
+don't each re-derive (and re-test) the same fallback logic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["trapezoid"]
+
+# numpy renamed trapz -> trapezoid in 2.0; support both without
+# tripping the DeprecationWarning the old name raises on 2.x.
+trapezoid = getattr(np, "trapezoid", None) or np.trapz

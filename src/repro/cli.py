@@ -3,9 +3,11 @@
 Usage::
 
     python -m repro analyze NETLIST.sp [--nodes n5,n7] [--signal ramp:2ns]
-    python -m repro verify NETLIST.sp
+    python -m repro verify NETLIST.sp [--jobs 4]
     python -m repro waveform NETLIST.sp NODE [--signal ramp:2ns]
                                              [--csv out.csv]
+    python -m repro stats NETLIST.sp [--samples 2000] [--jobs 4]
+    python -m repro sta [--layers 6 --width 15] [--jobs 4]
     python -m repro table1
     python -m repro table2
     python -m repro report RUN_REPORT.json
@@ -14,8 +16,15 @@ Usage::
 library implements.  ``verify`` checks the paper's claims (Lemmas 1-2,
 Theorem, Corollary 1) numerically on the given circuit.  ``waveform``
 renders the exact output waveform as ASCII art (and optionally CSV).
+``sta`` times a seeded random gate-level design with the Elmore model.
 ``table1`` and ``table2`` regenerate the paper's tables from the
 reconstructed circuits.
+
+``stats``, ``verify`` and ``sta`` accept ``--jobs/-j N`` to fan their
+sweep out over N worker processes through the sharded engine
+(:mod:`repro.parallel`); results are bit-identical to ``--jobs 1`` for
+the same seed, and the run degrades to in-process execution if workers
+cannot be spawned.
 
 Every subcommand additionally accepts the observability flags:
 
@@ -211,7 +220,7 @@ def _cmd_analyze(args) -> int:
 def _cmd_verify(args) -> int:
     with open(args.netlist, encoding="utf-8") as handle:
         tree, _ = parse_rc_tree(handle.read())
-    verdict = verify_tree(tree)
+    verdict = verify_tree(tree, jobs=args.jobs)
     for node in verdict.nodes:
         status = "ok" if node.all_hold else "FAIL"
         print(
@@ -286,10 +295,16 @@ def _cmd_stats(args) -> int:
         resistance_sigma=args.rsigma, capacitance_sigma=args.csigma
     )
     mc = None
-    if args.samples > 0:
-        # One batched sweep evaluates every node for every sample.
-        import numpy as np
+    if args.samples > 0 and args.jobs is not None:
+        # Sharded engine: deterministic per-shard RNG spawning, results
+        # bit-identical for any --jobs value.
+        from repro.core.variation import monte_carlo_delay_matrix
 
+        mc = monte_carlo_delay_matrix(
+            tree, model, args.samples, seed=args.seed, jobs=args.jobs
+        )
+    elif args.samples > 0:
+        # One batched sweep evaluates every node for every sample.
         from repro.core.batch import batch_elmore_delays, compile_topology
         from repro.core.variation import sample_parameter_batch
 
@@ -301,9 +316,10 @@ def _cmd_stats(args) -> int:
           f"C +-{args.csigma * 100:.0f}%   (times in ns)")
     header = f"{'node':>10} {'nominal':>9} {'std':>9} {'3-sigma':>9}"
     if mc is not None:
+        sharded = f", {args.jobs} jobs" if args.jobs is not None else ""
         header += f" {'mc-p50':>9} {'mc-p99':>9}"
         print(f"monte carlo: {args.samples} batched samples "
-              f"(seed {args.seed})")
+              f"(seed {args.seed}{sharded})")
     print(header)
     for node in nodes:
         stats = elmore_statistics(tree, node, model)
@@ -321,6 +337,34 @@ def _cmd_stats(args) -> int:
                 f" {_format_ns(float(np.quantile(column, 0.99))):>9}"
             )
         print(line)
+    return 0
+
+
+def _cmd_sta(args) -> int:
+    from repro.sta import analyze
+    from repro.workloads import random_design
+
+    design = random_design(
+        layers=args.layers, width=args.width, seed=args.seed
+    )
+    result = analyze(design, jobs=args.jobs)
+    sharded = f", {args.jobs} jobs" if args.jobs is not None else ""
+    print(
+        f"design: {args.layers}x{args.width} random combinational "
+        f"(seed {args.seed}): {len(design.instances)} gates, "
+        f"{len(design.nets)} nets{sharded}"
+    )
+    print(f"critical output: {result.critical_output}   "
+          f"delay {_format_ns(result.critical_delay)} ns "
+          f"(certified Elmore upper bound)")
+    print(f"{'stage':>6} {'kind':>5} {'name':>12} {'delay':>9} "
+          f"{'arrival':>9}   (ns)")
+    for k, element in enumerate(result.critical_path()):
+        print(
+            f"{k:>6} {element.kind:>5} {element.name:>12} "
+            f"{_format_ns(element.delay):>9} "
+            f"{_format_ns(element.arrival):>9}"
+        )
     return 0
 
 
@@ -398,6 +442,15 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="count", default=0,
         help="log to stderr (-v INFO, -vv DEBUG)",
     )
+    # Sharded-engine flag for the sweep-style subcommands.
+    sharded = argparse.ArgumentParser(add_help=False)
+    sharded.add_argument(
+        "--jobs", "-j", type=_int_arg("--jobs", minimum=0), default=None,
+        help="fan the sweep out over this many worker processes via the "
+             "sharded engine (1 = serial backend; results are "
+             "bit-identical for any value; default: legacy in-process "
+             "path)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze = sub.add_parser(
@@ -416,14 +469,14 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.set_defaults(func=_cmd_analyze)
 
     verify = sub.add_parser(
-        "verify", parents=[common],
+        "verify", parents=[common, sharded],
         help="numerically verify the paper's claims on a netlist",
     )
     verify.add_argument("netlist", help="path to the netlist file")
     verify.set_defaults(func=_cmd_verify)
 
     stats = sub.add_parser(
-        "stats", parents=[common],
+        "stats", parents=[common, sharded],
         help="Elmore statistics under process variation",
     )
     stats.add_argument("netlist", help="path to the netlist file")
@@ -448,6 +501,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo seed (default 0)",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    sta = sub.add_parser(
+        "sta", parents=[common, sharded],
+        help="Elmore-model STA on a seeded random gate-level design",
+    )
+    sta.add_argument(
+        "--layers", type=_int_arg("--layers", minimum=1), default=6,
+        help="logic depth of the generated design (default 6)",
+    )
+    sta.add_argument(
+        "--width", type=_int_arg("--width", minimum=1), default=15,
+        help="gates per layer (default 15)",
+    )
+    sta.add_argument(
+        "--seed", type=_int_arg("--seed"), default=3,
+        help="design-generator seed (default 3)",
+    )
+    sta.set_defaults(func=_cmd_sta)
 
     waveform = sub.add_parser(
         "waveform", parents=[common],

@@ -27,14 +27,12 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro._compat import trapezoid as _trapezoid
 from repro._exceptions import AnalysisError
 from repro.circuit.rctree import RCTree
 from repro.core.moments import TransferMoments, transfer_moments
 from repro.signals.base import Signal
 from repro.signals.step import StepInput
-
-# numpy renamed trapz -> trapezoid in 2.0; support both.
-_trapezoid = getattr(np, "trapezoid", None) or np.trapz
 
 __all__ = [
     "DelayBounds",
@@ -89,10 +87,18 @@ class DelayBounds:
         """Bound gap ``upper - lower``."""
         return self.upper - self.lower
 
-    def contains(self, delay: float, rel_tol: float = 1e-9) -> bool:
+    def contains(self, delay: float, rel_tol: float = 1e-9,
+                 abs_tol: float = 1e-15) -> bool:
         """True when ``delay`` lies inside ``[lower, upper]`` (with a
-        small relative cushion for numerical delay measurements)."""
-        pad = rel_tol * max(abs(self.upper), abs(self.lower), 1e-300)
+        small relative-plus-absolute cushion for numerical delay
+        measurements).
+
+        The absolute term matters for degenerate nodes: at the input
+        node both bounds are exactly ``0.0``, and a purely relative pad
+        collapses to zero there, rejecting measured delays a rounding
+        error above zero.
+        """
+        pad = rel_tol * max(abs(self.upper), abs(self.lower)) + abs_tol
         return (self.lower - pad) <= delay <= (self.upper + pad)
 
 

@@ -112,6 +112,10 @@ def admittance_moments(tree: RCTree, order: int) -> np.ndarray:
     and ``m_k(Y) = sum_j C_j m_{k-1}^(j)`` (used by Lemma 2 and the
     O'Brien–Savarino pi-model, eq. (26)).
     """
+    if not isinstance(order, (int, np.integer)) or isinstance(order, bool):
+        raise ValidationError(
+            f"order must be an integer >= 1, got {order!r}"
+        )
     if order < 1:
         raise ValidationError(f"order must be >= 1, got {order!r}")
     if order == 1:

@@ -13,10 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._compat import trapezoid as _trapezoid
 from repro._exceptions import AnalysisError
-
-# numpy renamed trapz -> trapezoid in 2.0; support both.
-_trapezoid = getattr(np, "trapezoid", None) or np.trapz
 
 __all__ = [
     "WaveformStats",

@@ -41,6 +41,7 @@ from repro.core.elmore import elmore_delays
 from repro.core.sensitivity import elmore_sensitivity
 from repro.obs.metrics import counter as _counter
 from repro.obs.trace import span as _span
+from repro.parallel import plan_shards, run_sharded, spawn_shard_seeds
 
 _SAMPLES_DRAWN = _counter(
     "variation_samples_total",
@@ -52,6 +53,7 @@ __all__ = [
     "DelayStatistics",
     "elmore_statistics",
     "monte_carlo_elmore",
+    "monte_carlo_delay_matrix",
     "sample_parameter_batch",
 ]
 
@@ -200,6 +202,73 @@ def sample_parameter_batch(
         return tree.resistances * (1.0 + xr), tree.capacitances * (1.0 + xc)
 
 
+def _mc_shard_task(payload) -> np.ndarray:
+    """Evaluate one Monte-Carlo shard: draw its spawned stream, sweep.
+
+    Module-level so the process backend can pickle it.  The payload is
+    ``(topology, sr, sc, clip, count, seed_sequence)``; the returned
+    array holds the shard's ``(count, N)`` Elmore delays.
+    """
+    topology, sr, sc, clip, count, seedseq = payload
+    rng = np.random.default_rng(seedseq)
+    n = topology.num_nodes
+    draws = rng.normal(0.0, 1.0, (count, 2, n))
+    xr = np.clip(draws[:, 0, :] * sr, -clip, clip)
+    xc = np.clip(draws[:, 1, :] * sc, -clip, clip)
+    return batch_elmore_delays(
+        topology,
+        topology.resistances * (1.0 + xr),
+        topology.capacitances * (1.0 + xc),
+    )
+
+
+def monte_carlo_delay_matrix(
+    tree: RCTree,
+    model: VariationModel,
+    samples: int,
+    seed: int = 0,
+    clip: float = 0.99,
+    jobs: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> np.ndarray:
+    """Sharded Monte-Carlo Elmore delays for **all** nodes, ``(B, N)``.
+
+    The sample block is partitioned into shards whose count depends only
+    on ``samples`` (never on ``jobs``), and each shard draws its own
+    ``SeedSequence.spawn`` child stream — so the result is bit-identical
+    for any worker count, including the serial backend
+    (``jobs`` in ``(None, 1)``).  Note the parameter stream therefore
+    differs from :func:`sample_parameter_batch`'s single-stream draw for
+    the same seed; within the sharded engine it is reproducible.
+
+    ``timeout``/``retries`` bound each shard's wall clock and its
+    re-submission budget (see :func:`repro.parallel.run_sharded`).
+    """
+    if samples < 1:
+        raise AnalysisError("need at least one sample")
+    shards = plan_shards(samples, shard_size=shard_size)
+    seeds = spawn_shard_seeds(seed, len(shards))
+    topology = compile_topology(tree)
+    sr, sc = model.sigma_arrays(tree)
+    _SAMPLES_DRAWN.inc(samples)
+    with _span("variation.monte_carlo_sharded", samples=samples,
+               shards=len(shards), N=tree.num_nodes):
+        blocks = run_sharded(
+            _mc_shard_task,
+            [
+                (topology, sr, sc, clip, shard.size, seeds[shard.index])
+                for shard in shards
+            ],
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+            label="variation.parallel_run",
+        )
+    return np.concatenate(blocks, axis=0)
+
+
 def monte_carlo_elmore(
     tree: RCTree,
     node: str,
@@ -208,6 +277,8 @@ def monte_carlo_elmore(
     seed: int = 0,
     clip: float = 0.99,
     method: str = "batch",
+    jobs: Optional[int] = None,
+    shard_size: Optional[int] = None,
 ) -> np.ndarray:
     """Monte-Carlo samples of ``T_D(node)`` under Gaussian relative
     variations (clipped at ``+-clip`` to keep elements physical).
@@ -221,10 +292,26 @@ def monte_carlo_elmore(
     per-sample tree walk (retained as the reference the batched path is
     benchmarked against in ``benchmarks/bench_variation.py``).  Both
     methods consume the identical parameter stream for a given seed.
+
+    ``method="parallel"`` routes the sweep through the sharded engine
+    (:mod:`repro.parallel`): the sample block is split into
+    jobs-independent shards with per-shard spawned RNG streams, so the
+    result is bit-identical for any ``jobs`` — but it draws a
+    *different* (blocked) parameter stream than the two legacy methods.
     """
-    if method not in ("batch", "loop"):
+    if method not in ("batch", "loop", "parallel"):
         raise ValidationError(
-            f"method must be 'batch' or 'loop', got {method!r}"
+            f"method must be 'batch', 'loop' or 'parallel', got {method!r}"
+        )
+    if method == "parallel":
+        delays = monte_carlo_delay_matrix(
+            tree, model, samples, seed=seed, clip=clip,
+            jobs=jobs, shard_size=shard_size,
+        )
+        return np.ascontiguousarray(delays[:, tree.index_of(node)])
+    if jobs is not None:
+        raise ValidationError(
+            "jobs is only meaningful with method='parallel'"
         )
     with _span("variation.monte_carlo",
                metric=f"variation_{method}_seconds",

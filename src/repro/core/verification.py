@@ -28,6 +28,7 @@ from repro.core.moments import transfer_moments
 from repro.core.statistics import WaveformStats, waveform_stats
 from repro.obs.metrics import counter as _counter
 from repro.obs.trace import span as _span
+from repro.parallel import plan_shards, run_sharded
 from repro.signals.base import Signal
 from repro.signals.step import StepInput
 
@@ -39,7 +40,13 @@ _NODES_VERIFIED = _counter(
     "verify_nodes_total", "Nodes checked against the paper's claims"
 )
 
-__all__ = ["NodeVerdict", "TreeVerdict", "verify_tree", "verify_area_theorem"]
+__all__ = [
+    "NodeVerdict",
+    "TreeVerdict",
+    "verify_tree",
+    "verify_corpus",
+    "verify_area_theorem",
+]
 
 
 @dataclass(frozen=True)
@@ -91,10 +98,28 @@ class TreeVerdict:
         return [v for v in self.nodes if not v.all_hold]
 
 
+def _verify_shard_task(payload) -> List[NodeVerdict]:
+    """Verify one shard's node subset (module-level: picklable).
+
+    Each shard rebuilds the exact analysis and moment tables from the
+    tree — redundant work across shards, but every quantity involved is
+    a deterministic function of the tree alone, so shard boundaries and
+    worker placement cannot change a single output bit.
+    """
+    tree, names, samples = payload
+    analysis = ExactAnalysis(tree)
+    moments = transfer_moments(tree, 3)
+    return [
+        _verify_node(analysis, moments, name, samples) for name in names
+    ]
+
+
 def verify_tree(
     tree: RCTree,
     nodes: Optional[List[str]] = None,
     samples: int = 4001,
+    jobs: Optional[int] = None,
+    shard_size: Optional[int] = None,
 ) -> TreeVerdict:
     """Check Lemmas 1-2, the Theorem and Corollary 1 on ``tree``.
 
@@ -108,6 +133,15 @@ def verify_tree(
         Impulse-response sample count per grid scale (affects the
         mode/median measurement accuracy only; delays and bounds are
         analytic).
+    jobs:
+        ``None`` (default) verifies in-process with one shared exact
+        analysis.  Any integer routes the node list through the sharded
+        engine (:mod:`repro.parallel`): ``1`` = serial backend,
+        ``>= 2`` = that many worker processes.  Verdicts are
+        bit-identical across all of these.
+    shard_size:
+        Nodes per shard for the sharded path (default: an even split
+        into at most :data:`repro.parallel.DEFAULT_MAX_SHARDS`).
 
     Notes
     -----
@@ -119,6 +153,22 @@ def verify_tree(
     the mass lives) and a coarse grid out to the settle horizon.
     """
     target_nodes = list(nodes if nodes is not None else tree.node_names)
+    if jobs is not None:
+        shards = plan_shards(len(target_nodes), shard_size=shard_size)
+        with _span("verify.tree", nodes=len(target_nodes),
+                   samples=samples, shards=len(shards)):
+            chunks = run_sharded(
+                _verify_shard_task,
+                [
+                    (tree, target_nodes[shard.start:shard.stop], samples)
+                    for shard in shards
+                ],
+                jobs=jobs,
+                label="verify.parallel_run",
+            )
+        return TreeVerdict(
+            nodes=[verdict for chunk in chunks for verdict in chunk]
+        )
     with _span("verify.tree", nodes=len(target_nodes), samples=samples):
         analysis = ExactAnalysis(tree)
         moments = transfer_moments(tree, 3)
@@ -128,6 +178,55 @@ def verify_tree(
                 _verify_node(analysis, moments, name, samples)
             )
     return TreeVerdict(nodes=verdicts)
+
+
+def _corpus_shard_task(payload) -> List[TreeVerdict]:
+    """Verify one shard's run of corpus trees (module-level: picklable)."""
+    trees, samples = payload
+    return [
+        TreeVerdict(nodes=_verify_shard_task(
+            (tree, list(tree.node_names), samples)
+        ))
+        for tree in trees
+    ]
+
+
+def verify_corpus(
+    trees: List[RCTree],
+    samples: int = 4001,
+    jobs: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> List[TreeVerdict]:
+    """Verify every tree of a corpus, optionally sharded over trees.
+
+    The workhorse behind ``bench_theorem_corpus``-style sweeps: the
+    corpus is split into runs of consecutive trees and each run is
+    verified independently (``jobs >= 2`` fans the runs out across
+    worker processes).  Verdicts come back in corpus order and are
+    bit-identical to the serial backend for any worker count.
+
+    ``timeout``/``retries`` bound each shard's wall clock and its
+    re-submission budget (see :func:`repro.parallel.run_sharded`).
+    """
+    if not trees:
+        return []
+    shards = plan_shards(len(trees), shard_size=shard_size)
+    with _span("verify.corpus", trees=len(trees), shards=len(shards),
+               samples=samples):
+        chunks = run_sharded(
+            _corpus_shard_task,
+            [
+                (trees[shard.start:shard.stop], samples)
+                for shard in shards
+            ],
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+            label="verify.parallel_run",
+        )
+    return [verdict for chunk in chunks for verdict in chunk]
 
 
 def _verify_node(

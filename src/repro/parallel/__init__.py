@@ -1,0 +1,44 @@
+"""Sharded multi-process evaluation engine.
+
+Every batched workload in the library — Monte-Carlo variation sweeps,
+theorem-corpus verification, multi-net STA — is embarrassingly parallel
+over samples, trees, or nets.  This package partitions such workloads
+into deterministic shards (:mod:`repro.parallel.plan`) and evaluates
+them on either a serial in-process backend or a
+``ProcessPoolExecutor`` (:mod:`repro.parallel.executor`), with per-shard
+timeout, bounded retry on a fresh pool, and graceful degradation back to
+serial execution when workers die or no pool can be created.
+
+The determinism contract: the shard plan and the per-shard RNG streams
+(``SeedSequence.spawn``) depend only on the workload and the seed —
+never on ``jobs`` — so sharded results are **bit-identical** to the
+serial backend's for any worker count.
+
+Consumers: ``monte_carlo_elmore(method="parallel")`` and
+``monte_carlo_delay_matrix`` in :mod:`repro.core.variation`,
+``verify_tree(jobs=...)`` / ``verify_corpus`` in
+:mod:`repro.core.verification`, ``analyze(jobs=...)`` in
+:mod:`repro.sta.timing`, and the ``--jobs/-j`` CLI flag.
+"""
+
+from repro.parallel.executor import (
+    available_backends,
+    resolve_jobs,
+    run_sharded,
+)
+from repro.parallel.plan import (
+    DEFAULT_MAX_SHARDS,
+    Shard,
+    plan_shards,
+    spawn_shard_seeds,
+)
+
+__all__ = [
+    "Shard",
+    "plan_shards",
+    "spawn_shard_seeds",
+    "DEFAULT_MAX_SHARDS",
+    "run_sharded",
+    "resolve_jobs",
+    "available_backends",
+]

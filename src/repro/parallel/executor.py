@@ -1,0 +1,307 @@
+"""Sharded execution backends: serial in-process and process-pool.
+
+:func:`run_sharded` evaluates one picklable task function over a list of
+shard payloads and returns the results in payload order.  Two backends:
+
+* **serial** (the default, ``jobs in (None, 0, 1)``) — runs every shard
+  in-process under a ``parallel.shard`` span.  This is also the
+  reference the process backend is pinned against: both backends execute
+  the *same* shard plan, so their reduced results are bit-identical.
+* **process** (``jobs >= 2``) — a ``concurrent.futures``
+  ``ProcessPoolExecutor`` (``fork`` start method where available).
+
+Robustness is built in rather than bolted on:
+
+* a per-shard ``timeout`` (seconds) bounds how long the parent waits for
+  any single shard;
+* a shard whose worker dies (``BrokenProcessPool``) or times out is
+  retried up to ``retries`` times on a **fresh pool** (the old pool is
+  torn down — a poisoned or hung worker never serves another shard);
+* when retries are exhausted, or when no process pool can be created at
+  all (e.g. ``fork`` unavailable and ``spawn`` fails), the engine
+  **degrades gracefully**: the remaining shards run serially in-process
+  and the run still succeeds;
+* exceptions raised *by the task itself* are genuine bugs and propagate
+  immediately — they would fail identically on every retry.
+
+Observability (``docs/observability.md``): spans ``parallel.run`` /
+``parallel.shard``, counters ``parallel_shards_total``,
+``parallel_retries_total``, ``parallel_timeouts_total``,
+``parallel_degraded_total``, and the ``parallel_shard_seconds``
+histogram of worker-measured shard durations.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro._exceptions import ValidationError
+from repro.obs.metrics import counter as _counter
+from repro.obs.metrics import histogram as _histogram
+from repro.obs.trace import span as _span
+
+__all__ = ["run_sharded", "resolve_jobs", "available_backends"]
+
+logger = logging.getLogger(__name__)
+
+_SHARDS = _counter(
+    "parallel_shards_total", "Shards evaluated by the sharded engine"
+)
+_RETRIES = _counter(
+    "parallel_retries_total",
+    "Shard attempts re-submitted after a worker death or timeout",
+)
+_TIMEOUTS = _counter(
+    "parallel_timeouts_total", "Shards that exceeded their timeout budget"
+)
+_DEGRADED = _counter(
+    "parallel_degraded_total",
+    "Shards that fell back to in-process execution after retries "
+    "were exhausted or no process pool could be created",
+)
+_SHARD_SECONDS = _histogram(
+    "parallel_shard_seconds",
+    "Worker-measured wall-clock duration per shard",
+)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0``/``1`` mean serial."""
+    if jobs is None:
+        return 1
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ValidationError(f"jobs must be an integer >= 0, got {jobs!r}")
+    if jobs < 0:
+        raise ValidationError(f"jobs must be >= 0, got {jobs}")
+    return max(jobs, 1)
+
+
+def available_backends() -> List[str]:
+    """Backends usable on this host (``serial`` always; ``process`` when
+    multiprocessing offers any start method)."""
+    backends = ["serial"]
+    try:
+        if multiprocessing.get_all_start_methods():
+            backends.append("process")
+    except Exception:  # pragma: no cover - exotic platforms
+        pass
+    return backends
+
+
+def _timed_task(task: Callable[[Any], Any], payload: Any) -> Any:
+    """Worker-side wrapper: run the shard and measure its duration."""
+    start = time.perf_counter()
+    value = task(payload)
+    return value, time.perf_counter() - start
+
+
+def _run_shard_inline(
+    task: Callable[[Any], Any], payload: Any, index: int
+) -> Any:
+    """Evaluate one shard in the parent process, under a span."""
+    with _span("parallel.shard", index=index, backend="serial"):
+        start = time.perf_counter()
+        value = task(payload)
+    _SHARD_SECONDS.observe(time.perf_counter() - start)
+    _SHARDS.inc()
+    return value
+
+
+def _new_pool(jobs: int) -> ProcessPoolExecutor:
+    """A fresh process pool, preferring the cheap ``fork`` start method."""
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+
+
+def _kill_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+    """Tear a pool down without waiting on hung or dead workers."""
+    if pool is None:
+        return
+    # Terminate worker processes first: shutdown() alone would block
+    # behind a shard that is hung in user code.  ``_processes`` is
+    # private API, so guard it — worst case a stuck worker leaks until
+    # process exit, and the run still makes progress on a fresh pool.
+    try:
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            proc.terminate()
+    except Exception:  # pragma: no cover - defensive
+        pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
+def run_sharded(
+    task: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    label: str = "parallel.run",
+) -> List[Any]:
+    """Evaluate ``task`` over ``payloads``; results in payload order.
+
+    Parameters
+    ----------
+    task:
+        Module-level (picklable) callable taking one payload.
+    payloads:
+        One picklable payload per shard.  The shard *plan* must already
+        be deterministic (see :func:`repro.parallel.plan.plan_shards`);
+        this function only chooses where each shard runs.
+    jobs:
+        ``None``/``0``/``1`` — serial backend; ``>= 2`` — process pool of
+        that many workers (capped at the shard count).
+    timeout:
+        Per-shard seconds the parent waits before declaring the shard
+        hung and recycling the pool (``None`` = wait forever).
+    retries:
+        How many times a dead/hung shard is re-submitted to a fresh pool
+        before degrading to in-process execution.
+    """
+    jobs = resolve_jobs(jobs)
+    if timeout is not None and not timeout > 0.0:
+        raise ValidationError(f"timeout must be > 0, got {timeout!r}")
+    if retries < 0:
+        raise ValidationError(f"retries must be >= 0, got {retries}")
+    payloads = list(payloads)
+    if not payloads:
+        return []
+    effective_jobs = min(jobs, len(payloads))
+    backend = "process" if effective_jobs > 1 else "serial"
+    with _span(label, shards=len(payloads), jobs=effective_jobs,
+               backend=backend) as sp:
+        if backend == "serial":
+            return [
+                _run_shard_inline(task, payload, index)
+                for index, payload in enumerate(payloads)
+            ]
+        return _run_process_backend(
+            task, payloads, effective_jobs, timeout, retries, sp
+        )
+
+
+def _run_process_backend(
+    task: Callable[[Any], Any],
+    payloads: List[Any],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    run_span,
+) -> List[Any]:
+    results: Dict[int, Any] = {}
+    attempts = {index: 0 for index in range(len(payloads))}
+    todo = list(range(len(payloads)))
+    pool: Optional[ProcessPoolExecutor] = None
+    try:
+        while todo:
+            if pool is None:
+                try:
+                    pool = _new_pool(jobs)
+                except Exception as exc:
+                    logger.warning(
+                        "process pool unavailable (%s); degrading %d "
+                        "shards to the serial backend", exc, len(todo),
+                    )
+                    run_span.set_attribute("degraded", True)
+                    for index in todo:
+                        _DEGRADED.inc()
+                        results[index] = _run_shard_inline(
+                            task, payloads[index], index
+                        )
+                    break
+            failed = _submit_and_collect(
+                task, payloads, todo, pool, timeout, results
+            )
+            if not failed:
+                break
+            # The pool is suspect (a worker died or a shard hung in it):
+            # recycle it so no poisoned worker serves the retries.
+            _kill_pool(pool)
+            pool = None
+            retry_round: List[int] = []
+            for index in failed:
+                attempts[index] += 1
+                if attempts[index] <= retries:
+                    _RETRIES.inc()
+                    retry_round.append(index)
+                else:
+                    logger.warning(
+                        "shard %d failed %d attempt(s) on the process "
+                        "backend; degrading it to in-process execution",
+                        index, attempts[index],
+                    )
+                    run_span.set_attribute("degraded", True)
+                    _DEGRADED.inc()
+                    results[index] = _run_shard_inline(
+                        task, payloads[index], index
+                    )
+            todo = retry_round
+    finally:
+        _kill_pool(pool)
+    return [results[index] for index in range(len(payloads))]
+
+
+def _submit_and_collect(
+    task: Callable[[Any], Any],
+    payloads: List[Any],
+    todo: List[int],
+    pool: ProcessPoolExecutor,
+    timeout: Optional[float],
+    results: Dict[int, Any],
+) -> List[int]:
+    """One submission wave; returns the shard indices needing a retry."""
+    futures: Dict[int, Future] = {}
+    failed: List[int] = []
+    broken = False
+    for index in todo:
+        if broken:
+            failed.append(index)
+            continue
+        try:
+            futures[index] = pool.submit(_timed_task, task, payloads[index])
+        except (BrokenProcessPool, RuntimeError):
+            broken = True
+            failed.append(index)
+    for index, future in futures.items():
+        try:
+            value, elapsed = future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            logger.warning(
+                "shard %d exceeded its %.3gs timeout", index, timeout
+            )
+            _TIMEOUTS.inc()
+            failed.append(index)
+            # One hung shard poisons the wave's remaining futures too
+            # (the pool is about to be recycled); collect whatever is
+            # already finished and retry the rest.
+            for later_index, later in futures.items():
+                if later_index <= index or later_index in results:
+                    continue
+                if later.done() and later.exception() is None:
+                    value, elapsed = later.result()
+                    results[later_index] = value
+                    _SHARD_SECONDS.observe(elapsed)
+                    _SHARDS.inc()
+                else:
+                    failed.append(later_index)
+            break
+        except BrokenProcessPool:
+            logger.warning("worker died while evaluating shard %d", index)
+            failed.append(index)
+            continue
+        results[index] = value
+        _SHARD_SECONDS.observe(elapsed)
+        _SHARDS.inc()
+    return failed

@@ -49,6 +49,7 @@ from repro.core.batch import (
 )
 from repro.core.metrics import METRICS
 from repro.core.moments import transfer_moments
+from repro.parallel import plan_shards, run_sharded
 
 from repro.sta.interconnect import ElaboratedNet, WireLoadModel, elaborate_net
 from repro.sta.netlist import Design, Pin
@@ -76,21 +77,53 @@ def _elmore_model(net: ElaboratedNet) -> Dict[Pin, float]:
     }
 
 
+def _sta_shard_task(payload) -> Dict[str, Tuple[Dict, Dict]]:
+    """Evaluate one shard's nets through a sub-forest (picklable task).
+
+    The payload is a list of ``(net_name, tree, sink_nodes)`` triples;
+    the return maps each net name to its per-sink ``(delays, mu2)``
+    dicts.  Every per-node quantity of the batched sweeps depends only
+    on that node's own tree (subtree folds and root-path prefixes never
+    cross tree roots), so a sub-forest reproduces the whole-forest
+    results bit for bit.
+    """
+    topology, offsets = compile_forest([tree for _, tree, _ in payload])
+    moments = batch_transfer_moments(topology, 2)
+    delays = moments.elmore_delays()[0]
+    mu2 = np.maximum(moments.variance()[0], 0.0)
+    out: Dict[str, Tuple[Dict, Dict]] = {}
+    for (net_name, tree, sink_nodes), offset in zip(payload, offsets):
+        sink_index = {
+            sink: offset + tree.index_of(node)
+            for sink, node in sink_nodes.items()
+        }
+        out[net_name] = (
+            {sink: float(delays[i]) for sink, i in sink_index.items()},
+            {sink: float(mu2[i]) for sink, i in sink_index.items()},
+        )
+    return out
+
+
 def _precompute_elmore_batched(
     design: Design,
     nets: Dict[str, ElaboratedNet],
     wire_load,
     net_overrides,
+    jobs: Optional[int] = None,
 ) -> None:
-    """Evaluate every net of the design through ONE batched call.
+    """Evaluate every net of the design through batched forest sweeps.
 
-    All nets are elaborated up front, their RC trees are compiled side by
-    side into a single forest topology, and one order-2
-    :func:`batch_transfer_moments` sweep yields every sink's Elmore delay
-    (arrival propagation) and impulse-response variance (slew
-    propagation) at once.  The per-net results land in the same caches
-    the lazy per-net path uses, so :func:`_propagate_net_to` finds them
-    already populated.
+    All nets are elaborated up front and their RC trees are compiled
+    side by side into forest topologies whose order-2
+    :func:`batch_transfer_moments` sweeps yield every sink's Elmore
+    delay (arrival propagation) and impulse-response variance (slew
+    propagation) at once.  With ``jobs`` unset this is ONE batched call;
+    with ``jobs`` given, the net list is split into deterministic shards
+    fanned out through :mod:`repro.parallel` (``1`` = serial backend,
+    ``>= 2`` = worker processes) with bit-identical results.  Either
+    way the per-net results land in the same caches the lazy per-net
+    path uses, so :func:`_propagate_net_to` finds them already
+    populated.
     """
     with _span("sta.forest_precompute", nets=len(design.nets)) as sp:
         order: List[str] = []
@@ -104,6 +137,27 @@ def _precompute_elmore_batched(
         if not order:
             return
         _NETS_EVALUATED.inc(len(order))
+        if jobs is not None:
+            shards = plan_shards(len(order))
+            sp.set_attribute("shards", len(shards))
+            chunks = run_sharded(
+                _sta_shard_task,
+                [
+                    [
+                        (name, nets[name].tree, nets[name].sink_nodes)
+                        for name in order[shard.start:shard.stop]
+                    ]
+                    for shard in shards
+                ],
+                jobs=jobs,
+                label="sta.parallel_run",
+            )
+            for chunk in chunks:
+                for net_name, (delays, mu2) in chunk.items():
+                    cache = _delay_cache_of(nets[net_name])
+                    cache[net_name] = delays
+                    cache[("dispersion", net_name)] = mu2
+            return
         topology, offsets = compile_forest([nets[n].tree for n in order])
         sp.set_attribute("forest_nodes", topology.num_nodes)
         logger.debug(
@@ -259,6 +313,7 @@ def analyze(
     input_slews: Optional[Dict[str, float]] = None,
     wire_load: Optional[WireLoadModel] = None,
     net_overrides: Optional[Dict[str, Tuple]] = None,
+    jobs: Optional[int] = None,
 ) -> TimingResult:
     """Run static timing analysis on ``design``.
 
@@ -276,15 +331,26 @@ def analyze(
         Fallback wire model for nets without geometry.
     net_overrides:
         Optional per-net ``(tree, sink_node_map)`` overrides.
+    jobs:
+        Only meaningful for the ``"elmore"`` model: fan the per-net
+        interconnect evaluation out through the sharded engine
+        (:mod:`repro.parallel`; ``1`` = serial backend, ``>= 2`` =
+        worker processes).  Arrival/slew results are bit-identical to
+        the default single-forest path.
     """
     if delay_model not in DELAY_MODELS:
         raise TimingGraphError(
             f"unknown delay model {delay_model!r}; "
             f"choose from {sorted(DELAY_MODELS)}"
         )
+    if jobs is not None and delay_model != "elmore":
+        raise TimingGraphError(
+            "jobs is only supported with the 'elmore' delay model "
+            "(the other models evaluate nets lazily per arrival)"
+        )
     with _span("sta.analyze", model=delay_model) as sp:
         result = _analyze(design, delay_model, input_arrivals,
-                          input_slews, wire_load, net_overrides)
+                          input_slews, wire_load, net_overrides, jobs)
         sp.set_attribute("nets", len(result.nets))
         return result
 
@@ -296,6 +362,7 @@ def _analyze(
     input_slews: Optional[Dict[str, float]],
     wire_load: Optional[WireLoadModel],
     net_overrides: Optional[Dict[str, Tuple]],
+    jobs: Optional[int] = None,
 ) -> TimingResult:
     model = DELAY_MODELS[delay_model]
     arrivals: Dict[Pin, float] = {}
@@ -304,9 +371,11 @@ def _analyze(
     nets: Dict[str, ElaboratedNet] = {}
     if delay_model == "elmore":
         # Delay and dispersion don't depend on arrivals, so the whole
-        # netlist's interconnect is evaluated in one batched forest sweep
+        # netlist's interconnect is evaluated in batched forest sweeps
+        # (one call, or sharded across workers when jobs is given)
         # before arrival propagation begins.
-        _precompute_elmore_batched(design, nets, wire_load, net_overrides)
+        _precompute_elmore_batched(design, nets, wire_load, net_overrides,
+                                   jobs=jobs)
 
     for port in design.inputs:
         pin = Pin(Pin.PORT, port)

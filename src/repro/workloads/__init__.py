@@ -5,6 +5,7 @@ from repro.workloads.generators import (
     corner_batch,
     line_family,
     mixed_corpus,
+    random_design,
     random_tree_corpus,
     variation_batch,
 )
@@ -32,4 +33,5 @@ __all__ = [
     "mixed_corpus",
     "variation_batch",
     "corner_batch",
+    "random_design",
 ]

@@ -21,6 +21,7 @@ __all__ = [
     "mixed_corpus",
     "variation_batch",
     "corner_batch",
+    "random_design",
 ]
 
 
@@ -143,6 +144,66 @@ def corner_batch(
         rs[:, None] * tree.resistances[None, :],
         cs[:, None] * tree.capacitances[None, :],
     )
+
+
+def random_design(layers: int = 6, width: int = 15, seed: int = 3):
+    """A seeded random combinational gate-level design for STA workloads.
+
+    ``layers`` rows of ``width`` random gates (INV/NAND/NOR/AND/OR) with
+    jittered placement; each gate input wires to a random driver of the
+    previous layer, and unused drivers surface as observation outputs so
+    every pin stays connected.  Deterministic given the seed — the same
+    generator backs ``benchmarks/bench_sta.py``, the ``repro sta``
+    subcommand, and the parallel STA determinism gates.
+    """
+    from repro.sta import Design, default_library
+
+    if layers < 1 or width < 1:
+        raise ValidationError("random_design needs layers >= 1, width >= 1")
+    rng = np.random.default_rng(seed)
+    design = Design("random", default_library())
+    kinds = ("INV", "NAND2", "NOR2", "AND2", "OR2")
+    for k in range(width):
+        design.add_input(f"i{k}")
+    previous = [("@port", f"i{k}") for k in range(width)]
+    pitch = 40e-6
+    net_id = 0
+    for layer in range(layers):
+        current = []
+        for k in range(width):
+            kind = kinds[int(rng.integers(0, len(kinds)))]
+            name = f"g{layer}_{k}"
+            design.add_instance(
+                name, kind,
+                position=(layer * pitch, k * pitch +
+                          float(rng.uniform(-5e-6, 5e-6))),
+            )
+            current.append((name, "y"))
+        # Wire each gate input to a random driver of the previous layer.
+        pending = {}
+        for k in range(width):
+            name = f"g{layer}_{k}"
+            cell = design.instances[name].cell
+            for pin in cell.inputs:
+                src = previous[int(rng.integers(0, len(previous)))]
+                pending.setdefault(src, []).append((name, pin))
+        for src, sinks in pending.items():
+            design.connect(f"n{net_id}", src, sinks)
+            net_id += 1
+        # Random fanin selection can leave some drivers unused; expose
+        # them as observation outputs so every pin is connected.
+        unused = [src for src in previous if src not in pending]
+        for src in unused:
+            port = f"o_unused{net_id}"
+            design.add_output(port)
+            design.connect(f"n{net_id}", src, [("@port", port)])
+            net_id += 1
+        previous = current
+    for k, src in enumerate(previous):
+        design.add_output(f"o{k}")
+        design.connect(f"n{net_id}", src, [("@port", f"o{k}")])
+        net_id += 1
+    return design
 
 
 def mixed_corpus(seed: int = 42) -> List[RCTree]:

@@ -205,3 +205,39 @@ class TestAreaTheorem:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(AnalysisError):
             area_theorem_delay(np.arange(3.0), np.arange(3.0), np.arange(4.0))
+
+
+class TestContainsTolerance:
+    """Regression: ``contains`` needed an absolute-tolerance term.
+
+    At a degenerate node (both bounds exactly zero — e.g. the input
+    node's trivial bound pair) the old purely-relative pad collapsed to
+    zero width, rejecting measured delays one rounding error above
+    zero."""
+
+    def _degenerate(self):
+        from repro.core.bounds import DelayBounds
+        return DelayBounds(node="in", upper=0.0, lower=0.0, mean=0.0,
+                           sigma=0.0, skewness=0.0, signal="step")
+
+    def test_zero_bounds_admit_rounding_noise(self):
+        b = self._degenerate()
+        assert b.contains(0.0)
+        assert b.contains(1e-18)      # below the default abs_tol pad
+        assert b.contains(-1e-18)
+        assert not b.contains(1e-12)  # a genuine miss still fails
+
+    def test_abs_tol_is_adjustable(self):
+        b = self._degenerate()
+        assert not b.contains(1e-12, abs_tol=1e-15)
+        assert b.contains(1e-12, abs_tol=1e-9)
+        assert not b.contains(5e-19, abs_tol=1e-19)
+
+    def test_relative_pad_unchanged_for_normal_bounds(self):
+        from repro.core.bounds import DelayBounds
+        b = DelayBounds(node="x", upper=2e-9, lower=1e-9, mean=1.5e-9,
+                        sigma=1e-10, skewness=0.5, signal="step")
+        assert b.contains(2e-9 * (1 + 1e-10))     # inside the rel pad
+        assert not b.contains(2e-9 * (1 + 1e-6))  # outside it
+        assert b.contains(1.5e-9)
+        assert b.width == pytest.approx(1e-9)

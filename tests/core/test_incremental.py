@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro._exceptions import ValidationError
-from repro.circuit import balanced_tree, rc_line
+from repro.circuit import balanced_tree, random_tree, rc_line
 from repro.core import elmore_delay
+from repro.core.batch import batch_elmore_delays
 from repro.core.incremental import IncrementalElmore
 
 
@@ -123,3 +124,70 @@ class TestComplexity:
         inc.add_capacitance(leaf, 1e-15)
         changed = np.flatnonzero(inc._cdown != before)
         assert changed.size == tree.depth_of(leaf)
+
+
+class TestRandomizedDifferential:
+    """Long mixed edit/query sequences vs. fresh-from-scratch recompute.
+
+    After every edit the incremental oracle's answers must match a fresh
+    batched recompute of the materialized tree to 1e-12 relative — the
+    incremental path decomposition and the level-sweep recursion are
+    independent implementations of the same quantity.
+    """
+
+    def _check_all_nodes(self, inc):
+        reference = batch_elmore_delays(inc.as_tree())[0]
+        live = inc.delays()
+        for k, name in enumerate(inc._names):
+            assert live[name] == pytest.approx(reference[k], rel=1e-12), \
+                f"node {name} diverged after edits"
+
+    def test_long_mixed_sequence(self):
+        tree = random_tree(40, rng=np.random.default_rng(2024))
+        inc = IncrementalElmore(tree)
+        rng = np.random.default_rng(7)
+        names = list(tree.node_names)
+        for step in range(300):
+            name = names[int(rng.integers(len(names)))]
+            kind = int(rng.integers(3))
+            if kind == 0:
+                inc.set_capacitance(name, float(rng.uniform(0.0, 2e-12)))
+            elif kind == 1:
+                delta = float(rng.uniform(-0.5, 2.0) * 1e-13)
+                if inc.capacitance(name) + delta < 0.0:
+                    delta = abs(delta)
+                inc.add_capacitance(name, delta)
+            else:
+                inc.set_resistance(name, float(rng.uniform(1.0, 5e3)))
+            # Interleave point queries with the edits (they share the
+            # cdown state the edits maintain).
+            probe = names[int(rng.integers(len(names)))]
+            assert inc.delay(probe) == pytest.approx(
+                inc.delays()[probe], rel=1e-12
+            )
+            if step % 25 == 24:
+                self._check_all_nodes(inc)
+        self._check_all_nodes(inc)
+
+    def test_single_node_tree(self):
+        tree = rc_line(1, 220.0, 3e-13)
+        inc = IncrementalElmore(tree)
+        assert inc.delay("n1") == pytest.approx(220.0 * 3e-13, rel=1e-12)
+        inc.set_capacitance("n1", 1e-12)
+        inc.set_resistance("n1", 100.0)
+        assert inc.delay("n1") == pytest.approx(1e-10, rel=1e-12)
+        self._check_all_nodes(inc)
+
+    def test_input_adjacent_node_edits(self):
+        """Edits at a depth-1 node (child of the input) exercise the
+        parent-walk termination at parent index -1."""
+        tree = rc_line(4, 100.0, 1e-12)
+        inc = IncrementalElmore(tree)
+        inc.add_capacitance("n1", 5e-13)   # depth-1 node
+        inc.set_resistance("n1", 321.0)
+        self._check_all_nodes(inc)
+        # The edit reaches every downstream delay through cdown("n1").
+        fresh = IncrementalElmore(inc.as_tree())
+        assert inc.delay("n4") == pytest.approx(
+            fresh.delay("n4"), rel=1e-12
+        )

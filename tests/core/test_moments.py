@@ -161,6 +161,17 @@ class TestAdmittanceMoments:
         with pytest.raises(ValidationError):
             admittance_moments(single_rc, 0)
 
+    def test_non_integer_order_rejected(self, single_rc):
+        """Regression: admittance_moments must enforce the same
+        integer-order contract as transfer_moments — a float order used
+        to slip through and produce a malformed moment vector."""
+        for bad in (2.5, 1.0, "2", True, np.float64(3.0)):
+            with pytest.raises(ValidationError):
+                admittance_moments(single_rc, bad)
+        # numpy integers stay accepted, matching transfer_moments.
+        m = admittance_moments(single_rc, np.int64(2))
+        assert m.shape == (3,)
+
 
 class TestConversions:
     def test_distribution_transfer_round_trip(self):

@@ -1,0 +1,103 @@
+"""Unit tests for the deterministic shard planner."""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ValidationError
+from repro.parallel import (
+    DEFAULT_MAX_SHARDS,
+    Shard,
+    plan_shards,
+    spawn_shard_seeds,
+)
+
+
+class TestPlanShards:
+    def test_covers_workload_exactly(self):
+        shards = plan_shards(1000)
+        assert shards[0].start == 0
+        assert shards[-1].stop == 1000
+        for prev, cur in zip(shards, shards[1:]):
+            assert cur.start == prev.stop
+        assert sum(s.size for s in shards) == 1000
+        assert [s.index for s in shards] == list(range(len(shards)))
+
+    def test_default_split_caps_shard_count(self):
+        assert len(plan_shards(10_000)) <= DEFAULT_MAX_SHARDS
+        assert len(plan_shards(DEFAULT_MAX_SHARDS * 7)) == DEFAULT_MAX_SHARDS
+
+    def test_small_workload_one_item_per_shard(self):
+        shards = plan_shards(5)
+        assert len(shards) == 5
+        assert all(s.size == 1 for s in shards)
+
+    def test_explicit_shard_size(self):
+        shards = plan_shards(10, shard_size=4)
+        assert [(s.start, s.stop) for s in shards] == [(0, 4), (4, 8), (8, 10)]
+
+    def test_plan_is_pure_function_of_inputs(self):
+        # The determinism contract: the plan never depends on anything
+        # but (total, shard_size, max_shards).
+        assert plan_shards(777) == plan_shards(777)
+        assert plan_shards(777, shard_size=13) == plan_shards(777, shard_size=13)
+
+    def test_zero_total_is_empty(self):
+        assert plan_shards(0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            plan_shards(-1)
+        with pytest.raises(ValidationError):
+            plan_shards(2.5)
+        with pytest.raises(ValidationError):
+            plan_shards(True)
+        with pytest.raises(ValidationError):
+            plan_shards(10, shard_size=0)
+        with pytest.raises(ValidationError):
+            plan_shards(10, shard_size=1.5)
+        with pytest.raises(ValidationError):
+            plan_shards(10, max_shards=0)
+        with pytest.raises(ValidationError):
+            Shard(index=0, start=5, stop=2)
+
+    def test_numpy_integers_accepted(self):
+        shards = plan_shards(np.int64(10), shard_size=np.int64(3))
+        assert sum(s.size for s in shards) == 10
+
+
+class TestSpawnShardSeeds:
+    def test_shard_k_always_gets_child_k(self):
+        a = spawn_shard_seeds(1995, 8)
+        b = spawn_shard_seeds(1995, 8)
+        for sa, sb in zip(a, b):
+            ra = np.random.default_rng(sa).standard_normal(16)
+            rb = np.random.default_rng(sb).standard_normal(16)
+            np.testing.assert_array_equal(ra, rb)
+
+    def test_prefix_stability(self):
+        # Asking for more shards must not change the earlier streams —
+        # that's what makes shard plans extendable without reseeding.
+        short = spawn_shard_seeds(7, 3)
+        long = spawn_shard_seeds(7, 6)
+        for ss, sl in zip(short, long):
+            np.testing.assert_array_equal(
+                np.random.default_rng(ss).standard_normal(8),
+                np.random.default_rng(sl).standard_normal(8),
+            )
+
+    def test_streams_are_distinct(self):
+        seeds = spawn_shard_seeds(0, 4)
+        draws = [
+            tuple(np.random.default_rng(s).standard_normal(4))
+            for s in seeds
+        ]
+        assert len(set(draws)) == 4
+
+    def test_seedsequence_root_accepted(self):
+        root = np.random.SeedSequence(42)
+        assert len(spawn_shard_seeds(root, 2)) == 2
+
+    def test_zero_count(self):
+        assert spawn_shard_seeds(0, 0) == []
+        with pytest.raises(ValidationError):
+            spawn_shard_seeds(0, -1)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._compat import trapezoid
 from repro._exceptions import SignalError
 from repro.signals import (
     ExponentialInput,
@@ -57,7 +58,6 @@ class TestCommonContract:
         if isinstance(signal, StepInput):
             pytest.skip("impulsive derivative is not sampleable")
         t = np.linspace(0.0, signal.settle_time + 1e-12, 400001)
-        trapezoid = getattr(np, "trapezoid", None) or np.trapz
         assert trapezoid(signal.derivative(t), t) == pytest.approx(
             1.0, rel=1e-4
         )
@@ -67,7 +67,6 @@ class TestCommonContract:
             pytest.skip("impulsive derivative is not sampleable")
         t = np.linspace(0.0, signal.settle_time + 1e-12, 400001)
         f = signal.derivative(t)
-        trapezoid = getattr(np, "trapezoid", None) or np.trapz
         mean = trapezoid(f * t, t)
         mu2 = trapezoid(f * (t - mean) ** 2, t)
         mu3 = trapezoid(f * (t - mean) ** 3, t)

@@ -220,7 +220,7 @@ def _cmd_analyze(args) -> int:
 def _cmd_verify(args) -> int:
     with open(args.netlist, encoding="utf-8") as handle:
         tree, _ = parse_rc_tree(handle.read())
-    verdict = verify_tree(tree, jobs=args.jobs)
+    verdict = verify_tree(tree, jobs=args.jobs, backend=args.backend)
     for node in verdict.nodes:
         status = "ok" if node.all_hold else "FAIL"
         print(
@@ -295,13 +295,16 @@ def _cmd_stats(args) -> int:
         resistance_sigma=args.rsigma, capacitance_sigma=args.csigma
     )
     mc = None
-    if args.samples > 0 and args.jobs is not None:
+    if args.samples > 0 and (
+        args.jobs is not None or args.backend is not None
+    ):
         # Sharded engine: deterministic per-shard RNG spawning, results
-        # bit-identical for any --jobs value.
+        # bit-identical for any --jobs value and any --backend.
         from repro.core.variation import monte_carlo_delay_matrix
 
         mc = monte_carlo_delay_matrix(
-            tree, model, args.samples, seed=args.seed, jobs=args.jobs
+            tree, model, args.samples, seed=args.seed, jobs=args.jobs,
+            backend=args.backend,
         )
     elif args.samples > 0:
         # One batched sweep evaluates every node for every sample.
@@ -347,7 +350,7 @@ def _cmd_sta(args) -> int:
     design = random_design(
         layers=args.layers, width=args.width, seed=args.seed
     )
-    result = analyze(design, jobs=args.jobs)
+    result = analyze(design, jobs=args.jobs, backend=args.backend)
     sharded = f", {args.jobs} jobs" if args.jobs is not None else ""
     print(
         f"design: {args.layers}x{args.width} random combinational "
@@ -450,6 +453,15 @@ def build_parser() -> argparse.ArgumentParser:
              "sharded engine (1 = serial backend; results are "
              "bit-identical for any value; default: legacy in-process "
              "path)",
+    )
+    sharded.add_argument(
+        "--backend", choices=("auto", "serial", "process", "shm"),
+        default=None,
+        help="sharded-engine transport: 'shm' = warm worker pool fed by "
+             "zero-copy shared-memory blocks (falls back to 'process' "
+             "then 'serial' when unavailable); 'process' = per-call "
+             "fork pool; results are bit-identical for every choice "
+             "(default: auto)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

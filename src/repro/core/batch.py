@@ -83,6 +83,8 @@ __all__ = [
     "BatchMoments",
     "compile_topology",
     "compile_forest",
+    "topology_to_arrays",
+    "topology_from_arrays",
     "batch_transfer_moments",
     "batch_elmore_delays",
     "batch_delay_bounds",
@@ -403,6 +405,95 @@ def _compile_forest(
         ),
         tuple(offsets),
     )
+
+
+def topology_to_arrays(
+    topo: TreeTopology,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    """Flatten a compiled topology into named arrays plus picklable meta.
+
+    The inverse of :func:`topology_from_arrays`.  This is the shape the
+    zero-copy shared-memory transport (:mod:`repro.parallel.shm`) ships:
+    each array becomes one published block, and ``meta`` (node names,
+    depth, which levels carry reduceat segments) rides along in the
+    compact workspace descriptor.  Nothing is recomputed on the other
+    side — the reconstruction is pure views, bit-identical to the
+    original compile.
+    """
+    arrays: Dict[str, np.ndarray] = {
+        "parents": topo.parents,
+        "resistances": topo.resistances,
+        "capacitances": topo.capacitances,
+    }
+    for k, (level, level_par) in enumerate(
+        zip(topo.levels, topo.level_parents)
+    ):
+        arrays[f"level_{k}"] = level
+        arrays[f"level_parents_{k}"] = level_par
+    has_segments = []
+    for k, seg in enumerate(topo._segments):
+        has_segments.append(seg is not None)
+        if seg is not None:
+            idx_sorted, par_sorted, uniq, starts = seg
+            arrays[f"seg_{k}_idx"] = idx_sorted
+            arrays[f"seg_{k}_par"] = par_sorted
+            arrays[f"seg_{k}_uniq"] = uniq
+            arrays[f"seg_{k}_starts"] = starts
+    meta = {
+        "node_names": list(topo.node_names),
+        "depth": topo.depth,
+        "has_segments": has_segments,
+    }
+    return arrays, meta
+
+
+def topology_from_arrays(
+    arrays: Dict[str, np.ndarray], meta: Dict[str, object]
+) -> TreeTopology:
+    """Rebuild a :class:`TreeTopology` from :func:`topology_to_arrays`.
+
+    The arrays are used as-is (no copy, no recompile) — when they are
+    zero-copy shared-memory views, the reconstructed topology reads the
+    parent's pages directly.  Views are marked read-only to mirror the
+    compile-time immutability contract.
+    """
+    depth = int(meta["depth"])  # type: ignore[arg-type]
+    has_segments = list(meta["has_segments"])  # type: ignore[arg-type]
+    names = list(meta["node_names"])  # type: ignore[arg-type]
+
+    def _ro(arr: np.ndarray) -> np.ndarray:
+        if arr.flags.writeable:
+            arr = arr.view()
+            arr.setflags(write=False)
+        return arr
+
+    levels = tuple(_ro(arrays[f"level_{k}"]) for k in range(depth))
+    level_parents = tuple(
+        _ro(arrays[f"level_parents_{k}"]) for k in range(depth)
+    )
+    segments: List[Optional[Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                  np.ndarray]]] = []
+    for k in range(depth):
+        if not has_segments[k]:
+            segments.append(None)
+            continue
+        segments.append((
+            _ro(arrays[f"seg_{k}_idx"]),
+            _ro(arrays[f"seg_{k}_par"]),
+            _ro(arrays[f"seg_{k}_uniq"]),
+            _ro(arrays[f"seg_{k}_starts"]),
+        ))
+    topo = TreeTopology(
+        parents=_ro(arrays["parents"]),
+        levels=levels,
+        level_parents=level_parents,
+        node_names=tuple(names),
+        resistances=_ro(arrays["resistances"]),
+        capacitances=_ro(arrays["capacitances"]),
+        _segments=tuple(segments),
+    )
+    topo._index.update({name: k for k, name in enumerate(names)})
+    return topo
 
 
 def _as_topology(tree: Union[RCTree, TreeTopology]) -> TreeTopology:

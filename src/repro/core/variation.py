@@ -29,6 +29,8 @@ closed forms and supports arbitrary distributions.
 
 from __future__ import annotations
 
+import logging
+import weakref
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -36,12 +38,28 @@ import numpy as np
 
 from repro._exceptions import AnalysisError, ValidationError
 from repro.circuit.rctree import RCTree
-from repro.core.batch import batch_elmore_delays, compile_topology
+from repro.core.batch import (
+    batch_elmore_delays,
+    compile_topology,
+    topology_from_arrays,
+    topology_to_arrays,
+)
 from repro.core.elmore import elmore_delays
-from repro.core.sensitivity import elmore_sensitivity
 from repro.obs.metrics import counter as _counter
 from repro.obs.trace import span as _span
-from repro.parallel import plan_shards, run_sharded, spawn_shard_seeds
+from repro.core.sensitivity import elmore_sensitivity
+from repro.parallel import (
+    ShmError,
+    ShmWorkspace,
+    attach_workspace,
+    plan_shards,
+    resolve_backend,
+    run_sharded,
+    spawn_shard_seeds,
+)
+from repro.parallel.shm import record_fallback
+
+logger = logging.getLogger(__name__)
 
 _SAMPLES_DRAWN = _counter(
     "variation_samples_total",
@@ -222,6 +240,118 @@ def _mc_shard_task(payload) -> np.ndarray:
     )
 
 
+def _mc_shm_shard_task(payload) -> int:
+    """Evaluate one Monte-Carlo shard through the shm transport.
+
+    The payload carries a :class:`~repro.parallel.WorkspaceDescriptor`
+    plus ``(start, stop, clip, seed_sequence)`` — no arrays.  The worker
+    attaches zero-copy views (cached per workspace, so a warm worker
+    attaches once), rebuilds the topology from the shared blocks, and
+    writes its rows directly into the shared ``out`` block.  Returns the
+    shard's row count as a cheap acknowledgement.
+    """
+    descriptor, start, stop, clip, seedseq = payload
+    ws = attach_workspace(descriptor)
+    topology = ws.cache.get("topology")
+    if topology is None:
+        topo_arrays = {
+            k[len("topo/"):]: v
+            for k, v in ws.arrays.items() if k.startswith("topo/")
+        }
+        topology = topology_from_arrays(topo_arrays, ws.meta["topology"])
+        ws.cache["topology"] = topology
+    sr = ws.arrays["sr"]
+    sc = ws.arrays["sc"]
+    out = ws.arrays["out"]
+    rng = np.random.default_rng(seedseq)
+    n = topology.num_nodes
+    draws = rng.normal(0.0, 1.0, (stop - start, 2, n))
+    xr = np.clip(draws[:, 0, :] * sr, -clip, clip)
+    xc = np.clip(draws[:, 1, :] * sc, -clip, clip)
+    out[start:stop] = batch_elmore_delays(
+        topology,
+        topology.resistances * (1.0 + xr),
+        topology.capacitances * (1.0 + xc),
+    )
+    return stop - start
+
+
+#: Workspaces holding published topology blocks, keyed by ``id(topology)``.
+#: A ``weakref.finalize`` on the topology evicts (and closes) the entry
+#: when the topology is collected, so a stale id can never alias a new
+#: object's workspace.
+_TOPO_WORKSPACES: Dict[int, ShmWorkspace] = {}
+
+
+def _evict_topology_workspace(key: int) -> None:
+    workspace = _TOPO_WORKSPACES.pop(key, None)
+    if workspace is not None:
+        workspace.close()
+
+
+def _topology_workspace(topology) -> ShmWorkspace:
+    """The (cached) workspace publishing ``topology``'s compiled arrays.
+
+    The topology blocks are published once per compiled topology and
+    reused across Monte-Carlo calls — this is the warm half of the shm
+    transport: repeat sweeps ship only dirty parameter blocks.
+    """
+    key = id(topology)
+    workspace = _TOPO_WORKSPACES.get(key)
+    if workspace is not None and not workspace._closed:
+        return workspace
+    workspace = ShmWorkspace(tag="mc")
+    arrays, meta = topology_to_arrays(topology)
+    workspace.put_many({f"topo/{k}": v for k, v in arrays.items()})
+    workspace.meta["topology"] = meta
+    _TOPO_WORKSPACES[key] = workspace
+    weakref.finalize(topology, _evict_topology_workspace, key)
+    return workspace
+
+
+def _monte_carlo_shm(
+    topology,
+    sr: np.ndarray,
+    sc: np.ndarray,
+    samples: int,
+    seed: int,
+    clip: float,
+    jobs: Optional[int],
+    shard_size: Optional[int],
+    timeout: Optional[float],
+    retries: int,
+) -> np.ndarray:
+    """The shm-backend body of :func:`monte_carlo_delay_matrix`.
+
+    Publishes the compiled topology (cached across calls), the sigma
+    arrays, and a shared ``(samples, N)`` output block; shards then carry
+    only descriptors and slice bounds.  Raises :class:`ShmError` when the
+    transport cannot be used — the caller falls back.
+    """
+    shards = plan_shards(samples, shard_size=shard_size)
+    seeds = spawn_shard_seeds(seed, len(shards))
+    n = int(topology.num_nodes)
+    workspace = _topology_workspace(topology)
+    workspace.put("sr", sr)
+    workspace.put("sc", sc)
+    out = workspace.allocate("out", (samples, n))
+    descriptor = workspace.descriptor()
+    run_sharded(
+        _mc_shm_shard_task,
+        [
+            (descriptor, shard.start, shard.stop, clip,
+             seeds[shard.index])
+            for shard in shards
+        ],
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        label="variation.parallel_run",
+        backend="shm",
+    )
+    return np.array(out, copy=True)
+
+
 def monte_carlo_delay_matrix(
     tree: RCTree,
     model: VariationModel,
@@ -232,29 +362,52 @@ def monte_carlo_delay_matrix(
     shard_size: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Sharded Monte-Carlo Elmore delays for **all** nodes, ``(B, N)``.
 
     The sample block is partitioned into shards whose count depends only
     on ``samples`` (never on ``jobs``), and each shard draws its own
     ``SeedSequence.spawn`` child stream — so the result is bit-identical
-    for any worker count, including the serial backend
-    (``jobs`` in ``(None, 1)``).  Note the parameter stream therefore
-    differs from :func:`sample_parameter_batch`'s single-stream draw for
-    the same seed; within the sharded engine it is reproducible.
+    for any worker count and any ``backend``, including the serial
+    backend (``jobs`` in ``(None, 1)``).  Note the parameter stream
+    therefore differs from :func:`sample_parameter_batch`'s single-stream
+    draw for the same seed; within the sharded engine it is reproducible.
+
+    ``backend`` picks the transport: ``"shm"`` publishes the compiled
+    topology and sigma arrays as zero-copy shared-memory blocks served
+    by the warm worker pool (falling back to ``"process"`` and then
+    serial when shared memory or workers are unavailable); ``"process"``
+    is the legacy per-call fork pool; ``"serial"`` forces in-process
+    evaluation.  ``None``/``"auto"`` keeps the legacy behaviour.
 
     ``timeout``/``retries`` bound each shard's wall clock and its
     re-submission budget (see :func:`repro.parallel.run_sharded`).
     """
     if samples < 1:
         raise AnalysisError("need at least one sample")
-    shards = plan_shards(samples, shard_size=shard_size)
-    seeds = spawn_shard_seeds(seed, len(shards))
+    backend = resolve_backend(backend)
     topology = compile_topology(tree)
     sr, sc = model.sigma_arrays(tree)
     _SAMPLES_DRAWN.inc(samples)
+    shards = plan_shards(samples, shard_size=shard_size)
     with _span("variation.monte_carlo_sharded", samples=samples,
-               shards=len(shards), N=tree.num_nodes):
+               shards=len(shards), N=tree.num_nodes,
+               backend=backend or "auto"):
+        if backend == "shm":
+            try:
+                return _monte_carlo_shm(
+                    topology, sr, sc, samples, seed, clip,
+                    jobs, shard_size, timeout, retries,
+                )
+            except ShmError as exc:
+                record_fallback()
+                logger.warning(
+                    "shm backend unavailable (%s); falling back to the "
+                    "fork transport", exc,
+                )
+                backend = "process"
+        seeds = spawn_shard_seeds(seed, len(shards))
         blocks = run_sharded(
             _mc_shard_task,
             [
@@ -265,6 +418,7 @@ def monte_carlo_delay_matrix(
             timeout=timeout,
             retries=retries,
             label="variation.parallel_run",
+            backend=backend,
         )
     return np.concatenate(blocks, axis=0)
 
@@ -279,6 +433,7 @@ def monte_carlo_elmore(
     method: str = "batch",
     jobs: Optional[int] = None,
     shard_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Monte-Carlo samples of ``T_D(node)`` under Gaussian relative
     variations (clipped at ``+-clip`` to keep elements physical).
@@ -306,12 +461,16 @@ def monte_carlo_elmore(
     if method == "parallel":
         delays = monte_carlo_delay_matrix(
             tree, model, samples, seed=seed, clip=clip,
-            jobs=jobs, shard_size=shard_size,
+            jobs=jobs, shard_size=shard_size, backend=backend,
         )
         return np.ascontiguousarray(delays[:, tree.index_of(node)])
     if jobs is not None:
         raise ValidationError(
             "jobs is only meaningful with method='parallel'"
+        )
+    if backend is not None:
+        raise ValidationError(
+            "backend is only meaningful with method='parallel'"
         )
     with _span("variation.monte_carlo",
                metric=f"variation_{method}_seconds",

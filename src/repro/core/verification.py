@@ -120,6 +120,7 @@ def verify_tree(
     samples: int = 4001,
     jobs: Optional[int] = None,
     shard_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> TreeVerdict:
     """Check Lemmas 1-2, the Theorem and Corollary 1 on ``tree``.
 
@@ -142,6 +143,12 @@ def verify_tree(
     shard_size:
         Nodes per shard for the sharded path (default: an even split
         into at most :data:`repro.parallel.DEFAULT_MAX_SHARDS`).
+    backend:
+        Execution backend for the sharded path (``"serial"``,
+        ``"process"`` or ``"shm"``; default auto).  Verdict payloads are
+        object lists, not ndarrays, so ``"shm"`` here buys the warm
+        worker pool (fork once, reuse across calls) while payloads still
+        travel pickled; results stay bit-identical either way.
 
     Notes
     -----
@@ -153,7 +160,7 @@ def verify_tree(
     the mass lives) and a coarse grid out to the settle horizon.
     """
     target_nodes = list(nodes if nodes is not None else tree.node_names)
-    if jobs is not None:
+    if jobs is not None or backend is not None:
         shards = plan_shards(len(target_nodes), shard_size=shard_size)
         with _span("verify.tree", nodes=len(target_nodes),
                    samples=samples, shards=len(shards)):
@@ -165,6 +172,7 @@ def verify_tree(
                 ],
                 jobs=jobs,
                 label="verify.parallel_run",
+                backend=backend,
             )
         return TreeVerdict(
             nodes=[verdict for chunk in chunks for verdict in chunk]
@@ -198,6 +206,7 @@ def verify_corpus(
     shard_size: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    backend: Optional[str] = None,
 ) -> List[TreeVerdict]:
     """Verify every tree of a corpus, optionally sharded over trees.
 
@@ -205,7 +214,9 @@ def verify_corpus(
     corpus is split into runs of consecutive trees and each run is
     verified independently (``jobs >= 2`` fans the runs out across
     worker processes).  Verdicts come back in corpus order and are
-    bit-identical to the serial backend for any worker count.
+    bit-identical to the serial backend for any worker count and any
+    ``backend`` (for this object-payload workload ``"shm"`` selects the
+    warm worker pool; the trees themselves still travel pickled).
 
     ``timeout``/``retries`` bound each shard's wall clock and its
     re-submission budget (see :func:`repro.parallel.run_sharded`).
@@ -225,6 +236,7 @@ def verify_corpus(
             timeout=timeout,
             retries=retries,
             label="verify.parallel_run",
+            backend=backend,
         )
     return [verdict for chunk in chunks for verdict in chunk]
 

@@ -1,14 +1,23 @@
-"""Sharded execution backends: serial in-process and process-pool.
+"""Sharded execution backends: serial, per-call process pool, warm pool.
 
 :func:`run_sharded` evaluates one picklable task function over a list of
-shard payloads and returns the results in payload order.  Two backends:
+shard payloads and returns the results in payload order.  Backends
+(selected with ``backend=``, defaulting to a jobs-based choice):
 
-* **serial** (the default, ``jobs in (None, 0, 1)``) — runs every shard
-  in-process under a ``parallel.shard`` span.  This is also the
-  reference the process backend is pinned against: both backends execute
-  the *same* shard plan, so their reduced results are bit-identical.
-* **process** (``jobs >= 2``) — a ``concurrent.futures``
-  ``ProcessPoolExecutor`` (``fork`` start method where available).
+* **serial** (the default for ``jobs in (None, 0, 1)``) — runs every
+  shard in-process under a ``parallel.shard`` span.  This is also the
+  reference the process backends are pinned against: all backends
+  execute the *same* shard plan, so their reduced results are
+  bit-identical.
+* **process** (the default for ``jobs >= 2``) — a fresh
+  ``concurrent.futures`` ``ProcessPoolExecutor`` per call (``fork``
+  start method where available), torn down when the run completes.
+* **shm** — the zero-copy transport: shards run on the long-lived
+  :class:`~repro.parallel.pool.WarmPool` (forked once, reused across
+  calls), and workloads that publish their arrays through
+  :mod:`repro.parallel.shm` hand workers compact descriptors instead of
+  pickled payloads.  Falls back to ``process`` semantics when the warm
+  pool cannot fork, and to serial like every other backend.
 
 Robustness is built in rather than bolted on:
 
@@ -16,19 +25,23 @@ Robustness is built in rather than bolted on:
   any single shard;
 * a shard whose worker dies (``BrokenProcessPool``) or times out is
   retried up to ``retries`` times on a **fresh pool** (the old pool is
-  torn down — a poisoned or hung worker never serves another shard);
+  torn down — or, for the warm pool, recycled — so a poisoned or hung
+  worker never serves another shard);
 * when retries are exhausted, or when no process pool can be created at
   all (e.g. ``fork`` unavailable and ``spawn`` fails), the engine
   **degrades gracefully**: the remaining shards run serially in-process
   and the run still succeeds;
 * exceptions raised *by the task itself* are genuine bugs and propagate
-  immediately — they would fail identically on every retry.
+  on the **first** raise — they are never retried (they would fail
+  identically on every attempt) and never trigger a pool rebuild.  Only
+  ``BrokenProcessPool`` and timeouts count as infrastructure failures.
 
 Observability (``docs/observability.md``): spans ``parallel.run`` /
 ``parallel.shard``, counters ``parallel_shards_total``,
 ``parallel_retries_total``, ``parallel_timeouts_total``,
-``parallel_degraded_total``, and the ``parallel_shard_seconds``
-histogram of worker-measured shard durations.
+``parallel_degraded_total``, the warm-pool ``parallel_pool_*`` family,
+and the ``parallel_shard_seconds`` histogram of worker-measured shard
+durations.
 """
 
 from __future__ import annotations
@@ -45,10 +58,14 @@ from repro._exceptions import ValidationError
 from repro.obs.metrics import counter as _counter
 from repro.obs.metrics import histogram as _histogram
 from repro.obs.trace import span as _span
+from repro.parallel.pool import WarmPool, get_warm_pool
 
-__all__ = ["run_sharded", "resolve_jobs", "available_backends"]
+__all__ = ["run_sharded", "resolve_jobs", "available_backends", "BACKENDS"]
 
 logger = logging.getLogger(__name__)
+
+#: Backend names ``run_sharded`` accepts (``None`` = jobs-based auto).
+BACKENDS = ("serial", "process", "shm")
 
 _SHARDS = _counter(
     "parallel_shards_total", "Shards evaluated by the sharded engine"
@@ -82,13 +99,31 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return max(jobs, 1)
 
 
+def resolve_backend(backend: Optional[str]) -> Optional[str]:
+    """Validate a ``backend`` selector (``None``/``"auto"`` = choose by
+    jobs; otherwise one of :data:`BACKENDS`)."""
+    if backend is None or backend == "auto":
+        return None
+    if backend not in BACKENDS:
+        raise ValidationError(
+            f"backend must be one of {('auto',) + BACKENDS}, "
+            f"got {backend!r}"
+        )
+    return backend
+
+
 def available_backends() -> List[str]:
     """Backends usable on this host (``serial`` always; ``process`` when
-    multiprocessing offers any start method)."""
+    multiprocessing offers any start method; ``shm`` when shared-memory
+    segments can be created on top of that)."""
     backends = ["serial"]
     try:
         if multiprocessing.get_all_start_methods():
             backends.append("process")
+            from repro.parallel.shm import shm_available
+
+            if shm_available():
+                backends.append("shm")
     except Exception:  # pragma: no cover - exotic platforms
         pass
     return backends
@@ -113,32 +148,54 @@ def _run_shard_inline(
     return value
 
 
-def _new_pool(jobs: int) -> ProcessPoolExecutor:
-    """A fresh process pool, preferring the cheap ``fork`` start method."""
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context(
-        "fork" if "fork" in methods else None
-    )
-    return ProcessPoolExecutor(max_workers=jobs, mp_context=context)
-
-
 def _kill_pool(pool: Optional[ProcessPoolExecutor]) -> None:
     """Tear a pool down without waiting on hung or dead workers."""
-    if pool is None:
-        return
-    # Terminate worker processes first: shutdown() alone would block
-    # behind a shard that is hung in user code.  ``_processes`` is
-    # private API, so guard it — worst case a stuck worker leaks until
-    # process exit, and the run still makes progress on a fresh pool.
-    try:
-        processes = getattr(pool, "_processes", None) or {}
-        for proc in list(processes.values()):
-            proc.terminate()
-    except Exception:  # pragma: no cover - defensive
-        pass
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:  # pragma: no cover - defensive
+    from repro.parallel.pool import _terminate_pool
+
+    _terminate_pool(pool)
+
+
+class _EphemeralPools:
+    """Legacy pool strategy: a fresh pool per wave, killed afterwards."""
+
+    def __init__(self, jobs: int) -> None:
+        self._jobs = jobs
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def acquire(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._jobs, mp_context=context
+            )
+        return self._pool
+
+    def invalidate(self) -> None:
+        _kill_pool(self._pool)
+        self._pool = None
+
+    def release(self) -> None:
+        _kill_pool(self._pool)
+        self._pool = None
+
+
+class _WarmPoolStrategy:
+    """Warm-pool strategy: reuse the global pool, recycle on failure."""
+
+    def __init__(self, jobs: int) -> None:
+        self._warm: WarmPool = get_warm_pool(jobs)
+
+    def acquire(self) -> ProcessPoolExecutor:
+        return self._warm.executor()
+
+    def invalidate(self) -> None:
+        self._warm.recycle()
+
+    def release(self) -> None:
+        # The whole point: workers stay warm for the next run.
         pass
 
 
@@ -149,6 +206,7 @@ def run_sharded(
     timeout: Optional[float] = None,
     retries: int = 1,
     label: str = "parallel.run",
+    backend: Optional[str] = None,
 ) -> List[Any]:
     """Evaluate ``task`` over ``payloads``; results in payload order.
 
@@ -161,16 +219,24 @@ def run_sharded(
         be deterministic (see :func:`repro.parallel.plan.plan_shards`);
         this function only chooses where each shard runs.
     jobs:
-        ``None``/``0``/``1`` — serial backend; ``>= 2`` — process pool of
-        that many workers (capped at the shard count).
+        ``None``/``0``/``1`` — serial backend; ``>= 2`` — that many
+        worker processes (capped at the shard count).
     timeout:
         Per-shard seconds the parent waits before declaring the shard
         hung and recycling the pool (``None`` = wait forever).
     retries:
         How many times a dead/hung shard is re-submitted to a fresh pool
         before degrading to in-process execution.
+    backend:
+        ``None``/``"auto"`` — serial for one job, a per-call process
+        pool otherwise; ``"serial"`` — force in-process execution;
+        ``"process"`` — the per-call pool; ``"shm"`` — the long-lived
+        :class:`~repro.parallel.pool.WarmPool` (the transport the
+        zero-copy shm workloads run on).  Every backend returns the
+        same bits for the same shard plan.
     """
     jobs = resolve_jobs(jobs)
+    backend = resolve_backend(backend)
     if timeout is not None and not timeout > 0.0:
         raise ValidationError(f"timeout must be > 0, got {timeout!r}")
     if retries < 0:
@@ -179,48 +245,53 @@ def run_sharded(
     if not payloads:
         return []
     effective_jobs = min(jobs, len(payloads))
-    backend = "process" if effective_jobs > 1 else "serial"
+    if backend == "serial" or effective_jobs == 1:
+        chosen = "serial"
+    else:
+        chosen = backend or "process"
     with _span(label, shards=len(payloads), jobs=effective_jobs,
-               backend=backend) as sp:
-        if backend == "serial":
+               backend=chosen) as sp:
+        if chosen == "serial":
             return [
                 _run_shard_inline(task, payload, index)
                 for index, payload in enumerate(payloads)
             ]
+        strategy = (
+            _WarmPoolStrategy(effective_jobs) if chosen == "shm"
+            else _EphemeralPools(effective_jobs)
+        )
         return _run_process_backend(
-            task, payloads, effective_jobs, timeout, retries, sp
+            task, payloads, timeout, retries, sp, strategy
         )
 
 
 def _run_process_backend(
     task: Callable[[Any], Any],
     payloads: List[Any],
-    jobs: int,
     timeout: Optional[float],
     retries: int,
     run_span,
+    strategy,
 ) -> List[Any]:
     results: Dict[int, Any] = {}
     attempts = {index: 0 for index in range(len(payloads))}
     todo = list(range(len(payloads)))
-    pool: Optional[ProcessPoolExecutor] = None
     try:
         while todo:
-            if pool is None:
-                try:
-                    pool = _new_pool(jobs)
-                except Exception as exc:
-                    logger.warning(
-                        "process pool unavailable (%s); degrading %d "
-                        "shards to the serial backend", exc, len(todo),
+            try:
+                pool = strategy.acquire()
+            except Exception as exc:
+                logger.warning(
+                    "process pool unavailable (%s); degrading %d "
+                    "shards to the serial backend", exc, len(todo),
+                )
+                run_span.set_attribute("degraded", True)
+                for index in todo:
+                    _DEGRADED.inc()
+                    results[index] = _run_shard_inline(
+                        task, payloads[index], index
                     )
-                    run_span.set_attribute("degraded", True)
-                    for index in todo:
-                        _DEGRADED.inc()
-                        results[index] = _run_shard_inline(
-                            task, payloads[index], index
-                        )
-                    break
+                break
             failed = _submit_and_collect(
                 task, payloads, todo, pool, timeout, results
             )
@@ -228,8 +299,7 @@ def _run_process_backend(
                 break
             # The pool is suspect (a worker died or a shard hung in it):
             # recycle it so no poisoned worker serves the retries.
-            _kill_pool(pool)
-            pool = None
+            strategy.invalidate()
             retry_round: List[int] = []
             for index in failed:
                 attempts[index] += 1
@@ -249,7 +319,7 @@ def _run_process_backend(
                     )
             todo = retry_round
     finally:
-        _kill_pool(pool)
+        strategy.release()
     return [results[index] for index in range(len(payloads))]
 
 
@@ -261,7 +331,14 @@ def _submit_and_collect(
     timeout: Optional[float],
     results: Dict[int, Any],
 ) -> List[int]:
-    """One submission wave; returns the shard indices needing a retry."""
+    """One submission wave; returns the shard indices needing a retry.
+
+    Only *infrastructure* failures (a worker death's
+    ``BrokenProcessPool``, a shard timeout) mark shards for retry.  An
+    exception raised by the task itself is deterministic — it would fail
+    identically on every attempt — so it propagates immediately, from
+    here, on the first raise.
+    """
     futures: Dict[int, Future] = {}
     failed: List[int] = []
     broken = False
@@ -285,15 +362,21 @@ def _submit_and_collect(
             failed.append(index)
             # One hung shard poisons the wave's remaining futures too
             # (the pool is about to be recycled); collect whatever is
-            # already finished and retry the rest.
+            # already finished and retry the rest — but a finished
+            # future holding a *task* exception still propagates: that
+            # failure is deterministic, not the pool's fault.
             for later_index, later in futures.items():
                 if later_index <= index or later_index in results:
                     continue
-                if later.done() and later.exception() is None:
+                exc = later.exception() if later.done() else None
+                if later.done() and exc is None:
                     value, elapsed = later.result()
                     results[later_index] = value
                     _SHARD_SECONDS.observe(elapsed)
                     _SHARDS.inc()
+                elif exc is not None and \
+                        not isinstance(exc, BrokenProcessPool):
+                    raise exc
                 else:
                     failed.append(later_index)
             break

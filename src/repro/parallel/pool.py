@@ -1,0 +1,161 @@
+"""A long-lived warm worker pool: fork once, serve many sharded runs.
+
+The legacy process backend of :mod:`repro.parallel.executor` builds a
+fresh ``ProcessPoolExecutor`` per call — every sharded run pays the fork
+(and, on the first task, the import/page-in) cost all over again.  The
+:class:`WarmPool` keeps one fork-context pool alive across calls:
+
+* the first run forks the workers (``parallel_pool_forks_total``);
+* subsequent runs re-use them (``parallel_pool_reuses_total``), which is
+  what lets the shm transport amortize its one-time publication — warm
+  workers keep their attached zero-copy views between calls;
+* a failed wave (dead worker, hung shard) **recycles** the pool
+  (``parallel_pool_recycles_total``): the old workers are terminated
+  without waiting and the next wave forks a clean set, exactly like the
+  legacy backend's fresh-pool retry — a poisoned worker never serves
+  another shard.
+
+Lifecycle: one module-level pool, resized on demand when a run asks for
+a different worker count, torn down by :func:`shutdown_warm_pool` (and
+``atexit``).  Teardown terminates workers first so a hung shard cannot
+block interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+from repro.obs.metrics import counter as _counter
+from repro.obs.metrics import gauge as _gauge
+
+__all__ = ["WarmPool", "get_warm_pool", "shutdown_warm_pool"]
+
+logger = logging.getLogger(__name__)
+
+_FORKS = _counter(
+    "parallel_pool_forks_total",
+    "Times the warm pool forked a fresh set of worker processes",
+)
+_REUSES = _counter(
+    "parallel_pool_reuses_total",
+    "Sharded runs served by already-forked warm-pool workers",
+)
+_RECYCLES = _counter(
+    "parallel_pool_recycles_total",
+    "Warm-pool recycles after a worker death, hang, or resize",
+)
+_POOL_WORKERS = _gauge(
+    "parallel_pool_workers",
+    "Worker processes the warm pool is currently sized for (0 = down)",
+)
+
+
+def _terminate_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+    """Tear a pool down without waiting on hung or dead workers."""
+    if pool is None:
+        return
+    # Terminate worker processes first: shutdown() alone would block
+    # behind a shard that is hung in user code.  ``_processes`` is
+    # private API, so guard it — worst case a stuck worker leaks until
+    # process exit, and the run still makes progress on a fresh pool.
+    try:
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            proc.terminate()
+    except Exception:  # pragma: no cover - defensive
+        pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
+class WarmPool:
+    """A reusable fork-context process pool with recycle-on-failure."""
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = int(jobs)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether workers are currently forked and serving."""
+        return self._pool is not None
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live pool, forking workers on first use.
+
+        Raises whatever ``ProcessPoolExecutor`` raises when no start
+        method works — the caller degrades to serial in that case.
+        """
+        with self._lock:
+            if self._pool is None:
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=context
+                )
+                _FORKS.inc()
+                _POOL_WORKERS.set(self.jobs)
+                logger.debug("warm pool forked %d workers", self.jobs)
+            else:
+                _REUSES.inc()
+            return self._pool
+
+    def recycle(self) -> None:
+        """Terminate the current workers; the next wave forks fresh ones."""
+        with self._lock:
+            if self._pool is not None:
+                _terminate_pool(self._pool)
+                self._pool = None
+                _RECYCLES.inc()
+                logger.debug("warm pool recycled")
+
+    def shutdown(self) -> None:
+        """Tear the pool down for good (until the next ``executor()``)."""
+        with self._lock:
+            if self._pool is not None:
+                _terminate_pool(self._pool)
+                self._pool = None
+            _POOL_WORKERS.set(0)
+
+
+_WARM: Optional[WarmPool] = None
+_WARM_LOCK = threading.Lock()
+
+
+def get_warm_pool(jobs: int) -> WarmPool:
+    """The process-global warm pool, resized to ``jobs`` workers.
+
+    Resizing (asking for a different worker count than the live pool
+    serves) recycles the old workers; asking for the current size is a
+    pure lookup.
+    """
+    global _WARM
+    with _WARM_LOCK:
+        if _WARM is None:
+            _WARM = WarmPool(jobs)
+        elif _WARM.jobs != jobs:
+            _WARM.shutdown()
+            _WARM = WarmPool(jobs)
+        return _WARM
+
+
+def shutdown_warm_pool() -> None:
+    """Terminate the global warm pool's workers (idempotent)."""
+    global _WARM
+    with _WARM_LOCK:
+        if _WARM is not None:
+            _WARM.shutdown()
+            _WARM = None
+
+
+atexit.register(shutdown_warm_pool)

@@ -1,0 +1,549 @@
+"""Zero-copy shared-memory transport for batched ndarray workloads.
+
+The fork-pool backend of :mod:`repro.parallel.executor` pickles every
+shard payload — for the batched engine that means re-serializing the
+compiled topology arrays and the ``(B, N)`` parameter matrices into
+every worker on every call, which is exactly the overhead that made the
+process backend *slower* than serial (``benchmarks/results/parallel.txt``,
+0.62x at jobs=2 before this module existed).
+
+This module replaces pickled payloads with **published ndarray blocks**:
+
+* the parent :func:`publishes <ShmWorkspace.put>` each array once into a
+  ``multiprocessing.shared_memory`` segment;
+* what travels to a worker is a :class:`WorkspaceDescriptor` — segment
+  names plus ``(dtype, shape, strides)`` triples, a few hundred bytes
+  regardless of array size;
+* workers :func:`attach <attach_workspace>` zero-copy ndarray views onto
+  the same physical pages (no copy, no pickle) and cache the attachment
+  per workspace, so a warm worker touches the descriptor dictionary once
+  and then reads (or writes, for output blocks) shared pages directly.
+
+Lifecycle rules (the part that keeps ``/dev/shm`` clean):
+
+* the **parent owns** every segment: it creates, re-publishes, and
+  finally unlinks them (:meth:`ShmWorkspace.close`, also a context
+  manager and registered with ``atexit`` as a safety net);
+* workers attach read/write views but never unlink; their attachments
+  are explicitly **unregistered from the resource tracker** so a worker
+  exiting (or being killed) neither destroys segments the parent still
+  owns nor spams ``resource_tracker`` warnings;
+* a killed worker cannot leak a segment: its mapping dies with the
+  process and the name vanishes as soon as the parent unlinks.
+
+Dirty-block tracking makes repeated publication cheap: :meth:`put`
+skips the copy when the same (read-only) array object is already
+published, and reuses the existing segment when only the bytes changed
+(``parallel_shm_publish_skipped_total`` counts the skips).
+
+Observability: spans ``shm.publish`` / ``shm.attach``; counters
+``parallel_shm_publish_total``, ``parallel_shm_publish_skipped_total``,
+``parallel_shm_bytes_total``, ``parallel_shm_attach_total``,
+``parallel_shm_unlink_total``, ``parallel_shm_fallback_total``; gauge
+``parallel_shm_active_segments`` (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro._exceptions import ReproError
+from repro.obs.metrics import counter as _counter
+from repro.obs.metrics import gauge as _gauge
+from repro.obs.trace import span as _span
+
+__all__ = [
+    "ShmError",
+    "ArraySpec",
+    "WorkspaceDescriptor",
+    "ShmWorkspace",
+    "AttachedWorkspace",
+    "attach_workspace",
+    "detach_all",
+    "close_all_workspaces",
+    "record_fallback",
+    "shm_available",
+    "active_segment_names",
+    "SEGMENT_PREFIX",
+]
+
+#: Every segment this module creates carries this prefix, so tests and
+#: the CI leak gate can enumerate library-owned segments in ``/dev/shm``
+#: without touching anyone else's.
+SEGMENT_PREFIX = "repro_shm"
+
+_PUBLISHED = _counter(
+    "parallel_shm_publish_total",
+    "ndarray blocks copied into shared-memory segments",
+)
+_PUBLISH_SKIPPED = _counter(
+    "parallel_shm_publish_skipped_total",
+    "Block publications skipped because the block was already "
+    "published and clean",
+)
+_BYTES = _counter(
+    "parallel_shm_bytes_total",
+    "Bytes copied into shared-memory segments",
+)
+_ATTACHES = _counter(
+    "parallel_shm_attach_total",
+    "Shared-memory segments attached as zero-copy ndarray views",
+)
+_UNLINKS = _counter(
+    "parallel_shm_unlink_total",
+    "Shared-memory segments unlinked by their owning workspace",
+)
+_FALLBACKS = _counter(
+    "parallel_shm_fallback_total",
+    "shm-backend runs that fell back to the fork or serial backend",
+)
+_ACTIVE = _gauge(
+    "parallel_shm_active_segments",
+    "Shared-memory segments currently owned by live workspaces",
+)
+
+
+class ShmError(ReproError):
+    """Shared-memory transport failure (segment gone, attach refused,
+    platform without ``/dev/shm``).  Callers treat this as a signal to
+    fall back to the fork or serial backend — never as a fatal error."""
+
+
+def shm_available() -> bool:
+    """Whether shared-memory segments can be created on this host."""
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=1)
+    except Exception:
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except Exception:  # pragma: no cover - defensive
+        pass
+    return True
+
+
+def active_segment_names() -> Tuple[str, ...]:
+    """Names of library-owned segments visible in ``/dev/shm`` right now.
+
+    Empty on platforms without a ``/dev/shm`` filesystem (the leak gates
+    then simply pass).
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return ()
+    return tuple(
+        sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))
+    )
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach segment ``name`` without resource-tracker registration.
+
+    An attaching process does not own the segment: letting it register
+    would corrupt the tracker's bookkeeping (double registration here,
+    spurious unlink warnings when a worker exits).  Python 3.13 grew
+    ``SharedMemory(track=False)`` for exactly this; this helper is the
+    portable equivalent — registration is suppressed for the duration of
+    the attach (callers hold the module attach lock, so the swap is not
+    racy within this process).
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Compact wire form of one published ndarray.
+
+    ``segment`` names the shared-memory block; ``dtype``/``shape``/
+    ``strides`` reconstruct the exact view (including Fortran-order
+    layouts) without transferring a single array byte.
+    """
+
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+    strides: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the described array."""
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape)))
+
+    def view(self, buf) -> np.ndarray:
+        """Zero-copy ndarray view of ``buf`` with this spec's layout."""
+        return np.ndarray(
+            self.shape, dtype=np.dtype(self.dtype), buffer=buf,
+            strides=self.strides,
+        )
+
+
+@dataclass(frozen=True)
+class WorkspaceDescriptor:
+    """Everything a worker needs to attach a workspace: a stable id,
+    one :class:`ArraySpec` per block, and a small picklable ``meta``
+    dict for non-array sidecar data (node names, level counts, ...)."""
+
+    workspace_id: str
+    arrays: Dict[str, ArraySpec]
+    meta: Dict[str, Any]
+
+
+class _Block:
+    """One owned segment plus its published view and dirty-tracking."""
+
+    __slots__ = ("shm", "view", "spec", "source_id", "readonly_source")
+
+    def __init__(self, shm, view, spec, source_id, readonly_source):
+        self.shm = shm
+        self.view = view
+        self.spec = spec
+        self.source_id = source_id
+        self.readonly_source = readonly_source
+
+
+def _segment_suffix(key: str) -> str:
+    """Block key mangled into a legal shm name component (POSIX shm
+    names reject ``/``); keys stay verbatim in the descriptor dict."""
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in key)
+
+
+def _publishable(array: np.ndarray) -> np.ndarray:
+    """A contiguous form of ``array`` whose layout a spec can carry."""
+    if array.flags.c_contiguous or array.flags.f_contiguous:
+        return array
+    return np.ascontiguousarray(array)
+
+
+class ShmWorkspace:
+    """A named set of shared-memory ndarray blocks owned by this process.
+
+    ``put`` publishes (or re-publishes) one block; ``descriptor()``
+    snapshots the compact wire form; ``close()`` unlinks every segment.
+    Usable as a context manager; every live workspace is also closed by
+    an ``atexit`` hook so an aborted run cannot leak ``/dev/shm``
+    entries.
+    """
+
+    _counter = itertools.count()
+    _live: Dict[int, "ShmWorkspace"] = {}
+    _live_lock = threading.Lock()
+
+    def __init__(self, tag: str = "ws") -> None:
+        self._id = f"{SEGMENT_PREFIX}_{os.getpid()}_{tag}_" \
+            f"{next(ShmWorkspace._counter)}"
+        self._blocks: Dict[str, _Block] = {}
+        self.meta: Dict[str, Any] = {}
+        self._closed = False
+        with ShmWorkspace._live_lock:
+            ShmWorkspace._live[id(self)] = self
+
+    # -- publication ---------------------------------------------------
+    @property
+    def workspace_id(self) -> str:
+        """Stable identifier baked into every segment name."""
+        return self._id
+
+    def put(self, key: str, array: np.ndarray) -> ArraySpec:
+        """Publish ``array`` under ``key``; returns its wire spec.
+
+        Dirty tracking: when the same read-only array object is already
+        published under ``key`` the call is a no-op (counted by
+        ``parallel_shm_publish_skipped_total``); when shapes/dtypes still
+        match, the existing segment is rewritten in place; otherwise the
+        old segment is unlinked and a fresh one created.
+        """
+        if self._closed:
+            raise ShmError(f"workspace {self._id} is closed")
+        array = _publishable(np.asarray(array))
+        block = self._blocks.get(key)
+        if block is not None:
+            if (
+                block.readonly_source
+                and block.source_id == id(array)
+                and not array.flags.writeable
+            ):
+                _PUBLISH_SKIPPED.inc()
+                return block.spec
+            if (
+                block.view.shape == array.shape
+                and block.view.dtype == array.dtype
+                and block.view.strides == array.strides
+            ):
+                with _span("shm.publish", key=key, reused=True,
+                           bytes=int(array.nbytes)):
+                    np.copyto(block.view, array)
+                block.source_id = id(array)
+                block.readonly_source = not array.flags.writeable
+                _PUBLISHED.inc()
+                _BYTES.inc(int(array.nbytes))
+                return block.spec
+            self._unlink_block(key)
+        name = f"{self._id}_{_segment_suffix(key)}"
+        with _span("shm.publish", key=key, reused=False,
+                   bytes=int(array.nbytes)):
+            try:
+                seg = shared_memory.SharedMemory(
+                    create=True, size=max(int(array.nbytes), 1), name=name
+                )
+            except Exception as exc:
+                raise ShmError(
+                    f"cannot create shared segment {name!r}: {exc}"
+                ) from exc
+            spec = ArraySpec(
+                segment=name,
+                dtype=array.dtype.str,
+                shape=tuple(array.shape),
+                strides=tuple(array.strides),
+            )
+            view = spec.view(seg.buf)
+            np.copyto(view, array)
+        self._blocks[key] = _Block(
+            seg, view, spec, id(array), not array.flags.writeable
+        )
+        _PUBLISHED.inc()
+        _BYTES.inc(int(array.nbytes))
+        _ACTIVE.set(_ACTIVE.value + 1)
+        return spec
+
+    def put_many(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Publish every ``{key: array}`` entry."""
+        for key, array in arrays.items():
+            self.put(key, array)
+
+    def allocate(
+        self, key: str, shape: Tuple[int, ...], dtype=np.float64
+    ) -> np.ndarray:
+        """Ensure an *output* block of exactly ``(shape, dtype)`` exists.
+
+        Unlike :meth:`put` no source bytes are copied — workers write
+        into the block (e.g. each shard filling its own row slice of a
+        result matrix) and the parent reads the assembled result back
+        through the returned view.  An existing block with a matching
+        layout is reused as-is; contents are unspecified until written.
+        """
+        if self._closed:
+            raise ShmError(f"workspace {self._id} is closed")
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        block = self._blocks.get(key)
+        if block is not None:
+            if block.view.shape == shape and block.view.dtype == dtype:
+                _PUBLISH_SKIPPED.inc()
+                return block.view
+            self._unlink_block(key)
+        template = np.empty(shape, dtype=dtype)
+        name = f"{self._id}_{_segment_suffix(key)}"
+        with _span("shm.publish", key=key, reused=False, output=True,
+                   bytes=int(template.nbytes)):
+            try:
+                seg = shared_memory.SharedMemory(
+                    create=True, size=max(int(template.nbytes), 1),
+                    name=name,
+                )
+            except Exception as exc:
+                raise ShmError(
+                    f"cannot create shared segment {name!r}: {exc}"
+                ) from exc
+            spec = ArraySpec(
+                segment=name, dtype=dtype.str, shape=shape,
+                strides=tuple(template.strides),
+            )
+            view = spec.view(seg.buf)
+        self._blocks[key] = _Block(seg, view, spec, None, False)
+        _PUBLISHED.inc()
+        _ACTIVE.set(_ACTIVE.value + 1)
+        return view
+
+    def get(self, key: str) -> np.ndarray:
+        """The parent-side live view of block ``key``."""
+        try:
+            return self._blocks[key].view
+        except KeyError:
+            raise ShmError(
+                f"workspace {self._id} has no block {key!r}"
+            ) from None
+
+    def descriptor(self) -> WorkspaceDescriptor:
+        """Picklable wire form of the current publication state."""
+        return WorkspaceDescriptor(
+            workspace_id=self._id,
+            arrays={k: b.spec for k, b in self._blocks.items()},
+            meta=dict(self.meta),
+        )
+
+    # -- teardown ------------------------------------------------------
+    def _unlink_block(self, key: str) -> None:
+        block = self._blocks.pop(key, None)
+        if block is None:
+            return
+        block.view = None  # release the buffer before closing
+        try:
+            block.shm.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        try:
+            block.shm.unlink()
+            _UNLINKS.inc()
+        except FileNotFoundError:
+            pass
+        except Exception:  # pragma: no cover - defensive
+            pass
+        _ACTIVE.set(max(_ACTIVE.value - 1, 0))
+
+    def close(self) -> None:
+        """Unlink every owned segment (idempotent)."""
+        if self._closed:
+            return
+        for key in list(self._blocks):
+            self._unlink_block(key)
+        self._closed = True
+        with ShmWorkspace._live_lock:
+            ShmWorkspace._live.pop(id(self), None)
+
+    def __enter__(self) -> "ShmWorkspace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def close_all_workspaces() -> None:
+    """Close every live workspace owned by this process.
+
+    Called from ``atexit`` and from :func:`repro.parallel.shutdown`;
+    also the teardown hook the test suite uses to guarantee a clean
+    ``/dev/shm`` between tests.
+    """
+    with ShmWorkspace._live_lock:
+        workspaces = list(ShmWorkspace._live.values())
+    for workspace in workspaces:
+        workspace.close()
+
+
+atexit.register(close_all_workspaces)
+
+
+# ---------------------------------------------------------------------------
+# Attach side (workers, or the parent's inline degrade path)
+
+class AttachedWorkspace:
+    """Zero-copy view of a published workspace in *this* process.
+
+    ``arrays`` maps block keys to live ndarray views; ``meta`` mirrors
+    the descriptor's sidecar dict; ``cache`` is scratch space for
+    derived objects (e.g. a reconstructed
+    :class:`~repro.core.batch.TreeTopology`) that should live exactly as
+    long as the attachment does.
+    """
+
+    __slots__ = ("workspace_id", "arrays", "meta", "cache", "_segments")
+
+    def __init__(self, workspace_id, arrays, meta, segments):
+        self.workspace_id = workspace_id
+        self.arrays: Dict[str, np.ndarray] = arrays
+        self.meta: Dict[str, Any] = meta
+        self.cache: Dict[str, Any] = {}
+        self._segments = segments
+
+    def detach(self) -> None:
+        """Drop every view and close the attached segments."""
+        self.arrays.clear()
+        self.cache.clear()
+        for seg in self._segments:
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        self._segments = ()
+
+
+#: Per-process LRU of attachments: a warm worker re-serving shards of
+#: the same workspace attaches once and then reads shared pages
+#: directly.  Bounded so long-lived workers cannot pin stale segments.
+_ATTACH_CACHE_SIZE = 4
+_ATTACHED: "OrderedDict[str, AttachedWorkspace]" = OrderedDict()
+_ATTACH_LOCK = threading.Lock()
+
+
+def attach_workspace(descriptor: WorkspaceDescriptor) -> AttachedWorkspace:
+    """Attach (or re-use the cached attachment of) ``descriptor``.
+
+    Raises :class:`ShmError` when any named segment no longer exists —
+    the caller's cue to fall back to a non-shm backend.
+    """
+    with _ATTACH_LOCK:
+        cached = _ATTACHED.get(descriptor.workspace_id)
+        if cached is not None:
+            _ATTACHED.move_to_end(descriptor.workspace_id)
+            if set(cached.arrays) == set(descriptor.arrays):
+                return cached
+            # Re-published with different blocks: attach afresh.
+            _ATTACHED.pop(descriptor.workspace_id)
+            cached.detach()
+        with _span("shm.attach", workspace=descriptor.workspace_id,
+                   blocks=len(descriptor.arrays)):
+            arrays: Dict[str, np.ndarray] = {}
+            segments = []
+            try:
+                for key, spec in descriptor.arrays.items():
+                    try:
+                        seg = _attach_untracked(spec.segment)
+                    except FileNotFoundError as exc:
+                        raise ShmError(
+                            f"shared segment {spec.segment!r} is gone "
+                            "(unlinked under the worker?)"
+                        ) from exc
+                    segments.append(seg)
+                    arrays[key] = spec.view(seg.buf)
+                    _ATTACHES.inc()
+            except ShmError:
+                for seg in segments:
+                    try:
+                        seg.close()
+                    except Exception:  # pragma: no cover - defensive
+                        pass
+                raise
+        attached = AttachedWorkspace(
+            descriptor.workspace_id, arrays, dict(descriptor.meta),
+            tuple(segments),
+        )
+        _ATTACHED[descriptor.workspace_id] = attached
+        while len(_ATTACHED) > _ATTACH_CACHE_SIZE:
+            _, evicted = _ATTACHED.popitem(last=False)
+            evicted.detach()
+        return attached
+
+
+def detach_all() -> None:
+    """Drop every cached attachment in this process."""
+    with _ATTACH_LOCK:
+        while _ATTACHED:
+            _, attached = _ATTACHED.popitem(last=False)
+            attached.detach()
+
+
+def record_fallback() -> None:
+    """Count one shm-to-fork/serial fallback (workload layer calls this)."""
+    _FALLBACKS.inc()

@@ -110,6 +110,7 @@ def _precompute_elmore_batched(
     wire_load,
     net_overrides,
     jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> None:
     """Evaluate every net of the design through batched forest sweeps.
 
@@ -137,7 +138,7 @@ def _precompute_elmore_batched(
         if not order:
             return
         _NETS_EVALUATED.inc(len(order))
-        if jobs is not None:
+        if jobs is not None or backend is not None:
             shards = plan_shards(len(order))
             sp.set_attribute("shards", len(shards))
             chunks = run_sharded(
@@ -151,6 +152,7 @@ def _precompute_elmore_batched(
                 ],
                 jobs=jobs,
                 label="sta.parallel_run",
+                backend=backend,
             )
             for chunk in chunks:
                 for net_name, (delays, mu2) in chunk.items():
@@ -314,6 +316,7 @@ def analyze(
     wire_load: Optional[WireLoadModel] = None,
     net_overrides: Optional[Dict[str, Tuple]] = None,
     jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> TimingResult:
     """Run static timing analysis on ``design``.
 
@@ -337,20 +340,27 @@ def analyze(
         (:mod:`repro.parallel`; ``1`` = serial backend, ``>= 2`` =
         worker processes).  Arrival/slew results are bit-identical to
         the default single-forest path.
+    backend:
+        Execution backend for the sharded path (``"serial"``,
+        ``"process"`` or ``"shm"``; default auto).  ``"shm"`` selects
+        the warm worker pool; net payloads are object tuples and still
+        travel pickled.  Results stay bit-identical either way.
     """
     if delay_model not in DELAY_MODELS:
         raise TimingGraphError(
             f"unknown delay model {delay_model!r}; "
             f"choose from {sorted(DELAY_MODELS)}"
         )
-    if jobs is not None and delay_model != "elmore":
+    if (jobs is not None or backend is not None) \
+            and delay_model != "elmore":
         raise TimingGraphError(
-            "jobs is only supported with the 'elmore' delay model "
-            "(the other models evaluate nets lazily per arrival)"
+            "jobs/backend are only supported with the 'elmore' delay "
+            "model (the other models evaluate nets lazily per arrival)"
         )
     with _span("sta.analyze", model=delay_model) as sp:
         result = _analyze(design, delay_model, input_arrivals,
-                          input_slews, wire_load, net_overrides, jobs)
+                          input_slews, wire_load, net_overrides, jobs,
+                          backend)
         sp.set_attribute("nets", len(result.nets))
         return result
 
@@ -363,6 +373,7 @@ def _analyze(
     wire_load: Optional[WireLoadModel],
     net_overrides: Optional[Dict[str, Tuple]],
     jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> TimingResult:
     model = DELAY_MODELS[delay_model]
     arrivals: Dict[Pin, float] = {}
@@ -375,7 +386,7 @@ def _analyze(
         # (one call, or sharded across workers when jobs is given)
         # before arrival propagation begins.
         _precompute_elmore_batched(design, nets, wire_load, net_overrides,
-                                   jobs=jobs)
+                                   jobs=jobs, backend=backend)
 
     for port in design.inputs:
         pin = Pin(Pin.PORT, port)

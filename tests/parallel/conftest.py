@@ -1,0 +1,23 @@
+"""Shared fixtures for the parallel-engine tests.
+
+The shm transport owns real ``/dev/shm`` segments and a process-global
+warm worker pool; a test that leaked either would poison every test
+after it.  The autouse gate below tears both down after *every* test in
+this package and fails loudly if any library-owned segment survived —
+the "no /dev/shm leaks after any test" contract of the transport.
+"""
+
+import pytest
+
+import repro.parallel as parallel
+from repro.parallel.shm import active_segment_names
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_gate():
+    yield
+    parallel.shutdown()
+    leaked = active_segment_names()
+    assert leaked == (), (
+        f"shared-memory segments leaked past teardown: {leaked}"
+    )

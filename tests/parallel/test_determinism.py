@@ -85,3 +85,43 @@ class TestStaEquality:
         assert whole.slew == sharded.slew
         assert whole.critical_delay == sharded.critical_delay
         assert whole.critical_output == sharded.critical_output
+
+
+class TestShmBackendBitIdentity:
+    """The shm transport is pinned to the same bits as every other
+    backend — for the zero-copy Monte-Carlo workload and for the
+    pickled-payload workloads that merely ride the warm pool."""
+
+    def test_matrix_shm_vs_serial_and_process(self, fig1):
+        serial = monte_carlo_delay_matrix(fig1, MODEL, 257, seed=11)
+        process = monte_carlo_delay_matrix(
+            fig1, MODEL, 257, seed=11, jobs=2, backend="process"
+        )
+        shm = monte_carlo_delay_matrix(
+            fig1, MODEL, 257, seed=11, jobs=2, backend="shm"
+        )
+        np.testing.assert_array_equal(serial, process)
+        np.testing.assert_array_equal(serial, shm)
+
+    def test_matrix_shm_serial_inline(self, fig1):
+        # jobs=1 routes the shm shard task through the serial backend:
+        # the parent attaches its own segments and fills the out block
+        # in-process, still bit-identical.
+        serial = monte_carlo_delay_matrix(fig1, MODEL, 64, seed=3)
+        shm = monte_carlo_delay_matrix(
+            fig1, MODEL, 64, seed=3, jobs=1, backend="shm"
+        )
+        np.testing.assert_array_equal(serial, shm)
+
+    def test_verify_tree_backend_invariant(self, fig1):
+        serial = verify_tree(fig1, samples=801, jobs=1)
+        shm = verify_tree(fig1, samples=801, jobs=2, backend="shm")
+        assert serial == shm
+
+    def test_sta_backend_invariant(self):
+        design = random_design(layers=3, width=5, seed=3)
+        whole = analyze(design)
+        shm = analyze(design, jobs=2, backend="shm")
+        assert whole.arrival == shm.arrival
+        assert whole.slew == shm.slew
+        assert whole.critical_delay == shm.critical_delay

@@ -155,3 +155,51 @@ class TestProcessBackend:
         before = hist.count
         run_sharded(_square, list(range(4)), jobs=2)
         assert hist.count == before + 4
+
+
+def _hang_or_raise(payload):
+    """Hang in a worker for 'hang' payloads; raise for 'raise' ones."""
+    kind, duration, value = payload
+    if kind == "raise":
+        raise ValueError(f"task bug on payload {value!r}")
+    if os.getpid() != _PARENT:
+        time.sleep(duration)
+    return value
+
+
+class TestTaskErrorsNeverRetry:
+    """Deterministic task exceptions propagate on the FIRST raise.
+
+    Regression for the retry path: only infrastructure failures
+    (``BrokenProcessPool``, timeouts) may consume retry attempts; a bug
+    in the task itself would fail identically on every attempt, so
+    re-running it just multiplies the wasted work and buries the
+    traceback under retry noise.
+    """
+
+    def test_task_error_not_retried(self):
+        retries_before = counter("parallel_retries_total").value
+        with pytest.raises(ValueError, match="task bug"):
+            run_sharded(_raise_value_error, [1, 2, 3, 4], jobs=2,
+                        retries=3)
+        assert counter("parallel_retries_total").value == retries_before
+
+    def test_task_error_beats_timeout_sweep(self):
+        """A shard that hangs must not mask a sibling's genuine bug:
+        the post-timeout sweep still propagates the task exception
+        instead of retrying (and eventually degrading) it."""
+        retries_before = counter("parallel_retries_total").value
+        with pytest.raises(ValueError, match="task bug"):
+            run_sharded(
+                _hang_or_raise,
+                [("hang", 30.0, "a"), ("raise", 0.0, "b")],
+                jobs=2, timeout=0.5, retries=3,
+            )
+        assert counter("parallel_retries_total").value == retries_before
+
+    def test_task_error_on_warm_pool_not_retried(self):
+        retries_before = counter("parallel_retries_total").value
+        with pytest.raises(ValueError, match="task bug"):
+            run_sharded(_raise_value_error, [1, 2], jobs=2, retries=3,
+                        backend="shm")
+        assert counter("parallel_retries_total").value == retries_before

@@ -47,7 +47,12 @@ from repro.parallel.plan import (
     plan_shards,
     spawn_shard_seeds,
 )
-from repro.parallel.pool import WarmPool, get_warm_pool, shutdown_warm_pool
+from repro.parallel.pool import (
+    WarmPool,
+    get_warm_pool,
+    lease_warm_pool,
+    shutdown_warm_pool,
+)
 from repro.parallel.shm import (
     ArraySpec,
     AttachedWorkspace,
@@ -72,6 +77,7 @@ __all__ = [
     "BACKENDS",
     "WarmPool",
     "get_warm_pool",
+    "lease_warm_pool",
     "shutdown_warm_pool",
     "ShmError",
     "ShmWorkspace",

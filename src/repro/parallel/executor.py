@@ -58,7 +58,7 @@ from repro._exceptions import ValidationError
 from repro.obs.metrics import counter as _counter
 from repro.obs.metrics import histogram as _histogram
 from repro.obs.trace import span as _span
-from repro.parallel.pool import WarmPool, get_warm_pool
+from repro.parallel.pool import WarmPool, lease_warm_pool
 
 __all__ = ["run_sharded", "resolve_jobs", "available_backends", "BACKENDS"]
 
@@ -183,10 +183,15 @@ class _EphemeralPools:
 
 
 class _WarmPoolStrategy:
-    """Warm-pool strategy: reuse the global pool, recycle on failure."""
+    """Warm-pool strategy: reuse the global pool, recycle on failure.
+
+    Holds a lease for the duration of the run so a concurrent
+    ``get_warm_pool`` resize retires this pool gracefully instead of
+    terminating the workers mid-wave.
+    """
 
     def __init__(self, jobs: int) -> None:
-        self._warm: WarmPool = get_warm_pool(jobs)
+        self._warm: WarmPool = lease_warm_pool(jobs)
 
     def acquire(self) -> ProcessPoolExecutor:
         return self._warm.executor()
@@ -195,8 +200,10 @@ class _WarmPoolStrategy:
         self._warm.recycle()
 
     def release(self) -> None:
-        # The whole point: workers stay warm for the next run.
-        pass
+        # Workers stay warm for the next run; dropping the lease only
+        # tells the pool module this run no longer depends on them (a
+        # retired pool tears down on its last release).
+        self._warm.release_lease()
 
 
 def run_sharded(

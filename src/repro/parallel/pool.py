@@ -19,6 +19,14 @@ Lifecycle: one module-level pool, resized on demand when a run asks for
 a different worker count, torn down by :func:`shutdown_warm_pool` (and
 ``atexit``).  Teardown terminates workers first so a hung shard cannot
 block interpreter exit.
+
+Concurrent runs are safe via **leases**: every run that executes on the
+pool holds a lease (:func:`lease_warm_pool` /
+:meth:`WarmPool.release_lease`).  A resize never yanks workers out from
+under an in-flight run — the old pool is *retired* instead: it keeps
+serving its lease holders, is tracked in an orphan registry, and is torn
+down when its last lease releases (or by :func:`shutdown_warm_pool` /
+``atexit``, which sweep orphans too).
 """
 
 from __future__ import annotations
@@ -33,7 +41,12 @@ from typing import Optional
 from repro.obs.metrics import counter as _counter
 from repro.obs.metrics import gauge as _gauge
 
-__all__ = ["WarmPool", "get_warm_pool", "shutdown_warm_pool"]
+__all__ = [
+    "WarmPool",
+    "get_warm_pool",
+    "lease_warm_pool",
+    "shutdown_warm_pool",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -82,11 +95,53 @@ class WarmPool:
         self.jobs = int(jobs)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._lock = threading.Lock()
+        self._leases = 0
+        self._retired = False
 
     @property
     def is_warm(self) -> bool:
         """Whether workers are currently forked and serving."""
         return self._pool is not None
+
+    @property
+    def leases(self) -> int:
+        """In-flight runs currently holding this pool."""
+        with self._lock:
+            return self._leases
+
+    def lease(self) -> "WarmPool":
+        """Register one in-flight run on this pool (returns ``self``).
+
+        While any lease is held a resize cannot tear the pool down —
+        :func:`get_warm_pool` retires it into the orphan registry
+        instead, and the final :meth:`release_lease` performs the
+        teardown.
+        """
+        with self._lock:
+            self._leases += 1
+        return self
+
+    def release_lease(self) -> None:
+        """Drop one lease; tears the pool down if it was retired and
+        this was the last in-flight run (idempotent past zero)."""
+        with self._lock:
+            self._leases = max(self._leases - 1, 0)
+            teardown = self._retired and self._leases == 0
+        if teardown:
+            self.shutdown()
+            _forget_orphan(self)
+
+    def retire(self) -> bool:
+        """Mark this pool for teardown once its leases drain.
+
+        Returns ``True`` when the pool is already idle (no leases) —
+        the caller shuts it down immediately; ``False`` when in-flight
+        runs still hold it and the last :meth:`release_lease` will do
+        the teardown instead.
+        """
+        with self._lock:
+            self._retired = True
+            return self._leases == 0
 
     def executor(self) -> ProcessPoolExecutor:
         """The live pool, forking workers on first use.
@@ -130,32 +185,81 @@ class WarmPool:
 
 _WARM: Optional[WarmPool] = None
 _WARM_LOCK = threading.Lock()
+#: Retired pools whose lease holders are still running.  Tracked so
+#: :func:`shutdown_warm_pool` / ``atexit`` can terminate them even if a
+#: lease is never released (a crashed run must not leak workers until
+#: interpreter exit).
+_ORPHANS: "set[WarmPool]" = set()
+
+
+def _forget_orphan(pool: WarmPool) -> None:
+    with _WARM_LOCK:
+        _ORPHANS.discard(pool)
+
+
+def _current_pool_locked(jobs: int) -> WarmPool:
+    """The global pool sized for ``jobs`` (``_WARM_LOCK`` held).
+
+    Resizing retires the old pool: torn down immediately when idle,
+    parked in the orphan registry (still serving its in-flight lease
+    holders) otherwise.
+    """
+    global _WARM
+    if _WARM is not None and _WARM.jobs != jobs:
+        old = _WARM
+        _WARM = None
+        if old.retire():
+            old.shutdown()
+        else:
+            logger.debug(
+                "warm pool resized %d -> %d with %d run(s) in flight; "
+                "retiring the old pool until its leases drain",
+                old.jobs, jobs, old.leases,
+            )
+            _ORPHANS.add(old)
+    if _WARM is None:
+        _WARM = WarmPool(jobs)
+    return _WARM
 
 
 def get_warm_pool(jobs: int) -> WarmPool:
     """The process-global warm pool, resized to ``jobs`` workers.
 
     Resizing (asking for a different worker count than the live pool
-    serves) recycles the old workers; asking for the current size is a
-    pure lookup.
+    serves) retires the old pool — immediately torn down when no run
+    holds a lease on it; kept serving its in-flight runs otherwise (see
+    :func:`lease_warm_pool`).  Asking for the current size is a pure
+    lookup.
     """
-    global _WARM
     with _WARM_LOCK:
-        if _WARM is None:
-            _WARM = WarmPool(jobs)
-        elif _WARM.jobs != jobs:
-            _WARM.shutdown()
-            _WARM = WarmPool(jobs)
-        return _WARM
+        return _current_pool_locked(jobs)
+
+
+def lease_warm_pool(jobs: int) -> WarmPool:
+    """Atomically fetch the global pool for ``jobs`` **and** lease it.
+
+    This is what a run must use (rather than :func:`get_warm_pool` +
+    :meth:`WarmPool.lease`) so a concurrent resize cannot slip between
+    the lookup and the lease and tear down the pool it just returned.
+    The caller pairs it with :meth:`WarmPool.release_lease`.
+    """
+    with _WARM_LOCK:
+        return _current_pool_locked(jobs).lease()
 
 
 def shutdown_warm_pool() -> None:
-    """Terminate the global warm pool's workers (idempotent)."""
+    """Terminate the global warm pool's workers — and any retired pools
+    still serving in-flight leases (idempotent)."""
     global _WARM
     with _WARM_LOCK:
+        pools = list(_ORPHANS)
+        _ORPHANS.clear()
         if _WARM is not None:
-            _WARM.shutdown()
+            pools.append(_WARM)
             _WARM = None
+    for pool in pools:
+        pool.retire()
+        pool.shutdown()
 
 
 atexit.register(shutdown_warm_pool)

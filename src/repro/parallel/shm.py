@@ -49,6 +49,7 @@ import atexit
 import itertools
 import os
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -118,10 +119,30 @@ class ShmError(ReproError):
     fall back to the fork or serial backend — never as a fatal error."""
 
 
+#: Serializes every tracker-sensitive ``SharedMemory`` call this module
+#: makes on interpreters without ``SharedMemory(track=False)``: the
+#: attach path must suppress ``resource_tracker.register`` for its
+#: duration (see :func:`_attach_untracked`), so segment *creation* —
+#: which must register — takes the same lock and can never fall inside
+#: the suppression window.
+_TRACKER_LOCK = threading.Lock()
+
+
+def _create_segment(size: int, name: Optional[str] = None):
+    """Create (and tracker-register) a segment outside any suppression
+    window."""
+    with _TRACKER_LOCK:
+        if name is None:
+            return shared_memory.SharedMemory(create=True, size=size)
+        return shared_memory.SharedMemory(
+            create=True, size=size, name=name
+        )
+
+
 def shm_available() -> bool:
     """Whether shared-memory segments can be created on this host."""
     try:
-        probe = shared_memory.SharedMemory(create=True, size=1)
+        probe = _create_segment(1)
     except Exception:
         return False
     try:
@@ -153,17 +174,31 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
     An attaching process does not own the segment: letting it register
     would corrupt the tracker's bookkeeping (double registration here,
     spurious unlink warnings when a worker exits).  Python 3.13 grew
-    ``SharedMemory(track=False)`` for exactly this; this helper is the
-    portable equivalent — registration is suppressed for the duration of
-    the attach (callers hold the module attach lock, so the swap is not
-    racy within this process).
+    ``SharedMemory(track=False)`` for exactly this and it is used when
+    available.
+
+    Older interpreters suppress ``resource_tracker.register`` for the
+    duration of the attach.  Attach-then-``unregister`` is *not* an
+    option there: fork-context workers share the parent's tracker
+    process, whose cache holds one **set** of names per resource type —
+    a worker's unregister would erase the parent's own registration of
+    the very segment it still owns (tracker ``KeyError`` spam at exit,
+    lost crash cleanup).  The suppression is process-wide, so
+    :data:`_TRACKER_LOCK` serializes it against every segment *creation*
+    this module performs; a registration can therefore never be lost to
+    the window by this library's own concurrent publish/attach paths.
     """
-    original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
     try:
-        return shared_memory.SharedMemory(name=name)
-    finally:
-        resource_tracker.register = original
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        pass
+    with _TRACKER_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
 
 
 @dataclass(frozen=True)
@@ -207,14 +242,27 @@ class WorkspaceDescriptor:
 class _Block:
     """One owned segment plus its published view and dirty-tracking."""
 
-    __slots__ = ("shm", "view", "spec", "source_id", "readonly_source")
+    __slots__ = ("shm", "view", "spec", "source_ref", "readonly_source")
 
-    def __init__(self, shm, view, spec, source_id, readonly_source):
+    def __init__(self, shm, view, spec, source_ref, readonly_source):
         self.shm = shm
         self.view = view
         self.spec = spec
-        self.source_id = source_id
+        self.source_ref = source_ref
         self.readonly_source = readonly_source
+
+
+def _weak_source(array: np.ndarray) -> Optional["weakref.ref"]:
+    """A weakref to the published source array (``None`` for types that
+    refuse weak references).  The publish-skip fast path compares the
+    *object* through this weakref, never a raw ``id()``: once the source
+    is collected the ref reads ``None``, so a new array that happens to
+    reuse the old object's id can never masquerade as already
+    published."""
+    try:
+        return weakref.ref(array)
+    except TypeError:
+        return None
 
 
 def _segment_suffix(key: str) -> str:
@@ -247,6 +295,11 @@ class ShmWorkspace:
     def __init__(self, tag: str = "ws") -> None:
         self._id = f"{SEGMENT_PREFIX}_{os.getpid()}_{tag}_" \
             f"{next(ShmWorkspace._counter)}"
+        # Per-workspace generation stamp baked into every segment name:
+        # re-creating a block (resized shape, changed dtype) always
+        # yields a *fresh* name, so a worker's stale mapping of the old
+        # segment can never alias the new one.
+        self._generation = itertools.count()
         self._blocks: Dict[str, _Block] = {}
         self.meta: Dict[str, Any] = {}
         self._closed = False
@@ -273,9 +326,13 @@ class ShmWorkspace:
         array = _publishable(np.asarray(array))
         block = self._blocks.get(key)
         if block is not None:
+            source = (
+                block.source_ref() if block.source_ref is not None
+                else None
+            )
             if (
                 block.readonly_source
-                and block.source_id == id(array)
+                and source is array
                 and not array.flags.writeable
             ):
                 _PUBLISH_SKIPPED.inc()
@@ -288,19 +345,18 @@ class ShmWorkspace:
                 with _span("shm.publish", key=key, reused=True,
                            bytes=int(array.nbytes)):
                     np.copyto(block.view, array)
-                block.source_id = id(array)
+                block.source_ref = _weak_source(array)
                 block.readonly_source = not array.flags.writeable
                 _PUBLISHED.inc()
                 _BYTES.inc(int(array.nbytes))
                 return block.spec
             self._unlink_block(key)
-        name = f"{self._id}_{_segment_suffix(key)}"
+        name = f"{self._id}_g{next(self._generation)}_" \
+            f"{_segment_suffix(key)}"
         with _span("shm.publish", key=key, reused=False,
                    bytes=int(array.nbytes)):
             try:
-                seg = shared_memory.SharedMemory(
-                    create=True, size=max(int(array.nbytes), 1), name=name
-                )
+                seg = _create_segment(max(int(array.nbytes), 1), name)
             except Exception as exc:
                 raise ShmError(
                     f"cannot create shared segment {name!r}: {exc}"
@@ -314,7 +370,8 @@ class ShmWorkspace:
             view = spec.view(seg.buf)
             np.copyto(view, array)
         self._blocks[key] = _Block(
-            seg, view, spec, id(array), not array.flags.writeable
+            seg, view, spec, _weak_source(array),
+            not array.flags.writeable,
         )
         _PUBLISHED.inc()
         _BYTES.inc(int(array.nbytes))
@@ -348,14 +405,12 @@ class ShmWorkspace:
                 return block.view
             self._unlink_block(key)
         template = np.empty(shape, dtype=dtype)
-        name = f"{self._id}_{_segment_suffix(key)}"
+        name = f"{self._id}_g{next(self._generation)}_" \
+            f"{_segment_suffix(key)}"
         with _span("shm.publish", key=key, reused=False, output=True,
                    bytes=int(template.nbytes)):
             try:
-                seg = shared_memory.SharedMemory(
-                    create=True, size=max(int(template.nbytes), 1),
-                    name=name,
-                )
+                seg = _create_segment(max(int(template.nbytes), 1), name)
             except Exception as exc:
                 raise ShmError(
                     f"cannot create shared segment {name!r}: {exc}"
@@ -452,18 +507,23 @@ class AttachedWorkspace:
     """Zero-copy view of a published workspace in *this* process.
 
     ``arrays`` maps block keys to live ndarray views; ``meta`` mirrors
-    the descriptor's sidecar dict; ``cache`` is scratch space for
-    derived objects (e.g. a reconstructed
+    the descriptor's sidecar dict; ``specs`` is the exact
+    ``{key: ArraySpec}`` map this attachment was built from (the cache
+    revalidates against it); ``cache`` is scratch space for derived
+    objects (e.g. a reconstructed
     :class:`~repro.core.batch.TreeTopology`) that should live exactly as
     long as the attachment does.
     """
 
-    __slots__ = ("workspace_id", "arrays", "meta", "cache", "_segments")
+    __slots__ = (
+        "workspace_id", "arrays", "meta", "specs", "cache", "_segments"
+    )
 
-    def __init__(self, workspace_id, arrays, meta, segments):
+    def __init__(self, workspace_id, arrays, meta, specs, segments):
         self.workspace_id = workspace_id
         self.arrays: Dict[str, np.ndarray] = arrays
         self.meta: Dict[str, Any] = meta
+        self.specs: Dict[str, ArraySpec] = specs
         self.cache: Dict[str, Any] = {}
         self._segments = segments
 
@@ -497,9 +557,13 @@ def attach_workspace(descriptor: WorkspaceDescriptor) -> AttachedWorkspace:
         cached = _ATTACHED.get(descriptor.workspace_id)
         if cached is not None:
             _ATTACHED.move_to_end(descriptor.workspace_id)
-            if set(cached.arrays) == set(descriptor.arrays):
+            # Revalidate the *full* spec map, not just the key set: a
+            # resized block keeps its key but points at a fresh
+            # generation-stamped segment, and a cached view of the old
+            # (unlinked) segment must never be served against it.
+            if cached.specs == dict(descriptor.arrays):
                 return cached
-            # Re-published with different blocks: attach afresh.
+            # Re-published with different blocks or layouts: afresh.
             _ATTACHED.pop(descriptor.workspace_id)
             cached.detach()
         with _span("shm.attach", workspace=descriptor.workspace_id,
@@ -527,7 +591,7 @@ def attach_workspace(descriptor: WorkspaceDescriptor) -> AttachedWorkspace:
                 raise
         attached = AttachedWorkspace(
             descriptor.workspace_id, arrays, dict(descriptor.meta),
-            tuple(segments),
+            dict(descriptor.arrays), tuple(segments),
         )
         _ATTACHED[descriptor.workspace_id] = attached
         while len(_ATTACHED) > _ATTACH_CACHE_SIZE:

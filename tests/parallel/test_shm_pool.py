@@ -28,6 +28,7 @@ from repro.obs.metrics import counter
 from repro.parallel import (
     WarmPool,
     get_warm_pool,
+    lease_warm_pool,
     run_sharded,
     shm_available,
     shutdown_warm_pool,
@@ -149,6 +150,33 @@ class TestWarmPool:
         assert counter("parallel_pool_forks_total").value == \
             forks_before + 1
 
+    def test_resize_with_lease_in_flight_keeps_old_pool_serving(self):
+        """A resize must never yank workers from under a running wave:
+        the leased pool keeps serving, and its last lease release (not
+        the resize) performs the teardown."""
+        pool2 = lease_warm_pool(2)
+        pool2.executor()
+        assert pool2.is_warm and pool2.leases == 1
+        pool3 = get_warm_pool(3)  # concurrent run asks for a resize
+        assert pool3 is not pool2
+        assert pool2.is_warm  # in-flight run still has its workers
+        # The old pool still *works* while leased-and-retired.
+        assert pool2.executor().submit(_square, 5).result() == 25
+        pool2.release_lease()  # last lease -> deferred teardown fires
+        assert not pool2.is_warm
+        shutdown_warm_pool()
+
+    def test_shutdown_warm_pool_sweeps_leased_orphans(self):
+        """shutdown_warm_pool (and hence atexit) must terminate retired
+        pools whose leases were never released — no leaked workers."""
+        pool2 = lease_warm_pool(2)
+        pool2.executor()
+        get_warm_pool(3)  # orphans pool2 (lease still held)
+        shutdown_warm_pool()
+        assert not pool2.is_warm
+        pool2.release_lease()  # late release on a swept pool is benign
+        assert not pool2.is_warm
+
 
 class TestShmWorkloadFaults:
     def test_kill_worker_mid_call_still_bit_identical(self):
@@ -212,3 +240,37 @@ class TestShmWorkloadFaults:
             variation._mc_shm_shard_task = _REAL_MC_TASK
         np.testing.assert_array_equal(out, serial)
         assert counter("parallel_timeouts_total").value > timeouts_before
+
+
+class TestWarmRepublication:
+    """Repeat shm sweeps on the *same* warm workers and workspace.
+
+    Regression for the stale-attachment bug: changing ``samples``
+    between calls resizes the shared ``out`` block; a warm worker (or
+    the parent's own inline attach cache at ``jobs=1``) holding views
+    of the old segment must re-attach, not silently write into a dead
+    mapping while the parent reads the fresh uninitialized one.
+    """
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_second_sweep_with_different_samples_stays_bit_identical(
+        self, jobs
+    ):
+        tree = _tree()
+        serial_small = monte_carlo_delay_matrix(tree, MODEL, 40, seed=11)
+        serial_big = monte_carlo_delay_matrix(tree, MODEL, 90, seed=11)
+
+        grown = monte_carlo_delay_matrix(
+            tree, MODEL, 40, seed=11, jobs=jobs, backend="shm"
+        )
+        np.testing.assert_array_equal(grown, serial_small)
+        # Same workspace, same warm workers, resized output block.
+        regrown = monte_carlo_delay_matrix(
+            tree, MODEL, 90, seed=11, jobs=jobs, backend="shm"
+        )
+        np.testing.assert_array_equal(regrown, serial_big)
+        # And shrinking back reuses the warm path just as safely.
+        shrunk = monte_carlo_delay_matrix(
+            tree, MODEL, 40, seed=11, jobs=jobs, backend="shm"
+        )
+        np.testing.assert_array_equal(shrunk, serial_small)

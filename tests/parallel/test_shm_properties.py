@@ -138,6 +138,76 @@ class TestLifecycle:
         assert active_segment_names() == ()
 
 
+class TestRepublication:
+    """Re-publishing a block must never serve stale views or bytes."""
+
+    def test_recreated_block_gets_a_fresh_segment_name(self):
+        """Resizing a block bumps the generation stamp in the segment
+        name, so a stale mapping can never alias the new segment."""
+        with ShmWorkspace(tag="gen") as ws:
+            ws.put("a", np.arange(4.0))
+            first = ws.descriptor().arrays["a"].segment
+            ws.put("a", np.arange(6.0))  # resize -> recreate
+            second = ws.descriptor().arrays["a"].segment
+            assert first != second
+        assert active_segment_names() == ()
+
+    def test_resized_block_invalidates_cached_attachment(self):
+        """The attach cache revalidates the full spec map: a resized
+        block (same key, new segment) forces a fresh attach instead of
+        serving views of the old unlinked segment."""
+        with ShmWorkspace(tag="respec") as ws:
+            ws.put("a", np.arange(6.0))
+            attach_workspace(ws.descriptor())
+            ws.put("a", np.arange(2.0, 10.0))  # resize under the cache
+            attached = attach_workspace(ws.descriptor())
+            assert attached.arrays["a"].shape == (8,)
+            np.testing.assert_array_equal(
+                attached.arrays["a"], np.arange(2.0, 10.0)
+            )
+            detach_all()
+        assert active_segment_names() == ()
+
+    def test_reallocated_output_block_invalidates_cached_attachment(self):
+        """Writes through a re-attach after allocate() resized the
+        output block land in the segment the parent reads."""
+        with ShmWorkspace(tag="realloc") as ws:
+            ws.allocate("out", (2, 3))
+            attach_workspace(ws.descriptor())
+            bigger = ws.allocate("out", (4, 3))
+            attached = attach_workspace(ws.descriptor())
+            attached.arrays["out"][3, :] = 9.0
+            np.testing.assert_array_equal(bigger[3], np.full(3, 9.0))
+            detach_all()
+        assert active_segment_names() == ()
+
+    def test_collected_source_never_skips_publication(self):
+        """The publish-skip fast path holds a weakref to the source
+        array: once the source is collected, a new array — even one
+        reusing the old object's id() — must be re-published."""
+        from repro.obs.metrics import counter
+
+        with ShmWorkspace(tag="weak") as ws:
+            first = np.arange(4.0)
+            first.setflags(write=False)
+            ws.put("a", first)
+            skipped = counter("parallel_shm_publish_skipped_total").value
+            ws.put("a", first)  # same live read-only object: skipped
+            assert counter(
+                "parallel_shm_publish_skipped_total"
+            ).value == skipped + 1
+            del first
+            replacement = np.full(4, 7.0)
+            replacement.setflags(write=False)
+            published = counter("parallel_shm_publish_total").value
+            ws.put("a", replacement)
+            assert counter(
+                "parallel_shm_publish_total"
+            ).value == published + 1
+            np.testing.assert_array_equal(ws.get("a"), replacement)
+        assert active_segment_names() == ()
+
+
 class TestShmEqualsSerial:
     @given(
         tree=rc_trees(min_nodes=2, max_nodes=10),

@@ -7,10 +7,15 @@ paper's printed numbers, and persists two artifacts under
 
 * ``<name>.txt`` — the rendered monospace table (for EXPERIMENTS.md);
 * ``<name>.json`` — the same data machine-readable: header + rows plus
-  environment info, schema-tagged so downstream tooling can diff runs.
+  environment info (cpu count, python, platform, git revision),
+  schema-tagged so downstream tooling can diff runs.
 
 Both files are written atomically (temp file + ``os.replace``) so an
 interrupted or parallel run never leaves truncated results behind.
+Every report additionally appends one record to the append-only
+``results/trajectory.jsonl`` perf ledger
+(:mod:`repro.obs.trajectory`), which ``repro report --compare`` gates
+regressions against.
 """
 
 import json
@@ -19,6 +24,7 @@ import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.obs.report import atomic_write_text, environment_info
+from repro.obs.trajectory import append_record, git_revision, record_from_rows
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -68,13 +74,16 @@ def report(
     text = render_table(title, header, rows)
     print("\n" + text + "\n")
     atomic_write_text(os.path.join(RESULTS_DIR, f"{name}.txt"), text + "\n")
+    git_rev = git_revision(os.path.dirname(__file__))
+    environment = environment_info()
+    environment["git_rev"] = git_rev
     payload = {
         "schema": ROW_SCHEMA,
         "name": name,
         "title": title,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0"),
-        "environment": environment_info(),
+        "environment": environment,
         "header": list(header),
         "rows": rows,
         "extra": dict(extra or {}),
@@ -82,6 +91,13 @@ def report(
     atomic_write_text(
         os.path.join(RESULTS_DIR, f"{name}.json"),
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
+    )
+    # Feed the perf ledger: one compact record per report, keyed by
+    # (bench, params, git rev, host fingerprint) so `repro report
+    # --compare` can gate later runs against this one.
+    append_record(
+        os.path.join(RESULTS_DIR, "trajectory.jsonl"),
+        record_from_rows(payload, git_rev=git_rev),
     )
 
 

@@ -1,0 +1,112 @@
+"""Benchmark-trajectory ledger CLI (thin wrapper over
+:mod:`repro.obs.trajectory`).
+
+``benchmarks/_helpers.report`` already appends one ledger record per
+benchmark run; this tool covers the two manual workflows:
+
+* ``ingest`` — backfill the ledger from existing ``repro.bench_rows/1``
+  row files (e.g. results produced before the ledger existed, or copied
+  over from another checkout)::
+
+      python benchmarks/trajectory.py ingest benchmarks/results/*.json
+
+* ``compare`` — gate the latest run of every (bench, params, host)
+  group against an earlier one; exits non-zero and prints a readable
+  table when a tracked metric regressed beyond the noise threshold::
+
+      python benchmarks/trajectory.py compare --threshold 0.25
+
+The same gate is wired into the package CLI as
+``repro report --compare`` (see ``docs/observability.md``).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+try:
+    from repro.obs import trajectory as _trajectory
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src"),
+    )
+    from repro.obs import trajectory as _trajectory
+
+DEFAULT_LEDGER = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results",
+    "trajectory.jsonl",
+)
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    git_rev = _trajectory.git_revision(os.path.dirname(__file__))
+    appended = 0
+    for path in args.rows:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != "repro.bench_rows/1":
+            print(f"skipping {path}: not a repro.bench_rows/1 file",
+                  file=sys.stderr)
+            continue
+        record = _trajectory.record_from_rows(payload, git_rev=git_rev)
+        _trajectory.append_record(args.trajectory, record)
+        appended += 1
+    print(f"appended {appended} record(s) to {args.trajectory}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    records = _trajectory.load_trajectory(args.trajectory)
+    comparison = _trajectory.compare_trajectory(
+        records,
+        baseline=args.baseline,
+        candidate=args.candidate,
+        threshold=args.threshold,
+        bench=args.bench,
+    )
+    print(comparison.render())
+    return 0 if comparison.ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark perf-trajectory ledger",
+    )
+    parser.add_argument(
+        "--trajectory", default=DEFAULT_LEDGER, metavar="JSONL",
+        help="ledger path (default: %(default)s)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ingest = sub.add_parser(
+        "ingest", help="append bench row files to the ledger",
+    )
+    ingest.add_argument("rows", nargs="+", metavar="ROWS_JSON",
+                        help="repro.bench_rows/1 files to ingest")
+    ingest.set_defaults(func=_cmd_ingest)
+
+    compare = sub.add_parser(
+        "compare", help="gate the latest runs against earlier ones",
+    )
+    compare.add_argument("--baseline", default="prev",
+                         help="baseline selector: latest/prev/offset "
+                              "(default: %(default)s)")
+    compare.add_argument("--candidate", default="latest",
+                         help="candidate selector (default: %(default)s)")
+    compare.add_argument("--threshold", type=float,
+                         default=_trajectory.DEFAULT_THRESHOLD,
+                         help="relative noise threshold "
+                              "(default: %(default)s)")
+    compare.add_argument("--bench", default=None,
+                         help="restrict the gate to one benchmark name")
+    compare.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

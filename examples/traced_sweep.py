@@ -69,7 +69,7 @@ def main():
     # 4. One run report carries spans + metrics + environment.
     report = collect_report(command="examples/traced_sweep.py", seed=4,
                             extra={"samples": SAMPLES})
-    assert report["schema"] == "repro.run_report/1"
+    assert report["schema"] == "repro.run_report/2"
     print()
     print(render_report(report))
 

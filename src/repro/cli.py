@@ -11,6 +11,7 @@ Usage::
     python -m repro table1
     python -m repro table2
     python -m repro report RUN_REPORT.json
+    python -m repro report --compare [BASELINE CANDIDATE]
 
 ``analyze`` prints, per node, the measured 50% delay plus every bound the
 library implements.  ``verify`` checks the paper's claims (Lemmas 1-2,
@@ -33,8 +34,16 @@ Every subcommand additionally accepts the observability flags:
   ``--trace``); pretty-print it later with ``repro report FILE``;
 * ``--metrics-out FILE`` — dump the metrics registry (Prometheus text
   when FILE ends in ``.prom``, JSON otherwise);
+* ``--metrics-port PORT`` — serve live ``/metrics`` (Prometheus text),
+  ``/healthz``, and ``/spans`` on localhost for the duration of the
+  command (``0`` picks a free port, printed to stderr);
 * ``-v/--verbose`` — log to stderr (``-v`` INFO, ``-vv`` DEBUG, the
   level at which span boundaries are logged).
+
+``repro report --compare`` gates the benchmark perf ledger
+(``benchmarks/results/trajectory.jsonl``, see
+:mod:`repro.obs.trajectory`): it exits non-zero with a readable table
+when a tracked speedup regressed beyond the noise threshold.
 """
 
 from __future__ import annotations
@@ -413,6 +422,35 @@ def _cmd_table2(_args) -> int:
 
 
 def _cmd_report(args) -> int:
+    if args.compare is not None:
+        from repro.obs.trajectory import (
+            DEFAULT_THRESHOLD,
+            compare_trajectory,
+            load_trajectory,
+        )
+
+        if len(args.compare) not in (0, 2):
+            print("error: --compare takes zero run selectors (prev vs "
+                  "latest) or exactly two", file=sys.stderr)
+            return 2
+        baseline, candidate = (
+            tuple(args.compare) if len(args.compare) == 2
+            else ("prev", "latest")
+        )
+        comparison = compare_trajectory(
+            load_trajectory(args.trajectory),
+            baseline=baseline,
+            candidate=candidate,
+            threshold=(args.threshold if args.threshold is not None
+                       else DEFAULT_THRESHOLD),
+            bench=args.bench,
+        )
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+    if args.report is None:
+        print("error: need a run-report file (or --compare)",
+              file=sys.stderr)
+        return 2
     report = obs.load_report(args.report)
     print(obs.render_report(report))
     return 0
@@ -440,6 +478,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default="", metavar="FILE",
         help="dump the metrics registry to FILE (Prometheus text for "
              "*.prom, JSON otherwise)",
+    )
+    common.add_argument(
+        "--metrics-port", type=_int_arg("--metrics-port", minimum=0),
+        default=None, metavar="PORT",
+        help="serve live /metrics, /healthz and /spans on "
+             "localhost:PORT while the command runs (0 = any free "
+             "port, printed to stderr)",
     )
     common.add_argument(
         "-v", "--verbose", action="count", default=0,
@@ -562,9 +607,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser(
         "report", parents=[common],
-        help="pretty-print a JSON run report written by --trace-out",
+        help="pretty-print a JSON run report written by --trace-out, "
+             "or gate the benchmark perf ledger with --compare",
     )
-    report.add_argument("report", help="path to the run-report JSON file")
+    report.add_argument(
+        "report", nargs="?", default=None,
+        help="path to the run-report JSON file",
+    )
+    report.add_argument(
+        "--compare", nargs="*", default=None, metavar="RUN",
+        help="compare trajectory runs instead of printing a report: "
+             "no arguments gates the latest run of every benchmark "
+             "against the previous one; two selectors (latest/prev/"
+             "offset-from-latest) pick the runs explicitly; exits "
+             "non-zero when a tracked metric regressed",
+    )
+    report.add_argument(
+        "--trajectory", default="benchmarks/results/trajectory.jsonl",
+        metavar="JSONL",
+        help="perf ledger to compare (default: %(default)s)",
+    )
+    report.add_argument(
+        "--threshold", type=_float_arg("--threshold", minimum=0.0),
+        default=None, metavar="FRAC",
+        help="relative noise threshold for --compare "
+             "(default: 0.25)",
+    )
+    report.add_argument(
+        "--bench", default=None,
+        help="restrict --compare to one benchmark name",
+    )
     report.set_defaults(func=_cmd_report)
     return parser
 
@@ -591,39 +663,52 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_on = bool(args.trace or args.trace_out)
     tracer = obs.get_tracer()
     was_enabled = tracer.enabled
+    server = None
+    if args.metrics_port is not None:
+        from repro.obs.server import start_metrics_server
+
+        server = start_metrics_server(args.metrics_port)
+        if server is not None:
+            print(f"metrics server listening on {server.url}",
+                  file=sys.stderr)
     if trace_on:
         tracer.reset()
         obs.get_registry().reset()
         tracer.enable()
         logger.info("tracing enabled for 'repro %s'", args.command)
     try:
-        with tracer.span(f"repro.{args.command}"):
-            code = args.func(args)
-    except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        try:
+            with tracer.span(f"repro.{args.command}"):
+                code = args.func(args)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            tracer.enabled = was_enabled
+        if trace_on:
+            if args.trace_out:
+                obs.write_report(
+                    args.trace_out,
+                    command=f"repro {args.command}",
+                    seed=_seed_of(args),
+                    tracer=tracer,
+                )
+                print(f"run report written to {args.trace_out}",
+                      file=sys.stderr)
+            if args.trace:
+                print("\n" + obs.render_span_tree(tracer.to_dicts()),
+                      file=sys.stderr)
+        if args.metrics_out:
+            _write_metrics(args.metrics_out)
+            print(f"metrics written to {args.metrics_out}",
+                  file=sys.stderr)
+        return code
     finally:
-        tracer.enabled = was_enabled
-    if trace_on:
-        if args.trace_out:
-            obs.write_report(
-                args.trace_out,
-                command=f"repro {args.command}",
-                seed=_seed_of(args),
-                tracer=tracer,
-            )
-            print(f"run report written to {args.trace_out}",
-                  file=sys.stderr)
-        if args.trace:
-            print("\n" + obs.render_span_tree(tracer.to_dicts()),
-                  file=sys.stderr)
-    if args.metrics_out:
-        _write_metrics(args.metrics_out)
-        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
-    return code
+        if server is not None:
+            server.stop()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -401,7 +401,7 @@ def monte_carlo_delay_matrix(
                     jobs, shard_size, timeout, retries,
                 )
             except ShmError as exc:
-                record_fallback()
+                record_fallback("shm-unavailable")
                 logger.warning(
                     "shm backend unavailable (%s); falling back to the "
                     "fork transport", exc,

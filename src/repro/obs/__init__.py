@@ -1,14 +1,22 @@
 """Observability for the moment/Elmore pipeline: tracing, metrics, reports.
 
-Three small layers, all stdlib + NumPy only:
+Small layers, all stdlib + NumPy only:
 
 * :mod:`repro.obs.trace` — nestable spans over ``perf_counter`` with a
   near-zero-overhead disabled path (the default);
-* :mod:`repro.obs.metrics` — always-on counters/gauges/histograms with
-  JSON and Prometheus-text exporters;
+* :mod:`repro.obs.metrics` — always-on counters/gauges/histograms
+  (optionally with label series) with JSON and Prometheus-text
+  exporters;
 * :mod:`repro.obs.report` — run reports (span tree + metrics +
   environment/seed) written atomically as JSON, plus the pretty-printer
-  behind ``repro report``.
+  behind ``repro report``;
+* :mod:`repro.obs.aggregate` — cross-process aggregation: pool workers
+  capture their own spans/metric deltas per shard and the parent merges
+  them under ``parallel.run`` with per-worker labels;
+* :mod:`repro.obs.server` — the live localhost ``/metrics`` +
+  ``/healthz`` + ``/spans`` endpoint behind ``--metrics-port``;
+* :mod:`repro.obs.trajectory` — the append-only benchmark perf ledger
+  and the ``repro report --compare`` regression gate.
 
 Span/metric naming conventions and how to read a report live in
 ``docs/observability.md``.  Quick start::
@@ -20,6 +28,12 @@ Span/metric naming conventions and how to read a report live in
     report = collect_report(command="sweep", seed=11)
 """
 
+from repro.obs.aggregate import (
+    ShardObsCapture,
+    merge_worker_payload,
+    registry_delta,
+    span_from_dict,
+)
 from repro.obs.logs import configure_logging, reset_logging
 from repro.obs.metrics import (
     DEFAULT_SECONDS_BUCKETS,
@@ -43,6 +57,7 @@ from repro.obs.report import (
     render_span_tree,
     write_report,
 )
+from repro.obs.server import MetricsServer, start_metrics_server
 from repro.obs.trace import (
     Span,
     Tracer,
@@ -54,6 +69,13 @@ from repro.obs.trace import (
     traced,
     tracing,
     tracing_enabled,
+)
+from repro.obs.trajectory import (
+    TRAJECTORY_SCHEMA,
+    append_record,
+    compare_trajectory,
+    load_trajectory,
+    record_from_rows,
 )
 
 __all__ = [
@@ -88,6 +110,20 @@ __all__ = [
     "format_seconds",
     "environment_info",
     "atomic_write_text",
+    # aggregate
+    "ShardObsCapture",
+    "merge_worker_payload",
+    "registry_delta",
+    "span_from_dict",
+    # server
+    "MetricsServer",
+    "start_metrics_server",
+    # trajectory
+    "TRAJECTORY_SCHEMA",
+    "append_record",
+    "compare_trajectory",
+    "load_trajectory",
+    "record_from_rows",
     # logs
     "configure_logging",
     "reset_logging",

@@ -17,6 +17,16 @@ Exporters:
   round-trippable through :meth:`MetricsRegistry.from_dict`;
 * :meth:`MetricsRegistry.to_prometheus_text` — the text exposition
   format (``# HELP``/``# TYPE`` + samples).
+
+Every metric additionally supports **labeled child series** via
+:meth:`~Counter.labels`: ``counter("x_total").labels(worker="3").inc()``
+records into the ``x_total{worker="3"}`` series while leaving the
+unlabeled parent untouched.  The cross-process aggregator
+(:mod:`repro.obs.aggregate`) uses this to attribute merged worker deltas
+per worker, and fallback reporting uses it to attach a ``reason`` to
+degrade counters.  Children share the parent's name/help (and bucket
+bounds), appear in every exporter, and are zeroed — but kept — by
+``reset()`` like their parents.
 """
 
 from __future__ import annotations
@@ -42,6 +52,11 @@ __all__ = [
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Canonical key for one label set: ``((name, value), ...)`` sorted by
+#: label name, values coerced to ``str``.
+LabelKey = Tuple[Tuple[str, str], ...]
 
 #: Default histogram buckets for durations in seconds (1 µs .. 10 s).
 DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
@@ -58,16 +73,86 @@ def _check_name(name: str) -> str:
     return name
 
 
-class Counter:
+def _label_key(labelset: Dict[str, Any]) -> LabelKey:
+    if not labelset:
+        raise ValidationError("labels() needs at least one label")
+    items = []
+    for key in sorted(labelset):
+        if not isinstance(key, str) or not _LABEL_RE.match(key):
+            raise ValidationError(
+                f"label name {key!r} is not Prometheus-legal "
+                "([a-zA-Z_][a-zA-Z0-9_]*)"
+            )
+        items.append((key, str(labelset[key])))
+    return tuple(items)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_text(key: LabelKey, extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}"
+
+
+class _LabeledMixin:
+    """Labeled child series shared by every metric class.
+
+    Children live on the registry-owned parent and share its name and
+    help text; each distinct label set gets (and keeps) one child.
+    """
+
+    def labels(self, **labelset: Any):
+        """The child series for ``labelset`` (created on first use)."""
+        key = _label_key(labelset)
+        children = self._children
+        if children is None:
+            children = self._children = {}
+        child = children.get(key)
+        if child is None:
+            child = self._new_child()
+            children[key] = child
+        return child
+
+    def label_series(self) -> List[Tuple[LabelKey, Any]]:
+        """``(label_key, child)`` pairs in creation order."""
+        return list((self._children or {}).items())
+
+    def _reset_children(self) -> None:
+        for child in (self._children or {}).values():
+            child.reset()
+
+    def _series_states(self) -> List[Dict[str, Any]]:
+        series = []
+        for key, child in (self._children or {}).items():
+            state = child.to_dict()
+            state.pop("kind", None)
+            state.pop("help", None)
+            state.pop("series", None)
+            state["labels"] = dict(key)
+            series.append(state)
+        return series
+
+
+class Counter(_LabeledMixin):
     """Monotonically increasing count (``*_total``)."""
 
     kind = "counter"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_children")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = _check_name(name)
         self.help = help
         self.value: float = 0.0
+        self._children: Optional[Dict[LabelKey, "Counter"]] = None
+
+    def _new_child(self) -> "Counter":
+        return Counter(self.name, self.help)
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
@@ -80,22 +165,30 @@ class Counter:
     def reset(self) -> None:
         """Zero the counter (registry reset; not a runtime operation)."""
         self.value = 0.0
+        self._reset_children()
 
     def to_dict(self) -> Dict[str, Any]:
         """Serializable state."""
-        return {"kind": self.kind, "help": self.help, "value": self.value}
+        state = {"kind": self.kind, "help": self.help, "value": self.value}
+        if self._children:
+            state["series"] = self._series_states()
+        return state
 
 
-class Gauge:
+class Gauge(_LabeledMixin):
     """Last-written value (sizes, capacities, configuration)."""
 
     kind = "gauge"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_children")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = _check_name(name)
         self.help = help
         self.value: float = 0.0
+        self._children: Optional[Dict[LabelKey, "Gauge"]] = None
+
+    def _new_child(self) -> "Gauge":
+        return Gauge(self.name, self.help)
 
     def set(self, value: float) -> None:
         """Record ``value`` as the gauge's current reading."""
@@ -104,13 +197,17 @@ class Gauge:
     def reset(self) -> None:
         """Zero the gauge."""
         self.value = 0.0
+        self._reset_children()
 
     def to_dict(self) -> Dict[str, Any]:
         """Serializable state."""
-        return {"kind": self.kind, "help": self.help, "value": self.value}
+        state = {"kind": self.kind, "help": self.help, "value": self.value}
+        if self._children:
+            state["series"] = self._series_states()
+        return state
 
 
-class Histogram:
+class Histogram(_LabeledMixin):
     """Cumulative-bucket histogram plus count/sum/min/max.
 
     ``bounds`` are the upper edges of the finite buckets; an implicit
@@ -120,7 +217,7 @@ class Histogram:
 
     kind = "histogram"
     __slots__ = ("name", "help", "bounds", "bucket_counts", "count",
-                 "sum", "min", "max")
+                 "sum", "min", "max", "_children")
 
     def __init__(
         self,
@@ -141,6 +238,10 @@ class Histogram:
         self.sum: float = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._children: Optional[Dict[LabelKey, "Histogram"]] = None
+
+    def _new_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, buckets=self.bounds)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -168,6 +269,29 @@ class Histogram:
         out.append(("+Inf", self.count))
         return out
 
+    def merge_state(self, state: Dict[str, Any]) -> bool:
+        """Fold a serialized histogram delta (``to_dict``-shaped) in.
+
+        Used by the cross-process aggregator to add a worker's bucket
+        counts/sum to the parent's histogram.  Returns ``False`` —
+        merging nothing — when the bucket bounds differ (mixed library
+        versions); min/max widen to the delta's observed extremes.
+        """
+        bounds = tuple(state.get("buckets") or ())
+        if bounds != self.bounds:
+            return False
+        for k, n in enumerate(state.get("bucket_counts", [])):
+            self.bucket_counts[k] += int(n)
+        self.count += int(state.get("count", 0))
+        self.sum += float(state.get("sum", 0.0))
+        for key, pick in (("min", min), ("max", max)):
+            value = state.get(key)
+            if value is not None:
+                ours = getattr(self, key)
+                setattr(self, key, value if ours is None
+                        else pick(ours, value))
+        return True
+
     def reset(self) -> None:
         """Zero every bucket and statistic."""
         self.bucket_counts = [0] * (len(self.bounds) + 1)
@@ -175,10 +299,11 @@ class Histogram:
         self.sum = 0.0
         self.min = None
         self.max = None
+        self._reset_children()
 
     def to_dict(self) -> Dict[str, Any]:
         """Serializable state."""
-        return {
+        state = {
             "kind": self.kind,
             "help": self.help,
             "buckets": list(self.bounds),
@@ -188,6 +313,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
         }
+        if self._children:
+            state["series"] = self._series_states()
+        return state
 
 
 Metric = Union[Counter, Gauge, Histogram]
@@ -259,6 +387,18 @@ class MetricsRegistry:
         """JSON form of :meth:`to_dict`."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    @staticmethod
+    def _restore_values(metric: Metric, state: Dict[str, Any]) -> None:
+        if isinstance(metric, Histogram):
+            metric.bucket_counts = [int(v) for v in
+                                    state.get("bucket_counts", [])]
+            metric.count = int(state.get("count", 0))
+            metric.sum = float(state.get("sum", 0.0))
+            metric.min = state.get("min")
+            metric.max = state.get("max")
+        else:
+            metric.value = float(state.get("value", 0.0))
+
     @classmethod
     def from_dict(cls, data: Dict[str, Dict[str, Any]]) -> "MetricsRegistry":
         """Rebuild a registry (values included) from :meth:`to_dict`."""
@@ -266,47 +406,54 @@ class MetricsRegistry:
         for name, state in data.items():
             kind = state.get("kind")
             if kind == "counter":
-                registry.counter(name, state.get("help", "")).value = \
-                    float(state.get("value", 0.0))
+                metric = registry.counter(name, state.get("help", ""))
             elif kind == "gauge":
-                registry.gauge(name, state.get("help", "")).value = \
-                    float(state.get("value", 0.0))
+                metric = registry.gauge(name, state.get("help", ""))
             elif kind == "histogram":
-                hist = registry.histogram(
+                metric = registry.histogram(
                     name, state.get("help", ""),
                     buckets=state.get("buckets"),
                 )
-                hist.bucket_counts = [int(v) for v in
-                                      state.get("bucket_counts", [])]
-                hist.count = int(state.get("count", 0))
-                hist.sum = float(state.get("sum", 0.0))
-                hist.min = state.get("min")
-                hist.max = state.get("max")
             else:
                 raise ValidationError(
                     f"unknown metric kind {kind!r} for {name!r}"
                 )
+            cls._restore_values(metric, state)
+            for series in state.get("series") or []:
+                child = metric.labels(**series.get("labels", {}))
+                cls._restore_values(child, series)
         return registry
 
+    @staticmethod
+    def _sample_lines(
+        name: str, metric: Metric, label_key: Optional[LabelKey]
+    ) -> List[str]:
+        if isinstance(metric, Histogram):
+            lines = []
+            for bound, running in metric.cumulative_buckets():
+                le = bound if isinstance(bound, str) else repr(bound)
+                labels = _label_text(label_key or (), extra=f'le="{le}"')
+                lines.append(f"{name}_bucket{labels} {running}")
+            suffix = _label_text(label_key) if label_key else ""
+            lines.append(f"{name}_sum{suffix} {metric.sum!r}")
+            lines.append(f"{name}_count{suffix} {metric.count}")
+            return lines
+        value = metric.value
+        text = repr(value) if value != int(value) else str(int(value))
+        suffix = _label_text(label_key) if label_key else ""
+        return [f"{name}{suffix} {text}"]
+
     def to_prometheus_text(self) -> str:
-        """Prometheus text exposition format for every metric."""
+        """Prometheus text exposition format for every metric
+        (labeled child series follow their parent's samples)."""
         lines: List[str] = []
         for name, metric in self._metrics.items():
             if metric.help:
                 lines.append(f"# HELP {name} {metric.help}")
             lines.append(f"# TYPE {name} {metric.kind}")
-            if isinstance(metric, Histogram):
-                for bound, running in metric.cumulative_buckets():
-                    le = bound if isinstance(bound, str) else repr(bound)
-                    lines.append(
-                        f'{name}_bucket{{le="{le}"}} {running}'
-                    )
-                lines.append(f"{name}_sum {metric.sum!r}")
-                lines.append(f"{name}_count {metric.count}")
-            else:
-                value = metric.value
-                text = repr(value) if value != int(value) else str(int(value))
-                lines.append(f"{name} {text}")
+            lines.extend(self._sample_lines(name, metric, None))
+            for label_key, child in metric.label_series():
+                lines.extend(self._sample_lines(name, child, label_key))
         return "\n".join(lines) + "\n"
 
 

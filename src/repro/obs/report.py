@@ -41,7 +41,13 @@ __all__ = [
 ]
 
 #: Schema tag stamped into every report (bump on breaking layout change).
-SCHEMA = "repro.run_report/1"
+#: ``/2`` added ``pid``/``seq`` to every span so merged multi-process
+#: traces stay attributable and stably ordered; ``/1`` reports are still
+#: readable (:func:`load_report` upgrades them in memory).
+SCHEMA = "repro.run_report/2"
+
+#: Older schema tags :func:`load_report` upgrades on read.
+_COMPAT_SCHEMAS = ("repro.run_report/1",)
 
 
 def atomic_write_text(path: str, text: str) -> str:
@@ -77,6 +83,7 @@ def environment_info() -> Dict[str, Any]:
         "numpy": np.__version__,
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "pid": os.getpid(),
     }
 
@@ -116,8 +123,29 @@ def write_report(path: str, report: Optional[Dict[str, Any]] = None,
     return path
 
 
+def _upgrade_spans_v1(spans: List[Dict[str, Any]]) -> None:
+    """In-place shim for ``/1`` span trees: ``pid`` (unknown → ``None``)
+    and a depth-first ``seq`` so old reports sort the same way new ones
+    do."""
+    counter = iter(range(1 << 62))
+
+    def walk(entry: Dict[str, Any]) -> None:
+        entry.setdefault("pid", None)
+        entry.setdefault("seq", next(counter))
+        for child in entry.get("children", []):
+            walk(child)
+
+    for root in spans:
+        walk(root)
+
+
 def load_report(path: str) -> Dict[str, Any]:
-    """Read a run report back, checking the schema tag."""
+    """Read a run report back, checking the schema tag.
+
+    ``repro.run_report/1`` files (written before spans carried
+    ``pid``/``seq``) are upgraded in memory to the ``/2`` shape; the
+    returned dict always matches the current :data:`SCHEMA`.
+    """
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
     if not isinstance(report, dict) or "spans" not in report:
@@ -125,7 +153,10 @@ def load_report(path: str) -> Dict[str, Any]:
             f"{path} is not a run report (no 'spans' key)"
         )
     schema = report.get("schema")
-    if schema != SCHEMA:
+    if schema in _COMPAT_SCHEMAS:
+        _upgrade_spans_v1(report.get("spans", []))
+        report["schema"] = SCHEMA
+    elif schema != SCHEMA:
         raise ValidationError(
             f"{path} has schema {schema!r}, expected {SCHEMA!r}"
         )
@@ -204,6 +235,40 @@ def _render_metrics(metrics: Dict[str, Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def _reason_summary(state: Dict[str, Any]) -> str:
+    """``"reason-a ×2, reason-b"`` from a counter's labeled series (or
+    just the total when no per-reason breakdown was recorded)."""
+    parts = []
+    for series in state.get("series") or []:
+        reason = (series.get("labels") or {}).get("reason")
+        if reason is None:
+            continue
+        count = series.get("value", 0.0)
+        parts.append(f"{reason} ×{count:g}" if count != 1.0 else reason)
+    return ", ".join(parts) if parts else f"×{state.get('value', 0):g}"
+
+
+def _degradation_notices(metrics: Dict[str, Dict[str, Any]]) -> List[str]:
+    """One-line warnings when the run did not execute on the backend it
+    asked for (shm → process/serial fallback, shards degraded to
+    in-process after retries)."""
+    notices: List[str] = []
+    fallback = metrics.get("parallel_shm_fallback_total")
+    if fallback and fallback.get("value", 0.0) > 0:
+        notices.append(
+            "degraded: shm→serial transport fallback "
+            f"({_reason_summary(fallback)})"
+        )
+    degraded = metrics.get("parallel_degraded_total")
+    if degraded and degraded.get("value", 0.0) > 0:
+        notices.append(
+            f"degraded: {degraded.get('value', 0):g} shard(s) fell back "
+            "to in-process execution (worker deaths/timeouts exhausted "
+            "retries, or no process pool could be created)"
+        )
+    return notices
+
+
 def render_report(report: Dict[str, Any]) -> str:
     """Human-readable rendering of a run report (for ``repro report``)."""
     env = report.get("environment", {})
@@ -213,6 +278,9 @@ def render_report(report: Dict[str, Any]) -> str:
         f"seed: {report.get('seed')}   "
         f"python {env.get('python', '?')} / numpy {env.get('numpy', '?')} "
         f"on {env.get('machine', '?')}",
+    ]
+    head.extend(_degradation_notices(report.get("metrics", {})))
+    head += [
         "",
         render_span_tree(report.get("spans", [])),
         "",

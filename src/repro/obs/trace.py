@@ -32,7 +32,9 @@ of that name in the global metrics registry on exit.
 from __future__ import annotations
 
 import functools
+import itertools
 import logging
+import os
 import threading
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Union
@@ -79,10 +81,16 @@ class Span:
     Created through :meth:`Tracer.span` / :func:`span`; use as a context
     manager.  ``start``/``end`` are ``perf_counter`` readings, so only
     differences are meaningful.
+
+    ``pid`` records the process that measured the span and ``seq`` is a
+    per-tracer monotonic open order — together they keep merged
+    multi-process traces (:mod:`repro.obs.aggregate`) attributable and
+    stably ordered even though worker clocks are not comparable to the
+    parent's.
     """
 
     __slots__ = ("name", "attributes", "start", "end", "children",
-                 "_tracer", "_metric")
+                 "pid", "seq", "_tracer", "_metric")
 
     def __init__(
         self,
@@ -96,6 +104,8 @@ class Span:
         self.start: float = 0.0
         self.end: Optional[float] = None
         self.children: List["Span"] = []
+        self.pid: int = os.getpid()
+        self.seq: Optional[int] = None
         self._tracer = tracer
         self._metric = metric
 
@@ -134,12 +144,15 @@ class Span:
         return self.duration - sum(c.duration for c in self.children)
 
     def to_dict(self) -> Dict[str, Any]:
-        """Serializable form: name, timings, attributes, children."""
+        """Serializable form: name, timings, pid/seq, attributes,
+        children (the ``repro.run_report/2`` span shape)."""
         return {
             "name": self.name,
             "start": self.start,
             "duration": self.duration,
             "self": self.self_time,
+            "pid": self.pid,
+            "seq": self.seq,
             "attributes": dict(self.attributes),
             "children": [c.to_dict() for c in self.children],
         }
@@ -163,6 +176,7 @@ class Tracer:
         self._roots: List[Span] = []
         self._local = threading.local()
         self._lock = threading.Lock()
+        self._seq = itertools.count()
 
     # -- lifecycle -----------------------------------------------------
     def enable(self) -> None:
@@ -174,10 +188,11 @@ class Tracer:
         self.enabled = False
 
     def reset(self) -> None:
-        """Drop every recorded span and open stack."""
+        """Drop every recorded span and open stack; restart ``seq``."""
         with self._lock:
             self._roots = []
         self._local = threading.local()
+        self._seq = itertools.count()
 
     # -- span creation -------------------------------------------------
     def span(
@@ -196,6 +211,7 @@ class Tracer:
         return stack
 
     def _open(self, span_: Span) -> None:
+        span_.seq = next(self._seq)
         stack = self._stack()
         if stack:
             stack[-1].children.append(span_)

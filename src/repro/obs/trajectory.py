@@ -1,0 +1,319 @@
+"""Benchmark trajectory: append-only perf history + regression gate.
+
+Every benchmark already writes a ``repro.bench_rows/1`` JSON row file
+with an ``extra`` dict of scalar results (speedups, wall times).  This
+module ingests those files into one append-only JSONL ledger —
+``benchmarks/results/trajectory.jsonl`` by default — and compares runs
+so a perf regression fails loudly instead of rotting silently:
+
+* :func:`record_from_rows` distills a row-file payload into one ledger
+  record keyed by ``(bench, params key, git rev, host fingerprint)``;
+* :func:`append_record` appends it (one JSON object per line);
+* :func:`compare_trajectory` pairs the latest record of every
+  ``(bench, params, host)`` group against an earlier one and flags any
+  *tracked* metric that moved beyond a noise threshold, rendering a
+  readable table (the ``repro report --compare`` gate).
+
+Tracked metrics are inferred from the flattened ``extra`` keys:
+anything containing ``speedup`` is higher-is-better, anything ending in
+``_seconds`` or containing ``wall`` is lower-is-better, everything else
+is recorded but not gated.  Comparisons only ever pair records with the
+same host fingerprint (cpu count, python, platform) — cross-machine
+numbers are not comparable and are never gated against each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro._exceptions import ValidationError
+
+__all__ = [
+    "TRAJECTORY_SCHEMA",
+    "DEFAULT_THRESHOLD",
+    "git_revision",
+    "host_fingerprint",
+    "flatten_extra",
+    "metric_direction",
+    "record_from_rows",
+    "append_record",
+    "load_trajectory",
+    "compare_trajectory",
+    "TrajectoryComparison",
+]
+
+#: Schema tag stamped into every trajectory record.
+TRAJECTORY_SCHEMA = "repro.bench_trajectory/1"
+
+#: Default relative noise threshold for the regression gate (25% —
+#: benchmarks in shared CI runners are noisy; the gate is meant to
+#: catch broken fast paths, not 5% jitter).
+DEFAULT_THRESHOLD = 0.25
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The short git revision of ``cwd`` (or CWD), ``None`` outside a
+    checkout or without a ``git`` binary."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    rev = out.stdout.strip()
+    return rev or None
+
+
+def host_fingerprint(environment: Dict[str, Any]) -> str:
+    """A short stable digest of the perf-relevant host facts.
+
+    Only records with equal fingerprints are comparable: same python,
+    same platform/machine, same cpu count.  The pid and other run-local
+    noise in the environment dict are deliberately excluded.
+    """
+    facts = [
+        str(environment.get(key))
+        for key in ("python", "implementation", "platform",
+                    "machine", "cpu_count")
+    ]
+    digest = hashlib.sha1("|".join(facts).encode("utf-8")).hexdigest()
+    return digest[:12]
+
+
+def flatten_extra(extra: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten a row file's ``extra`` dict to dotted numeric leaves:
+    ``{"speedup": {"256": 5.4}}`` → ``{"speedup.256": 5.4}``.  Booleans
+    and non-numeric leaves are dropped."""
+    flat: Dict[str, float] = {}
+
+    def walk(prefix: str, value: Any) -> None:
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                walk(f"{prefix}.{key}" if prefix else str(key), sub)
+        elif isinstance(value, bool):
+            return
+        elif isinstance(value, (int, float)):
+            flat[prefix] = float(value)
+
+    walk("", dict(extra or {}))
+    return flat
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """Gate direction for a flattened extra key: ``"higher"`` (bigger
+    is better), ``"lower"`` (smaller is better), or ``None`` (recorded
+    but not gated)."""
+    lowered = name.lower()
+    if "speedup" in lowered:
+        return "higher"
+    if lowered.endswith("_seconds") or "wall" in lowered:
+        return "lower"
+    return None
+
+
+def _params_key(payload: Dict[str, Any]) -> str:
+    """Digest of the benchmark's shape: name + header + quick flag.
+    Two records compare only when they measured the same table."""
+    basis = json.dumps(
+        [payload.get("name"), list(payload.get("header") or []),
+         bool(payload.get("quick"))],
+        sort_keys=True,
+    )
+    return hashlib.sha1(basis.encode("utf-8")).hexdigest()[:12]
+
+
+def record_from_rows(
+    payload: Dict[str, Any], git_rev: Optional[str] = None
+) -> Dict[str, Any]:
+    """Distill one ``repro.bench_rows/1`` payload into a ledger record."""
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ValidationError("not a bench row payload (no 'rows' key)")
+    environment = dict(payload.get("environment") or {})
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "bench": payload.get("name"),
+        "title": payload.get("title"),
+        "key": _params_key(payload),
+        "generated_at": payload.get("generated_at"),
+        "quick": bool(payload.get("quick")),
+        "git_rev": git_rev if git_rev is not None else git_revision(),
+        "host": {
+            "fingerprint": host_fingerprint(environment),
+            "python": environment.get("python"),
+            "platform": environment.get("platform"),
+            "machine": environment.get("machine"),
+            "cpu_count": environment.get("cpu_count"),
+        },
+        "metrics": flatten_extra(payload.get("extra") or {}),
+    }
+
+
+def append_record(path: str, record: Dict[str, Any]) -> str:
+    """Append one record to the JSONL ledger at ``path`` (created on
+    first use).  A single ``write`` of one ``\\n``-terminated line keeps
+    concurrent appenders from interleaving partial records on POSIX."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    line = json.dumps(record, sort_keys=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    return path
+
+
+def load_trajectory(path: str) -> List[Dict[str, Any]]:
+    """Read the ledger back in append order.  Records from other
+    schemas and corrupt lines (e.g. a run killed mid-append) are
+    skipped, not fatal — the ledger must stay usable forever."""
+    records: List[Dict[str, Any]] = []
+    if not os.path.exists(path):
+        return records
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (isinstance(record, dict)
+                    and record.get("schema") == TRAJECTORY_SCHEMA):
+                records.append(record)
+    return records
+
+
+def _selector_offset(selector: str) -> int:
+    """Map a run selector to an offset from the latest record:
+    ``latest``/``0`` → 0, ``prev``/``1`` → 1, ``2`` → 2, ..."""
+    named = {"latest": 0, "last": 0, "prev": 1, "previous": 1}
+    if selector in named:
+        return named[selector]
+    try:
+        offset = int(selector)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"run selector must be 'latest', 'prev', or a non-negative "
+            f"offset from the latest run, got {selector!r}"
+        )
+    if offset < 0:
+        raise ValidationError(
+            f"run selector offset must be >= 0, got {offset}"
+        )
+    return offset
+
+
+class TrajectoryComparison:
+    """The outcome of one trajectory comparison: per-metric rows plus
+    the subset that regressed.  ``ok`` is the gate verdict."""
+
+    def __init__(self, rows: List[Dict[str, Any]],
+                 threshold: float) -> None:
+        self.rows = rows
+        self.threshold = threshold
+        self.regressions = [row for row in rows if row["status"] == "REGRESSED"]
+
+    @property
+    def ok(self) -> bool:
+        """Whether no tracked metric regressed beyond the threshold."""
+        return not self.regressions
+
+    def render(self) -> str:
+        """A readable comparison table (what the CLI prints)."""
+        if not self.rows:
+            return ("trajectory compare: no overlapping (bench, params, "
+                    "host) groups with two runs — nothing to gate")
+        header = ["bench", "metric", "baseline", "candidate",
+                  "change", "status"]
+        table = [header, ["-" * len(h) for h in header]]
+        for row in self.rows:
+            table.append([
+                row["bench"], row["metric"],
+                f"{row['baseline']:.4g}", f"{row['candidate']:.4g}",
+                f"{row['change'] * 100.0:+.1f}%", row["status"],
+            ])
+        widths = [max(len(line[k]) for line in table)
+                  for k in range(len(header))]
+        lines = ["  ".join(cell.ljust(widths[k])
+                           for k, cell in enumerate(line)).rstrip()
+                 for line in table]
+        verdict = (
+            f"{len(self.regressions)} metric(s) regressed beyond the "
+            f"{self.threshold * 100.0:.0f}% threshold"
+            if self.regressions
+            else f"no regressions beyond the "
+                 f"{self.threshold * 100.0:.0f}% threshold"
+        )
+        return "\n".join(lines + ["", "trajectory compare: " + verdict])
+
+
+def compare_trajectory(
+    records: Iterable[Dict[str, Any]],
+    baseline: str = "prev",
+    candidate: str = "latest",
+    threshold: float = DEFAULT_THRESHOLD,
+    bench: Optional[str] = None,
+) -> TrajectoryComparison:
+    """Gate ``candidate`` runs against ``baseline`` runs.
+
+    Records are grouped by ``(bench, params key, host fingerprint)`` —
+    only like-for-like measurements ever compare.  Within each group
+    (append order), ``baseline``/``candidate`` select records by offset
+    from the latest (``"latest"`` = newest, ``"prev"`` = one before,
+    or a numeric offset).  Groups without both selections are skipped.
+    A tracked metric regresses when it moves against its direction by
+    more than ``threshold`` (relative).
+    """
+    if not threshold >= 0.0:
+        raise ValidationError(
+            f"threshold must be >= 0, got {threshold!r}"
+        )
+    base_off = _selector_offset(baseline)
+    cand_off = _selector_offset(candidate)
+    groups: Dict[Tuple[Any, Any, Any], List[Dict[str, Any]]] = {}
+    for record in records:
+        if bench is not None and record.get("bench") != bench:
+            continue
+        group = (
+            record.get("bench"), record.get("key"),
+            (record.get("host") or {}).get("fingerprint"),
+        )
+        groups.setdefault(group, []).append(record)
+    rows: List[Dict[str, Any]] = []
+    for (bench_name, _key, _host), entries in sorted(
+            groups.items(), key=lambda item: str(item[0])):
+        if len(entries) <= max(base_off, cand_off):
+            continue
+        base = entries[-1 - base_off]
+        cand = entries[-1 - cand_off]
+        base_metrics = base.get("metrics") or {}
+        cand_metrics = cand.get("metrics") or {}
+        for name in sorted(set(base_metrics) & set(cand_metrics)):
+            direction = metric_direction(name)
+            if direction is None:
+                continue
+            old = float(base_metrics[name])
+            new = float(cand_metrics[name])
+            change = (new - old) / old if old else 0.0
+            if direction == "higher":
+                regressed = new < old * (1.0 - threshold)
+            else:
+                regressed = new > old * (1.0 + threshold)
+            rows.append({
+                "bench": str(bench_name),
+                "metric": name,
+                "direction": direction,
+                "baseline": old,
+                "candidate": new,
+                "change": change,
+                "status": "REGRESSED" if regressed else "ok",
+                "baseline_rev": base.get("git_rev"),
+                "candidate_rev": cand.get("git_rev"),
+            })
+    return TrajectoryComparison(rows, threshold)

@@ -41,7 +41,14 @@ Observability (``docs/observability.md``): spans ``parallel.run`` /
 ``parallel_retries_total``, ``parallel_timeouts_total``,
 ``parallel_degraded_total``, the warm-pool ``parallel_pool_*`` family,
 and the ``parallel_shard_seconds`` histogram of worker-measured shard
-durations.
+durations.  While the parent tracer is recording, workers additionally
+capture their own spans and metric deltas per shard
+(:mod:`repro.obs.aggregate`): each accepted shard result carries a
+compact obs payload that the parent merges — span trees graft under
+``parallel.run`` as ``parallel.worker`` subtrees, metric deltas fold
+into the parent registry with ``worker`` labels.  Capture is decided at
+submit time from the parent's tracer state, so the disabled path adds
+one flag check per shard and results stay bit-identical.
 """
 
 from __future__ import annotations
@@ -55,10 +62,12 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro._exceptions import ValidationError
+from repro.obs import aggregate as _aggregate
 from repro.obs.metrics import counter as _counter
 from repro.obs.metrics import histogram as _histogram
+from repro.obs.trace import get_tracer as _get_tracer
 from repro.obs.trace import span as _span
-from repro.parallel.pool import WarmPool, lease_warm_pool
+from repro.parallel.pool import WarmPool, _init_pool_worker, lease_warm_pool
 
 __all__ = ["run_sharded", "resolve_jobs", "available_backends", "BACKENDS"]
 
@@ -129,11 +138,31 @@ def available_backends() -> List[str]:
     return backends
 
 
-def _timed_task(task: Callable[[Any], Any], payload: Any) -> Any:
-    """Worker-side wrapper: run the shard and measure its duration."""
+def _timed_task(
+    task: Callable[[Any], Any], payload: Any, capture: bool = False
+) -> Any:
+    """Worker-side wrapper: run the shard, measure its duration, and —
+    when the parent requested ``capture`` — record the worker's own
+    spans and metric deltas into an obs payload
+    (:class:`repro.obs.aggregate.ShardObsCapture`).  Returns
+    ``(value, elapsed, obs_payload_or_None)``."""
+    if capture:
+        with _aggregate.ShardObsCapture() as obs:
+            start = time.perf_counter()
+            value = task(payload)
+            elapsed = time.perf_counter() - start
+        return value, elapsed, obs.payload()
+    tracer = _get_tracer()
+    if tracer.enabled:
+        # A warm worker forked while the parent was tracing inherits an
+        # enabled tracer; quietly recording spans nobody collects would
+        # leak memory and skew shard timings, so restore the disabled
+        # invariant before running.
+        tracer.disable()
+        tracer.reset()
     start = time.perf_counter()
     value = task(payload)
-    return value, time.perf_counter() - start
+    return value, time.perf_counter() - start, None
 
 
 def _run_shard_inline(
@@ -169,7 +198,9 @@ class _EphemeralPools:
                 "fork" if "fork" in methods else None
             )
             self._pool = ProcessPoolExecutor(
-                max_workers=self._jobs, mp_context=context
+                max_workers=self._jobs, mp_context=context,
+                initializer=_init_pool_worker,
+                initargs=(context.Value("i", 0),),
             )
         return self._pool
 
@@ -283,6 +314,11 @@ def _run_process_backend(
     results: Dict[int, Any] = {}
     attempts = {index: 0 for index in range(len(payloads))}
     todo = list(range(len(payloads)))
+    # Decided once, parent-side: workers capture their own spans/metric
+    # deltas only while the parent tracer is recording.  Shards that
+    # later degrade to _run_shard_inline run *in* the parent, where the
+    # live tracer/registry see them directly — no payload needed.
+    capture = _aggregate.capture_enabled()
     try:
         while todo:
             try:
@@ -300,7 +336,8 @@ def _run_process_backend(
                     )
                 break
             failed = _submit_and_collect(
-                task, payloads, todo, pool, timeout, results
+                task, payloads, todo, pool, timeout, results,
+                capture, run_span,
             )
             if not failed:
                 break
@@ -337,6 +374,8 @@ def _submit_and_collect(
     pool: ProcessPoolExecutor,
     timeout: Optional[float],
     results: Dict[int, Any],
+    capture: bool = False,
+    run_span: Any = None,
 ) -> List[int]:
     """One submission wave; returns the shard indices needing a retry.
 
@@ -345,6 +384,10 @@ def _submit_and_collect(
     exception raised by the task itself is deterministic — it would fail
     identically on every attempt — so it propagates immediately, from
     here, on the first raise.
+
+    Worker obs payloads merge here and only here, at the moment a
+    shard's result is accepted into ``results`` — so a killed or hung
+    attempt whose retry succeeds contributes its deltas exactly once.
     """
     futures: Dict[int, Future] = {}
     failed: List[int] = []
@@ -354,13 +397,15 @@ def _submit_and_collect(
             failed.append(index)
             continue
         try:
-            futures[index] = pool.submit(_timed_task, task, payloads[index])
+            futures[index] = pool.submit(
+                _timed_task, task, payloads[index], capture
+            )
         except (BrokenProcessPool, RuntimeError):
             broken = True
             failed.append(index)
     for index, future in futures.items():
         try:
-            value, elapsed = future.result(timeout=timeout)
+            value, elapsed, obs = future.result(timeout=timeout)
         except FuturesTimeoutError:
             logger.warning(
                 "shard %d exceeded its %.3gs timeout", index, timeout
@@ -377,10 +422,14 @@ def _submit_and_collect(
                     continue
                 exc = later.exception() if later.done() else None
                 if later.done() and exc is None:
-                    value, elapsed = later.result()
+                    value, elapsed, obs = later.result()
                     results[later_index] = value
                     _SHARD_SECONDS.observe(elapsed)
                     _SHARDS.inc()
+                    if capture:
+                        _aggregate.merge_worker_payload(
+                            obs, shard=later_index, run_span=run_span
+                        )
                 elif exc is not None and \
                         not isinstance(exc, BrokenProcessPool):
                     raise exc
@@ -394,4 +443,8 @@ def _submit_and_collect(
         results[index] = value
         _SHARD_SECONDS.observe(elapsed)
         _SHARDS.inc()
+        if capture:
+            _aggregate.merge_worker_payload(
+                obs, shard=index, run_span=run_span
+            )
     return failed

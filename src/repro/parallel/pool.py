@@ -68,6 +68,21 @@ _POOL_WORKERS = _gauge(
 )
 
 
+def _init_pool_worker(counter) -> None:
+    """Pool initializer: claim the next worker index from the shared
+    ``multiprocessing.Value`` and record it for obs payload attribution
+    (:func:`repro.obs.aggregate.set_worker_id`).  Indices restart at 0
+    on every fork/recycle — they identify a worker *within* the current
+    pool generation; the payload's pid disambiguates across
+    generations."""
+    from repro.obs.aggregate import set_worker_id
+
+    with counter.get_lock():
+        worker_index = counter.value
+        counter.value = worker_index + 1
+    set_worker_id(worker_index)
+
+
 def _terminate_pool(pool: Optional[ProcessPoolExecutor]) -> None:
     """Tear a pool down without waiting on hung or dead workers."""
     if pool is None:
@@ -156,7 +171,9 @@ class WarmPool:
                     "fork" if "fork" in methods else None
                 )
                 self._pool = ProcessPoolExecutor(
-                    max_workers=self.jobs, mp_context=context
+                    max_workers=self.jobs, mp_context=context,
+                    initializer=_init_pool_worker,
+                    initargs=(context.Value("i", 0),),
                 )
                 _FORKS.inc()
                 _POOL_WORKERS.set(self.jobs)

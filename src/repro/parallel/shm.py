@@ -608,6 +608,14 @@ def detach_all() -> None:
             attached.detach()
 
 
-def record_fallback() -> None:
-    """Count one shm-to-fork/serial fallback (workload layer calls this)."""
+def record_fallback(reason: str = "unspecified") -> None:
+    """Count one shm-to-fork/serial fallback (workload layer calls this).
+
+    ``reason`` is a short slug ("shm-unavailable", "publish-failed") that
+    lands on a ``reason``-labeled child series, so ``repro report`` can
+    say *why* the run degraded, not just that it did."""
     _FALLBACKS.inc()
+    try:
+        _FALLBACKS.labels(reason=str(reason)).inc()
+    except Exception:  # pragma: no cover - a bad slug must not raise
+        logger.debug("unusable fallback reason %r", reason, exc_info=True)

@@ -25,6 +25,7 @@ EXAMPLES = [
     "batched_variation_sweep.py",
     "crosstalk_limits.py",
     "traced_sweep.py",
+    "live_metrics.py",
 ]
 
 

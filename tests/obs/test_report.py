@@ -86,6 +86,34 @@ class TestReportRoundTrip:
         with pytest.raises(ValidationError):
             load_report(str(path))
 
+    def test_spans_carry_pid_and_seq(self):
+        spans = _traced_tracer().to_dicts()
+        root = spans[0]
+        assert root["pid"] == os.getpid()
+        assert root["seq"] == 0
+        assert root["children"][0]["seq"] == 1
+
+    def test_load_upgrades_v1_reports(self, tmp_path):
+        # A /1 report predates pid/seq on spans; the reader shim fills
+        # them in (pid unknown, seq in depth-first order) and retags.
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps({
+            "schema": "repro.run_report/1",
+            "spans": [{
+                "name": "root", "start": 0.0, "duration": 1.0,
+                "self": 0.5, "attributes": {},
+                "children": [{"name": "child", "start": 0.1,
+                              "duration": 0.5, "self": 0.5,
+                              "attributes": {}, "children": []}],
+            }],
+            "metrics": {},
+        }))
+        report = load_report(str(path))
+        assert report["schema"] == SCHEMA
+        root = report["spans"][0]
+        assert root["pid"] is None and root["seq"] == 0
+        assert root["children"][0]["seq"] == 1
+
 
 class TestRendering:
     def test_format_seconds_scales(self):
@@ -121,3 +149,17 @@ class TestRendering:
         assert "root" in text and "child" in text
         assert "n_total" in text and "t_seconds" in text
         assert "count=1" in text
+        assert "degraded" not in text
+
+    def test_render_report_degraded_notices(self):
+        registry = MetricsRegistry()
+        fallback = registry.counter("parallel_shm_fallback_total", "t")
+        fallback.inc()
+        fallback.labels(reason="shm-unavailable").inc()
+        registry.counter("parallel_degraded_total", "t").inc(2)
+        report = collect_report(tracer=_traced_tracer(),
+                                registry=registry)
+        text = render_report(report)
+        assert "degraded: shm→serial" in text
+        assert "shm-unavailable" in text
+        assert "2 shard(s) fell back" in text

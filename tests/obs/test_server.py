@@ -1,0 +1,86 @@
+"""The live /metrics endpoint (repro.obs.server)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import counter
+from repro.obs.server import start_metrics_server
+from repro.obs.trace import span, tracing
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+@pytest.fixture
+def server():
+    instance = start_metrics_server(port=0)
+    assert instance is not None
+    yield instance
+    instance.stop()
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, _ctype, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert body == "ok\n"
+
+    def test_metrics_prometheus_text(self, server):
+        counter("srvtest_hits_total", "hits").inc(2)
+        status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert "version=0.0.4" in ctype
+        assert "# TYPE srvtest_hits_total counter" in body
+        assert "srvtest_hits_total 2" in body
+
+    def test_metrics_includes_labeled_worker_series(self, server):
+        counter("srvtest_worker_total", "t").labels(worker="3").inc(4)
+        _status, _ctype, body = _get(server.url + "/metrics")
+        assert 'srvtest_worker_total{worker="3"} 4' in body
+
+    def test_spans_json(self, server):
+        with tracing():
+            with span("srvtest.phase", k=1):
+                pass
+            _status, ctype, body = _get(server.url + "/spans")
+        assert ctype.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["tracing"] is True
+        names = [entry["name"] for entry in payload["spans"]]
+        assert "srvtest.phase" in names
+        assert payload["spans"][0]["pid"] is not None
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestLifecycle:
+    def test_port_zero_binds_a_real_port(self, server):
+        assert server.port > 0
+        assert str(server.port) in server.url
+
+    def test_stop_is_idempotent_and_closes_socket(self):
+        instance = start_metrics_server(port=0)
+        url = instance.url
+        instance.stop()
+        instance.stop()
+        with pytest.raises(urllib.error.URLError):
+            _get(url + "/healthz")
+
+    def test_context_manager(self):
+        with start_metrics_server(port=0) as instance:
+            status, _ctype, _body = _get(instance.url + "/healthz")
+            assert status == 200
+
+    def test_taken_port_returns_none(self):
+        with start_metrics_server(port=0) as instance:
+            assert start_metrics_server(port=instance.port) is None

@@ -1,0 +1,202 @@
+"""The benchmark perf ledger and regression gate (repro.obs.trajectory)."""
+
+import json
+
+import pytest
+
+from repro._exceptions import ValidationError
+from repro.obs.trajectory import (
+    DEFAULT_THRESHOLD,
+    TRAJECTORY_SCHEMA,
+    append_record,
+    compare_trajectory,
+    flatten_extra,
+    git_revision,
+    host_fingerprint,
+    load_trajectory,
+    metric_direction,
+    record_from_rows,
+)
+
+
+def _rows_payload(extra, name="bench_x", quick=True, python="3.11.7"):
+    return {
+        "schema": "repro.bench_rows/1",
+        "name": name,
+        "title": "a bench",
+        "generated_at": "2026-08-07T00:00:00Z",
+        "quick": quick,
+        "environment": {
+            "python": python,
+            "implementation": "CPython",
+            "platform": "Linux-test",
+            "machine": "x86_64",
+            "cpu_count": 4,
+        },
+        "header": ["n", "speedup"],
+        "rows": [["256", "5.0x"]],
+        "extra": extra,
+    }
+
+
+class TestBuildingBlocks:
+    def test_flatten_extra_nests_and_drops_non_numeric(self):
+        flat = flatten_extra({
+            "speedup": {"256": 5.0, "1024": 7.5},
+            "wall_seconds": 1.25,
+            "label": "text",
+            "ok": True,
+        })
+        assert flat == {"speedup.256": 5.0, "speedup.1024": 7.5,
+                        "wall_seconds": 1.25}
+
+    def test_metric_direction(self):
+        assert metric_direction("speedup.256") == "higher"
+        assert metric_direction("wall_seconds") == "lower"
+        assert metric_direction("sweep_wall") == "lower"
+        assert metric_direction("batch_size") is None
+
+    def test_host_fingerprint_pairs_like_hosts_only(self):
+        a = {"python": "3.11.7", "platform": "Linux", "machine": "x86_64",
+             "implementation": "CPython", "cpu_count": 4}
+        b = dict(a, pid=999)  # run-local noise is excluded
+        c = dict(a, cpu_count=8)
+        assert host_fingerprint(a) == host_fingerprint(b)
+        assert host_fingerprint(a) != host_fingerprint(c)
+
+    def test_git_revision_in_this_checkout(self):
+        rev = git_revision()
+        assert rev is None or (isinstance(rev, str) and len(rev) >= 7)
+
+    def test_record_from_rows(self):
+        record = record_from_rows(
+            _rows_payload({"speedup": {"256": 5.0}}), git_rev="abc1234"
+        )
+        assert record["schema"] == TRAJECTORY_SCHEMA
+        assert record["bench"] == "bench_x"
+        assert record["git_rev"] == "abc1234"
+        assert record["metrics"] == {"speedup.256": 5.0}
+        assert record["host"]["cpu_count"] == 4
+        assert len(record["key"]) == 12
+
+    def test_record_rejects_non_row_payload(self):
+        with pytest.raises(ValidationError):
+            record_from_rows({"schema": "other"})
+
+
+class TestLedger:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "trajectory.jsonl")
+        first = record_from_rows(_rows_payload({"speedup": {"256": 5.0}}),
+                                 git_rev="r1")
+        second = record_from_rows(_rows_payload({"speedup": {"256": 5.5}}),
+                                  git_rev="r2")
+        append_record(path, first)
+        append_record(path, second)
+        records = load_trajectory(path)
+        assert [r["git_rev"] for r in records] == ["r1", "r2"]
+
+    def test_load_skips_corrupt_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "trajectory.jsonl"
+        good = record_from_rows(_rows_payload({"speedup": {"256": 5.0}}),
+                                git_rev="r1")
+        path.write_text(
+            "{truncated\n"
+            + json.dumps({"schema": "other/1"}) + "\n"
+            + json.dumps(good) + "\n"
+        )
+        records = load_trajectory(str(path))
+        assert len(records) == 1
+        assert records[0]["git_rev"] == "r1"
+
+    def test_missing_ledger_is_empty(self, tmp_path):
+        assert load_trajectory(str(tmp_path / "none.jsonl")) == []
+
+
+class TestCompare:
+    def _ledger(self, *speedups, name="bench_x"):
+        return [
+            record_from_rows(
+                _rows_payload({"speedup": {"256": value}}, name=name),
+                git_rev=f"r{k}",
+            )
+            for k, value in enumerate(speedups)
+        ]
+
+    def test_stable_runs_pass(self):
+        comparison = compare_trajectory(self._ledger(5.0, 5.1))
+        assert comparison.ok
+        assert comparison.regressions == []
+        assert "no regressions" in comparison.render()
+
+    def test_synthetic_slowdown_fails_with_readable_table(self):
+        comparison = compare_trajectory(self._ledger(5.0, 2.0))
+        assert not comparison.ok
+        assert len(comparison.regressions) == 1
+        row = comparison.regressions[0]
+        assert row["metric"] == "speedup.256"
+        assert row["status"] == "REGRESSED"
+        text = comparison.render()
+        assert "REGRESSED" in text and "speedup.256" in text
+        assert "bench_x" in text
+        assert "1 metric(s) regressed" in text
+
+    def test_lower_is_better_direction(self):
+        records = [
+            record_from_rows(
+                _rows_payload({"sweep_wall_seconds": value}),
+                git_rev=f"r{k}",
+            )
+            for k, value in enumerate([1.0, 2.0])
+        ]
+        comparison = compare_trajectory(records)
+        assert not comparison.ok
+
+    def test_within_threshold_noise_passes(self):
+        low = 5.0 * (1.0 - DEFAULT_THRESHOLD + 0.01)
+        assert compare_trajectory(self._ledger(5.0, low)).ok
+        assert not compare_trajectory(
+            self._ledger(5.0, low), threshold=0.1
+        ).ok
+
+    def test_different_hosts_never_compare(self):
+        fast = record_from_rows(
+            _rows_payload({"speedup": {"256": 9.0}}, python="3.11.7"),
+            git_rev="r0",
+        )
+        slow = record_from_rows(
+            _rows_payload({"speedup": {"256": 1.0}}, python="3.12.1"),
+            git_rev="r1",
+        )
+        comparison = compare_trajectory([fast, slow])
+        assert comparison.rows == []
+        assert comparison.ok
+
+    def test_selectors_pick_runs_by_offset(self):
+        ledger = self._ledger(9.0, 2.0, 2.1)
+        # prev vs latest: 2.0 -> 2.1 is fine...
+        assert compare_trajectory(ledger).ok
+        # ...but the run two back regressed against its predecessor.
+        assert not compare_trajectory(ledger, baseline="2",
+                                      candidate="prev").ok
+
+    def test_bench_filter(self):
+        ledger = (self._ledger(5.0, 1.0, name="bench_slow")
+                  + self._ledger(5.0, 5.0, name="bench_ok"))
+        assert not compare_trajectory(ledger).ok
+        assert compare_trajectory(ledger, bench="bench_ok").ok
+
+    def test_bad_selector_and_threshold_raise(self):
+        with pytest.raises(ValidationError):
+            compare_trajectory([], baseline="yesterday")
+        with pytest.raises(ValidationError):
+            compare_trajectory([], threshold=-0.5)
+
+    def test_untracked_metrics_never_gate(self):
+        records = [
+            record_from_rows(
+                _rows_payload({"batch_size": value}), git_rev=f"r{k}"
+            )
+            for k, value in enumerate([1000.0, 1.0])
+        ]
+        assert compare_trajectory(records).ok

@@ -174,7 +174,7 @@ class TestObservabilityFlags:
                      "--seed", "3", "--trace-out", out]) == 0
         capsys.readouterr()
         report = json.loads(open(out).read())
-        assert report["schema"] == "repro.run_report/1"
+        assert report["schema"] == "repro.run_report/2"
         assert report["command"] == "repro stats"
         assert report["seed"] == 3
         names = {s["name"] for s in report["spans"]}
@@ -190,6 +190,48 @@ class TestObservabilityFlags:
         path.write_text(json.dumps({"not": "a report"}))
         assert main(["report", str(path)]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_report_needs_file_or_compare(self, capsys):
+        assert main(["report"]) == 2
+        assert "--compare" in capsys.readouterr().err
+
+    def test_metrics_port_starts_live_endpoint(self, netlist_path,
+                                               capsys):
+        assert main(["analyze", netlist_path, "--nodes", "n5",
+                     "--metrics-port", "0"]) == 0
+        err = capsys.readouterr().err
+        assert "metrics server listening on http://127.0.0.1:" in err
+
+    def test_report_compare_gates_trajectory(self, tmp_path, capsys):
+        from repro.obs.trajectory import append_record, record_from_rows
+
+        ledger = str(tmp_path / "trajectory.jsonl")
+
+        def payload(speedup):
+            return {
+                "schema": "repro.bench_rows/1", "name": "bench_y",
+                "title": "t", "generated_at": "2026-08-07T00:00:00Z",
+                "quick": True,
+                "environment": {"python": "3.11", "platform": "L",
+                                "machine": "x", "cpu_count": 2,
+                                "implementation": "CPython"},
+                "header": ["n"], "rows": [["1"]],
+                "extra": {"speedup": {"256": speedup}},
+            }
+
+        append_record(ledger, record_from_rows(payload(5.0), "r0"))
+        append_record(ledger, record_from_rows(payload(5.2), "r1"))
+        assert main(["report", "--compare", "--trajectory", ledger]) == 0
+        assert "no regressions" in capsys.readouterr().out
+        # Inject a synthetic slowdown: the gate must fail readably.
+        append_record(ledger, record_from_rows(payload(1.0), "r2"))
+        assert main(["report", "--compare", "--trajectory", ledger]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "speedup.256" in out
+        # Explicit selectors: the two healthy runs still compare clean.
+        assert main(["report", "--compare", "2", "1",
+                     "--trajectory", ledger]) == 0
+        capsys.readouterr()
 
     def test_metrics_out_json(self, netlist_path, tmp_path, capsys):
         out = str(tmp_path / "metrics.json")

@@ -8,6 +8,7 @@ Usage::
                                              [--csv out.csv]
     python -m repro stats NETLIST.sp [--samples 2000] [--jobs 4]
     python -m repro sta [--layers 6 --width 15] [--jobs 4]
+    python -m repro serve [--port 8080] [--jobs 8 --backend shm]
     python -m repro table1
     python -m repro table2
     python -m repro report RUN_REPORT.json
@@ -18,8 +19,10 @@ library implements.  ``verify`` checks the paper's claims (Lemmas 1-2,
 Theorem, Corollary 1) numerically on the given circuit.  ``waveform``
 renders the exact output waveform as ASCII art (and optionally CSV).
 ``sta`` times a seeded random gate-level design with the Elmore model.
-``table1`` and ``table2`` regenerate the paper's tables from the
-reconstructed circuits.
+``serve`` runs the long-lived HTTP JSON service (``/v1/stats`` with
+request coalescing, ``/v1/verify``, ``/v1/sta``, plus ``/healthz`` and
+``/metrics``; see ``docs/serving.md``).  ``table1`` and ``table2``
+regenerate the paper's tables from the reconstructed circuits.
 
 ``stats``, ``verify`` and ``sta`` accept ``--jobs/-j N`` to fan their
 sweep out over N worker processes through the sharded engine
@@ -36,7 +39,8 @@ Every subcommand additionally accepts the observability flags:
   when FILE ends in ``.prom``, JSON otherwise);
 * ``--metrics-port PORT`` — serve live ``/metrics`` (Prometheus text),
   ``/healthz``, and ``/spans`` on localhost for the duration of the
-  command (``0`` picks a free port, printed to stderr);
+  command (``0`` picks a free port, reported on stdout; a taken port
+  is a clean one-line error, never a traceback);
 * ``-v/--verbose`` — log to stderr (``-v`` INFO, ``-vv`` DEBUG, the
   level at which span boundaries are logged).
 
@@ -63,50 +67,18 @@ from repro.core import (
     transfer_moments,
     verify_tree,
 )
-from repro.signals import (
-    ExponentialInput,
-    RaisedCosineRamp,
-    SaturatedRamp,
-    Signal,
-    SmoothstepRamp,
-    StepInput,
-)
+from repro.signals import SaturatedRamp, Signal, StepInput
+from repro.signals.spec import parse_time_spec as _parse_time_spec
+from repro.signals.spec import signal_from_spec
 
 __all__ = ["main", "parse_signal_spec", "parse_time_spec"]
 
 logger = logging.getLogger(__name__)
 
-_TIME_SUFFIXES = {"s": 1.0, "ms": 1e-3, "us": 1e-6, "ns": 1e-9, "ps": 1e-12,
-                  "fs": 1e-15}
-
-
-def parse_time_spec(token: str) -> float:
-    """Parse a time like ``2ns``/``500ps``/``1e-9`` into seconds.
-
-    Raises :class:`ValidationError` with a readable message on garbage
-    or non-positive values — the CLI wraps this into an argparse error
-    instead of letting a raw traceback escape.
-    """
-    text = token.strip().lower()
-    scale = 1.0
-    for suffix in sorted(_TIME_SUFFIXES, key=len, reverse=True):
-        if text.endswith(suffix):
-            scale = _TIME_SUFFIXES[suffix]
-            text = text[: -len(suffix)]
-            break
-    try:
-        value = float(text) * scale
-    except ValueError:
-        raise ValidationError(
-            f"cannot parse time {token!r}: expected a number with an "
-            "optional unit suffix (s, ms, us, ns, ps, fs), e.g. '2ns'"
-        ) from None
-    if not value > 0.0:
-        raise ValidationError(
-            f"time {token!r} must be > 0 (a signal cannot rise in "
-            "zero or negative time)"
-        )
-    return value
+# Both parsers live in repro.signals.spec now, shared verbatim with the
+# HTTP service's "signal" request field; re-exported here because they
+# have always been part of the CLI module's public surface.
+parse_time_spec = _parse_time_spec
 
 
 def parse_signal_spec(spec: str) -> Signal:
@@ -114,30 +86,14 @@ def parse_signal_spec(spec: str) -> Signal:
 
     Kinds: ``step``, ``ramp`` (saturated), ``cosine`` (raised cosine),
     ``smoothstep``, ``exp`` (exponential; the parameter is ``tau``).
+    Wraps :func:`repro.signals.spec.signal_from_spec`, surfacing
+    validation failures as clean argparse usage errors — never a
+    traceback.
     """
-    kind, _, param = spec.partition(":")
-    kind = kind.strip().lower()
-    if kind == "step":
-        return StepInput()
-    if not param:
-        raise argparse.ArgumentTypeError(
-            f"signal {kind!r} needs a time parameter, e.g. '{kind}:2ns'"
-        )
     try:
-        value = parse_time_spec(param)
-        if kind == "ramp":
-            return SaturatedRamp(value)
-        if kind == "cosine":
-            return RaisedCosineRamp(value)
-        if kind == "smoothstep":
-            return SmoothstepRamp(value)
-        if kind == "exp":
-            return ExponentialInput(value)
+        return signal_from_spec(spec)
     except ReproError as exc:
-        # Signal constructors validate too (SignalError); surface both
-        # as clean argparse usage errors, never a traceback.
         raise argparse.ArgumentTypeError(str(exc)) from exc
-    raise argparse.ArgumentTypeError(f"unknown signal kind {kind!r}")
 
 
 def _int_arg(label: str, minimum: Optional[int] = None):
@@ -380,6 +336,24 @@ def _cmd_sta(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    backend = None if args.backend in (None, "auto") else args.backend
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        backend=backend,
+        batch_window=args.batch_window / 1e3,
+        max_queue=args.max_queue,
+        deadline=args.deadline,
+        drain_timeout=args.drain_timeout,
+        coalesce=not args.no_coalesce,
+    )
+    return run_server(config)
+
+
 def _cmd_table1(_args) -> int:
     from repro.workloads import FIG1_PROBES, fig1_tree
     tree = fig1_tree()
@@ -577,6 +551,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sta.set_defaults(func=_cmd_sta)
 
+    serve = sub.add_parser(
+        "serve", parents=[common, sharded],
+        help="run the HTTP JSON service (stats/verify/sta + /metrics)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default %(default)s)",
+    )
+    serve.add_argument(
+        "--port", type=_int_arg("--port", minimum=0), default=8080,
+        help="port to bind; 0 picks a free port, printed on stdout "
+             "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--batch-window", type=_float_arg("--batch-window", minimum=0.0),
+        default=2.0, metavar="MS",
+        help="milliseconds a fresh batch waits for coalescing "
+             "companions before dispatching (default %(default)s)",
+    )
+    serve.add_argument(
+        "--max-queue", type=_int_arg("--max-queue", minimum=1),
+        default=256,
+        help="pending-request bound; beyond it requests get 429 "
+             "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--deadline", type=_float_arg("--deadline", minimum=0.001),
+        default=30.0, metavar="SECONDS",
+        help="default and maximum per-request deadline "
+             "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=_float_arg("--drain-timeout", minimum=0.0),
+        default=10.0, metavar="SECONDS",
+        help="how long shutdown waits for in-flight requests before "
+             "failing them with 503 (default %(default)s)",
+    )
+    serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="dispatch every request as its own sweep (the benchmark "
+             "baseline; coalescing is on by default)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
     waveform = sub.add_parser(
         "waveform", parents=[common],
         help="render a node's exact output waveform",
@@ -668,9 +687,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.server import start_metrics_server
 
         server = start_metrics_server(args.metrics_port)
-        if server is not None:
+        if server is None:
+            # Bind failures (port taken, privileged port) are a clear
+            # one-liner, never a traceback; the run itself continues.
+            print(
+                f"error: cannot serve metrics on "
+                f"127.0.0.1:{args.metrics_port} (port already in "
+                f"use?); continuing without live metrics",
+                file=sys.stderr,
+            )
+        else:
+            # stdout + flush so scripts using --metrics-port 0 can
+            # discover the OS-chosen port.
             print(f"metrics server listening on {server.url}",
-                  file=sys.stderr)
+                  flush=True)
     if trace_on:
         tracer.reset()
         obs.get_registry().reset()

@@ -35,12 +35,37 @@ from typing import Optional
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 
-__all__ = ["MetricsServer", "start_metrics_server"]
+__all__ = [
+    "MetricsServer",
+    "start_metrics_server",
+    "healthz_body",
+    "metrics_body",
+    "spans_body",
+]
 
 logger = logging.getLogger(__name__)
 
 #: Content type mandated by the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def healthz_body() -> bytes:
+    """The liveness-probe payload."""
+    return b"ok\n"
+
+
+def metrics_body() -> bytes:
+    """The metrics registry in Prometheus text exposition format."""
+    return get_registry().to_prometheus_text().encode("utf-8")
+
+
+def spans_body() -> bytes:
+    """The tracer's recorded span trees as a JSON document."""
+    payload = {
+        "tracing": get_tracer().enabled,
+        "spans": get_tracer().to_dicts(),
+    }
+    return json.dumps(payload, indent=2).encode("utf-8")
 
 
 class _ObsRequestHandler(BaseHTTPRequestHandler):
@@ -51,17 +76,12 @@ class _ObsRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0]
         if path == "/metrics":
-            body = get_registry().to_prometheus_text().encode("utf-8")
-            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, metrics_body())
         elif path == "/healthz":
-            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+            self._reply(200, "text/plain; charset=utf-8", healthz_body())
         elif path == "/spans":
-            payload = {
-                "tracing": get_tracer().enabled,
-                "spans": get_tracer().to_dicts(),
-            }
-            body = json.dumps(payload, indent=2).encode("utf-8")
-            self._reply(200, "application/json; charset=utf-8", body)
+            self._reply(200, "application/json; charset=utf-8",
+                        spans_body())
         else:
             self._reply(404, "text/plain; charset=utf-8", b"not found\n")
 

@@ -118,7 +118,34 @@ def resolve_backend(backend: Optional[str]) -> Optional[str]:
             f"backend must be one of {('auto',) + BACKENDS}, "
             f"got {backend!r}"
         )
+    if backend == "process":
+        _note_process_backend()
     return backend
+
+
+_PROCESS_SELECTED = _counter(
+    "parallel_process_backend_selected_total",
+    "Explicit backend='process' selections (deprecated: the per-call "
+    "fork pool measured 0.59x vs serial; prefer 'shm' or 'auto')",
+)
+_process_backend_warned = False
+
+
+def _note_process_backend() -> None:
+    """Soft-deprecate explicit ``backend="process"``: count every
+    selection, log once per process.  A ``DeprecationWarning`` would be
+    promoted to an error under the test suite's warning filters, so the
+    nudge stays out-of-band."""
+    global _process_backend_warned
+    _PROCESS_SELECTED.inc()
+    if not _process_backend_warned:
+        _process_backend_warned = True
+        logger.warning(
+            "backend='process' is deprecated for sweeps: the per-call "
+            "fork pool measured 0.59x vs serial on the tracked "
+            "benchmarks (see ROADMAP.md); prefer backend='shm' (warm "
+            "pool, zero-copy) or 'auto'"
+        )
 
 
 def available_backends() -> List[str]:

@@ -1,0 +1,94 @@
+"""The ``serve_*`` metric family (inventory in ``docs/observability.md``).
+
+Every metric lives in the process-global registry
+(:mod:`repro.obs.metrics`), so the service's own ``GET /metrics``
+endpoint — and any ``--metrics-port`` side server — exports them next to
+the ``parallel_*`` / ``batch_*`` series the sweeps underneath produce.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import counter, gauge, histogram
+
+__all__ = [
+    "REQUESTS",
+    "BATCHES",
+    "BATCH_SIZE",
+    "COALESCED",
+    "REJECTED",
+    "DEADLINE_EXPIRED",
+    "DRAINING",
+    "INFLIGHT",
+    "InflightGauge",
+]
+
+REQUESTS = counter(
+    "serve_requests_total",
+    "HTTP requests served, labeled by endpoint and status code",
+)
+BATCHES = counter(
+    "serve_batches_total",
+    "Coalesced sweeps dispatched to the evaluation executor",
+)
+BATCH_SIZE = histogram(
+    "serve_batch_size",
+    "Requests coalesced into each dispatched sweep",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+)
+COALESCED = counter(
+    "serve_coalesced_total",
+    "Requests that shared a sweep with at least one other request "
+    "(batch_size - 1 summed over dispatched batches)",
+)
+REJECTED = counter(
+    "serve_rejected_total",
+    "Requests rejected before evaluation, labeled by reason "
+    "(queue_full -> 429, draining -> 503)",
+)
+DEADLINE_EXPIRED = counter(
+    "serve_deadline_expired_total",
+    "Requests whose deadline expired while queued or in flight (504)",
+)
+DRAINING = gauge(
+    "serve_draining",
+    "1 while the server is draining for shutdown, else 0",
+)
+INFLIGHT = gauge(
+    "serve_inflight",
+    "Requests currently queued or executing",
+)
+
+
+class InflightGauge:
+    """Increment/decrement arithmetic on top of the set-only ``Gauge``.
+
+    The obs layer's gauges record a last-written value; in-flight
+    tracking needs +1/-1 from many concurrent request handlers, so the
+    running count lives here under a lock and every change is pushed as
+    a fresh ``set``.
+    """
+
+    def __init__(self, gauge_metric=INFLIGHT) -> None:
+        self._gauge = gauge_metric
+        self._lock = threading.Lock()
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """The current in-flight request count."""
+        with self._lock:
+            return self._count
+
+    def __enter__(self) -> "InflightGauge":
+        with self._lock:
+            self._count += 1
+            self._gauge.set(self._count)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        with self._lock:
+            self._count = max(self._count - 1, 0)
+            self._gauge.set(self._count)
+        return False

@@ -1,0 +1,264 @@
+"""End-to-end HTTP tests against an in-process server thread.
+
+One module-scoped server handles every request-shape test (startup
+forks nothing — jobs default to in-process sweeps), so the suite stays
+fast while covering the full request -> batcher -> engine -> response
+path, the error contract, and the observability surface.
+"""
+
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import delay_bounds, transfer_moments
+from repro.serve import ServeConfig, ServerThread
+from repro.signals import SaturatedRamp
+from repro.workloads import fig1_tree
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServeConfig(port=0, batch_window=0.001,
+                                  manage_pool=False)) as thread:
+        yield thread
+
+
+def _post(url, path, payload):
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(url, path):
+    with urllib.request.urlopen(url + path, timeout=10.0) as response:
+        return response.status, response.read()
+
+
+class TestStatsEndpoint:
+    def test_matches_direct_library_evaluation(self, server):
+        status, body = _post(server.url, "/v1/stats",
+                             {"workload": "fig1"})
+        assert status == 200
+        tree = fig1_tree()
+        moments = transfer_moments(tree, 3)
+        for node in tree.node_names:
+            bounds = delay_bounds(tree, node, moments=moments)
+            served = body["nodes"][node]
+            assert served["elmore"] == pytest.approx(moments.mean(node),
+                                                     rel=0, abs=0)
+            assert served["upper"] == bounds.upper
+            assert served["lower"] == bounds.lower
+
+    def test_generalized_signal(self, server):
+        status, body = _post(
+            server.url, "/v1/stats",
+            {"workload": "fig1", "signal": "ramp:2ns", "nodes": ["n5"]},
+        )
+        assert status == 200
+        assert list(body["nodes"]) == ["n5"]
+        bounds = delay_bounds(fig1_tree(), "n5",
+                              signal=SaturatedRamp(2e-9))
+        assert body["nodes"]["n5"]["upper"] == bounds.upper
+        assert body["nodes"]["n5"]["lower"] == bounds.lower
+
+    def test_multi_row_request(self, server):
+        status, body = _post(
+            server.url, "/v1/stats",
+            {"workload": "fig1", "rscale": [1.0, 2.0], "nodes": ["n5"]},
+        )
+        assert status == 200
+        assert body["rows"] == 2
+        elmore = body["nodes"]["n5"]["elmore"]
+        # Scaling every resistance scales every RC product linearly.
+        assert elmore[1] == pytest.approx(2.0 * elmore[0])
+
+    def test_inline_tree(self, server):
+        status, body = _post(server.url, "/v1/stats", {
+            "tree": {
+                "input": "in",
+                "nodes": [
+                    {"name": "out", "parent": "in", "r": 1000.0,
+                     "c": 1e-12},
+                ],
+            },
+        })
+        assert status == 200
+        assert body["nodes"]["out"]["elmore"] == pytest.approx(1e-9)
+
+    def test_concurrent_identical_requests_coalesce_bit_identically(
+        self, server
+    ):
+        """N concurrent same-topology requests run as fewer than N
+        sweeps and return bit-identical payloads to a serial request."""
+        from repro.obs.metrics import counter
+
+        solo = _post(server.url, "/v1/stats",
+                     {"workload": "tree25", "rscale": 1.25})[1]
+        batches_before = counter("serve_batches_total").value
+        coalesced_before = counter("serve_coalesced_total").value
+        n = 8
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            payloads = list(pool.map(
+                lambda _: _post(server.url, "/v1/stats",
+                                {"workload": "tree25", "rscale": 1.25}),
+                range(n),
+            ))
+        assert all(status == 200 for status, _ in payloads)
+        for _status, body in payloads:
+            assert body["nodes"] == solo["nodes"]  # exact JSON equality
+        sweeps = counter("serve_batches_total").value - batches_before
+        coalesced = counter("serve_coalesced_total").value - \
+            coalesced_before
+        assert sweeps < n
+        assert coalesced >= n - sweeps
+        assert any(body["batch"]["coalesced"]
+                   for _status, body in payloads)
+
+
+class TestVerifyEndpoint:
+    def test_verify_fig1(self, server):
+        status, body = _post(
+            server.url, "/v1/verify",
+            {"workload": "fig1", "samples": 401, "nodes": ["n5"]},
+        )
+        assert status == 200
+        assert body["all_hold"] is True
+        node = body["nodes"]["n5"]
+        assert node["upper_bound_holds"] and node["lower_bound_holds"]
+        assert node["elmore"] > node["actual_delay"] > 0
+
+
+class TestStaEndpoint:
+    def test_sta_round_trip(self, server):
+        status, body = _post(
+            server.url, "/v1/sta",
+            {"layers": 3, "width": 4, "seed": 1},
+        )
+        assert status == 200
+        assert body["critical_delay"] > 0
+        path = body["critical_path"]
+        assert path[-1]["arrival"] == pytest.approx(
+            body["critical_delay"]
+        )
+        arrivals = [element["arrival"] for element in path]
+        assert arrivals == sorted(arrivals)
+
+
+class TestErrorContract:
+    @pytest.mark.parametrize("payload,fragment", [
+        ({"workload": "nope"}, "unknown workload"),
+        ({"workload": "fig1", "rscale": -1.0}, "finite and > 0"),
+        ({"workload": "fig1", "bogus": True}, "unknown"),
+        ({}, "workload"),
+    ])
+    def test_validation_errors_are_400_json(self, server, payload,
+                                            fragment):
+        status, body = _post(server.url, "/v1/stats", payload)
+        assert status == 400
+        assert fragment in body["error"]["message"]
+        assert "Traceback" not in body["error"]["message"]
+
+    def test_malformed_json_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/stats", data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert err.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(server.url + "/v1/nope", timeout=10.0)
+        assert err.value.code == 404
+
+    def test_wrong_method_is_405(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(server.url + "/v1/stats",
+                                   timeout=10.0)  # GET
+        assert err.value.code == 405
+        status, _body = _post(server.url, "/healthz", {})
+        assert status == 405
+
+    def test_deadline_expiry_is_504(self, server):
+        status, body = _post(
+            server.url, "/v1/verify",
+            {"workload": "tree25", "timeout_ms": 1},
+        )
+        assert status == 504
+        assert "deadline" in body["error"]["message"]
+
+
+class TestObservabilitySurface:
+    def test_healthz(self, server):
+        status, body = _get(server.url, "/healthz")
+        assert (status, body) == (200, b"ok\n")
+
+    def test_metrics_exposes_serve_series(self, server):
+        _post(server.url, "/v1/stats", {"workload": "fig1"})
+        status, body = _get(server.url, "/metrics")
+        assert status == 200
+        text = body.decode("utf-8")
+        for name in ("serve_requests_total", "serve_batches_total",
+                     "serve_batch_size", "serve_inflight",
+                     "serve_draining"):
+            assert name in text
+        assert 'endpoint="/v1/stats",status="200"' in text
+
+    def test_spans(self, server):
+        status, body = _get(server.url, "/spans")
+        assert status == 200
+        payload = json.loads(body)
+        assert set(payload) == {"tracing", "spans"}
+
+
+class TestLifecycle:
+    def test_graceful_stop_completes_inflight_requests(self):
+        """Requests racing shutdown either complete or get a clean
+        structured error (503 draining / connection refused) — and the
+        server thread always joins."""
+        with ServerThread(ServeConfig(port=0, batch_window=0.02,
+                                      manage_pool=False)) as thread:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [
+                    pool.submit(_post, thread.url, "/v1/stats",
+                                {"workload": "fig1"})
+                    for _ in range(4)
+                ]
+                thread.stop()
+                statuses = []
+                for future in futures:
+                    try:
+                        statuses.append(future.result()[0])
+                    except (urllib.error.URLError, ConnectionError,
+                            TimeoutError):
+                        statuses.append("refused")
+        assert all(code in (200, 503, "refused") for code in statuses)
+
+    def test_two_servers_bind_distinct_ephemeral_ports(self):
+        with ServerThread(ServeConfig(port=0, manage_pool=False)) as a, \
+                ServerThread(ServeConfig(port=0,
+                                         manage_pool=False)) as b:
+            assert a.port != b.port
+            assert _get(a.url, "/healthz")[0] == 200
+            assert _get(b.url, "/healthz")[0] == 200
+
+    def test_taken_port_fails_with_clear_error(self):
+        from repro._exceptions import ReproError
+
+        with ServerThread(ServeConfig(port=0, manage_pool=False)) as a:
+            clash = ServerThread(ServeConfig(port=a.port,
+                                             manage_pool=False))
+            with pytest.raises(ReproError, match="failed to start"):
+                clash.start()

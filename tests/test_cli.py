@@ -199,8 +199,10 @@ class TestObservabilityFlags:
                                                capsys):
         assert main(["analyze", netlist_path, "--nodes", "n5",
                      "--metrics-port", "0"]) == 0
-        err = capsys.readouterr().err
-        assert "metrics server listening on http://127.0.0.1:" in err
+        # The chosen ephemeral port is announced on stdout so scripts
+        # can capture it.
+        out = capsys.readouterr().out
+        assert "metrics server listening on http://127.0.0.1:" in out
 
     def test_report_compare_gates_trajectory(self, tmp_path, capsys):
         from repro.obs.trajectory import append_record, record_from_rows

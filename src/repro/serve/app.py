@@ -72,6 +72,13 @@ _STATUS_REASONS = {
 
 _JSON_TYPE = "application/json; charset=utf-8"
 
+#: The served route set; anything else is labeled ``unknown`` in
+#: metrics/spans so scanner traffic cannot grow label cardinality.
+_ENDPOINTS = frozenset(
+    {"/healthz", "/metrics", "/spans", "/v1/stats", "/v1/verify",
+     "/v1/sta"}
+)
+
 
 class _HttpError(Exception):
     """Internal: aborts request handling with a status + message."""
@@ -104,6 +111,9 @@ class ServeConfig:
     coalesce: bool = True
     #: Threads for the heavy endpoints (verify/sta).
     aux_threads: int = 2
+    #: Verify/sta pending bound (queued + executing, including work
+    #: abandoned at its deadline); beyond it requests get 429.
+    aux_max_queue: int = 16
     #: Largest accepted request body.
     max_body: int = 8 << 20
     #: Per-connection idle/read timeout (seconds).
@@ -139,6 +149,11 @@ class ReproServer:
             coalesce=self.config.coalesce,
         )
         self._inflight = _metrics.InflightGauge()
+        # Verify/sta backpressure: the aux executor's own work queue is
+        # unbounded, so the bound lives here.  Slots are released from
+        # worker threads (a done callback), hence the lock.
+        self._aux_lock = threading.Lock()
+        self._aux_pending = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: "set[asyncio.Task]" = set()
         self._shutdown_event = asyncio.Event()
@@ -325,12 +340,15 @@ class ReproServer:
     async def _route(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Tuple[bytes, str]]:
-        with self._inflight, _span("serve.request", endpoint=path,
+        endpoint = path if path in _ENDPOINTS else "unknown"
+        with self._inflight, _span("serve.request", endpoint=endpoint,
                                    method=method):
             status, payload = await self._dispatch_route(
                 method, path, body
             )
-        _metrics.REQUESTS.labels(endpoint=path, status=str(status)).inc()
+        _metrics.REQUESTS.labels(
+            endpoint=endpoint, status=str(status)
+        ).inc()
         return status, payload
 
     async def _dispatch_route(
@@ -367,8 +385,13 @@ class ReproServer:
             return self._error(504, str(exc))
         except ValidationError as exc:
             return self._error(400, str(exc))
-        except ReproError as exc:
-            return self._error(400, str(exc))
+        except ReproError:
+            # Only the subclasses caught above are client mistakes;
+            # any other ReproError is a server-side fault (engine,
+            # batcher bookkeeping) and must not read as a 400.
+            logger.exception("internal error handling %s %s", method,
+                             path)
+            return self._error(500, "internal server error")
         except asyncio.CancelledError:
             raise
         except Exception:
@@ -414,21 +437,42 @@ class ReproServer:
         if self.batcher.closed:
             _metrics.REJECTED.labels(reason="draining").inc()
             raise DrainingError("server is draining; retry elsewhere")
+        with self._aux_lock:
+            if self._aux_pending >= self.config.aux_max_queue:
+                _metrics.REJECTED.labels(reason="queue_full").inc()
+                raise QueueFullError(
+                    "verify/sta queue is full "
+                    f"({self.config.aux_max_queue} pending)"
+                )
+            self._aux_pending += 1
         timeout = self._effective_timeout(request.timeout_s)
-        loop = asyncio.get_running_loop()
+        # Submit the concurrent future directly: a request abandoned at
+        # its deadline (504) keeps executing on its thread, and only the
+        # work's completion — not the waiter's timeout — frees the slot,
+        # so abandoned work still counts against the bound.
+        future = self._aux_executor.submit(
+            evaluate, request, self.config.jobs, self.config.backend
+        )
+        future.add_done_callback(self._release_aux_slot)
         try:
             return await asyncio.wait_for(
-                loop.run_in_executor(
-                    self._aux_executor, evaluate, request,
-                    self.config.jobs, self.config.backend,
-                ),
-                timeout,
+                asyncio.wrap_future(future), timeout
             )
         except asyncio.TimeoutError:
             _metrics.DEADLINE_EXPIRED.inc()
             raise DeadlineExpiredError(
                 f"request exceeded its {timeout:.3g}s deadline"
             ) from None
+
+    def _release_aux_slot(self, _future) -> None:
+        with self._aux_lock:
+            self._aux_pending = max(self._aux_pending - 1, 0)
+
+    @property
+    def aux_pending(self) -> int:
+        """Verify/sta requests queued or executing (incl. abandoned)."""
+        with self._aux_lock:
+            return self._aux_pending
 
     async def _handle_verify(self, body: bytes) -> Dict[str, Any]:
         request = parse_verify_request(self._parse_body(body))

@@ -125,11 +125,22 @@ def _cached_workload(name: str) -> RCTree:
                 f"cannot parse workload {name!r}: expected "
                 "'balanced:<depth>x<fanout>', e.g. 'balanced:9x2'"
             )
-        nodes = sum(fanout**level for level in range(depth))
+        # Accumulate the node count with an early exit at the limit:
+        # the closed-form geometric sum over unbounded depth/fanout is
+        # big-int exponentiation that would stall the event loop.
+        if fanout == 1:
+            nodes = depth
+        else:
+            nodes, term = 0, 1
+            for _ in range(depth):
+                nodes += term
+                if nodes > MAX_TREE_NODES:
+                    break
+                term *= fanout
         if nodes > MAX_TREE_NODES:
             raise ValidationError(
-                f"workload {name!r} would build {nodes} nodes "
-                f"(limit {MAX_TREE_NODES})"
+                f"workload {name!r} exceeds the {MAX_TREE_NODES}-node "
+                "limit"
             )
         return balanced_tree(
             depth, fanout, _BALANCED_R, _BALANCED_C,
@@ -212,10 +223,12 @@ def topology_key(tree: RCTree, origin: Optional[str] = None) -> str:
     if origin is not None:
         return f"workload:{origin}"
     digest = hashlib.sha1()
-    digest.update(tree.input_node.encode("utf-8"))
-    for name in tree.node_names:
-        digest.update(b"\x00")
-        digest.update(name.encode("utf-8"))
+    # Length-prefix every name: a separator byte alone is not injective
+    # (JSON names may contain any byte, including the separator).
+    for name in (tree.input_node, *tree.node_names):
+        encoded = name.encode("utf-8")
+        digest.update(len(encoded).to_bytes(4, "big"))
+        digest.update(encoded)
     digest.update(tree.parents.tobytes())
     return f"tree:{digest.hexdigest()}"
 

@@ -222,6 +222,144 @@ class TestObservabilitySurface:
         payload = json.loads(body)
         assert set(payload) == {"tracing", "spans"}
 
+    def test_unmatched_paths_share_one_metric_label(self, server):
+        """Scanner traffic must not grow label cardinality: unmatched
+        routes all fold into endpoint="unknown"."""
+        for path in ("/v1/scanner-probe-a", "/v1/scanner-probe-b"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url + path, timeout=10.0)
+            assert err.value.code == 404
+        text = _get(server.url, "/metrics")[1].decode("utf-8")
+        assert 'endpoint="unknown",status="404"' in text
+        assert "scanner-probe" not in text
+
+
+class TestInternalErrorMapping:
+    def test_server_side_repro_error_is_500_not_400(self):
+        """A ReproError from the engine/batcher internals is a server
+        fault; only the 4xx-worthy subclasses may blame the client."""
+        import asyncio
+
+        from repro._exceptions import ReproError
+        from repro.serve.app import ReproServer, ServeConfig
+
+        async def main():
+            srv = ReproServer(ServeConfig(manage_pool=False))
+            try:
+                async def broken_submit(key, request, timeout=None):
+                    raise ReproError(
+                        "evaluator returned 1 results for 2 requests"
+                    )
+
+                srv.batcher.submit = broken_submit
+                body = json.dumps({"workload": "fig1"}).encode("utf-8")
+                status, (payload, _type) = await srv._dispatch_route(
+                    "POST", "/v1/stats", body
+                )
+                return status, json.loads(payload)
+            finally:
+                srv._sweep_executor.shutdown(wait=False)
+                srv._aux_executor.shutdown(wait=False)
+
+        status, payload = asyncio.run(main())
+        assert status == 500
+        assert payload["error"]["message"] == "internal server error"
+        assert "evaluator" not in payload["error"]["message"]
+
+
+class TestAuxBackpressure:
+    """Verify/sta requests are bounded: past ``aux_max_queue`` pending
+    (queued + executing, including deadline-abandoned work) they get a
+    429 instead of piling onto the executor's unbounded queue."""
+
+    @staticmethod
+    def _server():
+        from repro.serve.app import ReproServer, ServeConfig
+
+        return ReproServer(ServeConfig(manage_pool=False, aux_threads=1,
+                                       aux_max_queue=1))
+
+    def test_pending_request_past_bound_is_rejected(self):
+        import asyncio
+        import threading
+        from types import SimpleNamespace
+
+        from repro.serve.batcher import QueueFullError
+
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow_eval(request, jobs, backend):
+            started.set()
+            release.wait(30.0)
+            return {"ok": True}
+
+        async def main():
+            srv = self._server()
+            try:
+                first = asyncio.ensure_future(srv._handle_aux(
+                    slow_eval, SimpleNamespace(timeout_s=None)
+                ))
+                while not started.is_set():
+                    await asyncio.sleep(0.005)
+                with pytest.raises(QueueFullError, match="queue is full"):
+                    await srv._handle_aux(
+                        slow_eval, SimpleNamespace(timeout_s=None)
+                    )
+                release.set()
+                assert await first == {"ok": True}
+            finally:
+                release.set()
+                srv._sweep_executor.shutdown(wait=False)
+                srv._aux_executor.shutdown(wait=True)
+            assert srv.aux_pending == 0
+
+        asyncio.run(main())
+
+    def test_deadline_abandoned_work_holds_its_slot(self):
+        """A 504'd request keeps executing on its thread; its slot must
+        only free when the work finishes, so abandoned jobs cannot
+        accumulate without backpressure."""
+        import asyncio
+        import threading
+        from types import SimpleNamespace
+
+        from repro.serve.batcher import (
+            DeadlineExpiredError,
+            QueueFullError,
+        )
+
+        release = threading.Event()
+
+        def slow_eval(request, jobs, backend):
+            release.wait(30.0)
+            return {"ok": True}
+
+        async def main():
+            srv = self._server()
+            try:
+                with pytest.raises(DeadlineExpiredError):
+                    await srv._handle_aux(
+                        slow_eval, SimpleNamespace(timeout_s=0.05)
+                    )
+                assert srv.aux_pending == 1  # still running its thread
+                with pytest.raises(QueueFullError):
+                    await srv._handle_aux(
+                        slow_eval, SimpleNamespace(timeout_s=None)
+                    )
+                release.set()
+                for _ in range(200):
+                    if srv.aux_pending == 0:
+                        break
+                    await asyncio.sleep(0.01)
+                assert srv.aux_pending == 0
+            finally:
+                release.set()
+                srv._sweep_executor.shutdown(wait=False)
+                srv._aux_executor.shutdown(wait=True)
+
+        asyncio.run(main())
+
 
 class TestLifecycle:
     def test_graceful_stop_completes_inflight_requests(self):

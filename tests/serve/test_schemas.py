@@ -47,6 +47,22 @@ class TestWorkloads:
         with pytest.raises(ValidationError, match="limit"):
             resolve_workload("balanced:30x2")
 
+    @pytest.mark.parametrize("name", [
+        "balanced:200000x2",       # geometric blow-up
+        "balanced:1000000000x1",   # linear chain, huge depth
+        "balanced:64x65536",       # huge fanout
+    ])
+    def test_huge_parametric_workloads_rejected_fast(self, name):
+        # The node count must be bounded *before* any big-int
+        # exponentiation: an unbounded sum here would stall the event
+        # loop for arbitrary client input.
+        import time
+
+        start = time.monotonic()
+        with pytest.raises(ValidationError, match="limit"):
+            resolve_workload(name)
+        assert time.monotonic() - start < 1.0
+
 
 class TestInlineTrees:
     def test_round_trip(self):
@@ -107,6 +123,23 @@ class TestTopologyKey:
     def test_workload_key_is_name_based(self):
         tree = resolve_workload("fig1")
         assert topology_key(tree, origin="fig1") == "workload:fig1"
+
+    def test_nul_crafted_names_do_not_collide(self):
+        # Names are length-prefixed into the digest: with a separator
+        # byte alone, ["a\x00b", "c"] and ["a", "b\x00c"] would hash
+        # identically and coalesce two different topologies.
+        def spec(names):
+            return {
+                "input": "in",
+                "nodes": [
+                    {"name": name, "parent": "in", "r": 1.0, "c": 1e-12}
+                    for name in names
+                ],
+            }
+
+        a = tree_from_spec(spec(["a\x00b", "c"]))
+        b = tree_from_spec(spec(["a", "b\x00c"]))
+        assert topology_key(a) != topology_key(b)
 
 
 class TestStatsRequest:

@@ -185,7 +185,9 @@ def _cmd_analyze(args) -> int:
 def _cmd_verify(args) -> int:
     with open(args.netlist, encoding="utf-8") as handle:
         tree, _ = parse_rc_tree(handle.read())
-    verdict = verify_tree(tree, jobs=args.jobs, backend=args.backend)
+    verdict = verify_tree(tree, jobs=args.jobs, backend=args.backend,
+                          checkpoint_path=args.checkpoint,
+                          resume=args.resume)
     for node in verdict.nodes:
         status = "ok" if node.all_hold else "FAIL"
         print(
@@ -262,6 +264,7 @@ def _cmd_stats(args) -> int:
     mc = None
     if args.samples > 0 and (
         args.jobs is not None or args.backend is not None
+        or args.checkpoint is not None
     ):
         # Sharded engine: deterministic per-shard RNG spawning, results
         # bit-identical for any --jobs value and any --backend.
@@ -269,7 +272,8 @@ def _cmd_stats(args) -> int:
 
         mc = monte_carlo_delay_matrix(
             tree, model, args.samples, seed=args.seed, jobs=args.jobs,
-            backend=args.backend,
+            backend=args.backend, checkpoint_path=args.checkpoint,
+            resume=args.resume,
         )
     elif args.samples > 0:
         # One batched sweep evaluates every node for every sample.
@@ -315,7 +319,8 @@ def _cmd_sta(args) -> int:
     design = random_design(
         layers=args.layers, width=args.width, seed=args.seed
     )
-    result = analyze(design, jobs=args.jobs, backend=args.backend)
+    result = analyze(design, jobs=args.jobs, backend=args.backend,
+                     checkpoint_path=args.checkpoint, resume=args.resume)
     sharded = f", {args.jobs} jobs" if args.jobs is not None else ""
     print(
         f"design: {args.layers}x{args.width} random combinational "
@@ -350,6 +355,7 @@ def _cmd_serve(args) -> int:
         deadline=args.deadline,
         drain_timeout=args.drain_timeout,
         coalesce=not args.no_coalesce,
+        watchdog=args.watchdog,
     )
     return run_server(config)
 
@@ -464,6 +470,19 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="count", default=0,
         help="log to stderr (-v INFO, -vv DEBUG)",
     )
+    common.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="arm the deterministic fault-injection harness for this "
+             "run: SPEC is 'point[:k=v,...][;point...]', e.g. "
+             "'worker.kill:times=1;shard.slow:p=0.3,delay=0.05' "
+             "(see docs/robustness.md for the grammar and fault points)",
+    )
+    common.add_argument(
+        "--fault-seed", type=_int_arg("--fault-seed"), default=0,
+        metavar="N",
+        help="seed for the fault schedule's per-point RNG streams "
+             "(same seed => same injected faults; default 0)",
+    )
     # Sharded-engine flag for the sweep-style subcommands.
     sharded = argparse.ArgumentParser(add_help=False)
     sharded.add_argument(
@@ -481,6 +500,18 @@ def build_parser() -> argparse.ArgumentParser:
              "then 'serial' when unavailable); 'process' = per-call "
              "fork pool; results are bit-identical for every choice "
              "(default: auto)",
+    )
+    sharded.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal each completed shard's results to this "
+             "append-only crash-safe file (repro.checkpoint/1); a "
+             "killed run restarted with --resume skips finished shards "
+             "with bit-identical results",
+    )
+    sharded.add_argument(
+        "--resume", action="store_true",
+        help="resume from an existing --checkpoint journal (refused "
+             "when the journal belongs to a different workload/seed)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -588,6 +619,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=10.0, metavar="SECONDS",
         help="how long shutdown waits for in-flight requests before "
              "failing them with 503 (default %(default)s)",
+    )
+    serve.add_argument(
+        "--watchdog", type=_float_arg("--watchdog", minimum=0.001),
+        default=None, metavar="SECONDS",
+        help="fail a batch stuck in its sweep for this long with a "
+             "retryable 503 and recycle the sweep executor + warm pool "
+             "(default: no watchdog)",
     )
     serve.add_argument(
         "--no-coalesce", action="store_true",
@@ -706,8 +744,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs.get_registry().reset()
         tracer.enable()
         logger.info("tracing enabled for 'repro %s'", args.command)
+    faults_armed = False
     try:
         try:
+            if getattr(args, "inject_faults", None):
+                # export_env=True so worker processes spawned (not
+                # forked) during the run arm the same schedule.
+                from repro.resilience.faults import install_faults
+
+                install_faults(args.inject_faults,
+                               seed=args.fault_seed, export_env=True)
+                faults_armed = True
             with tracer.span(f"repro.{args.command}"):
                 code = args.func(args)
         except FileNotFoundError as exc:
@@ -718,6 +765,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         finally:
             tracer.enabled = was_enabled
+            if faults_armed:
+                from repro.resilience.faults import clear_faults
+
+                clear_faults()
         if trace_on:
             if args.trace_out:
                 obs.write_report(

@@ -97,11 +97,21 @@ class VariationModel:
     capacitance_sigmas: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
+        # Finiteness first: a NaN sigma slides through every ``< 0``
+        # comparison and then poisons the whole (B, N) parameter batch,
+        # so the sweep returns NaN bounds with no error anywhere.
+        if not np.isfinite(self.resistance_sigma) or \
+                not np.isfinite(self.capacitance_sigma):
+            raise ValidationError("variation sigmas must be finite")
         if self.resistance_sigma < 0 or self.capacitance_sigma < 0:
             raise ValidationError("variation sigmas must be >= 0")
         for mapping in (self.resistance_sigmas, self.capacitance_sigmas):
             if mapping:
                 for name, value in mapping.items():
+                    if not np.isfinite(value):
+                        raise ValidationError(
+                            f"variation sigma for {name!r} must be finite"
+                        )
                     if value < 0:
                         raise ValidationError(
                             f"variation sigma for {name!r} must be >= 0"
@@ -320,6 +330,7 @@ def _monte_carlo_shm(
     shard_size: Optional[int],
     timeout: Optional[float],
     retries: int,
+    checkpoint=None,
 ) -> np.ndarray:
     """The shm-backend body of :func:`monte_carlo_delay_matrix`.
 
@@ -336,6 +347,25 @@ def _monte_carlo_shm(
     workspace.put("sc", sc)
     out = workspace.allocate("out", (samples, n))
     descriptor = workspace.descriptor()
+    if checkpoint is not None:
+        # The shm task's return value is just a row-count ack — the real
+        # result lives in the shared ``out`` block.  Journal the actual
+        # row block instead, so the file holds the same bytes the
+        # pickled-row backends would store and a journal written under
+        # one backend resumes bit-identically under any other.
+        spans = {shard.index: (shard.start, shard.stop)
+                 for shard in shards}
+
+        def _encode(index: int, value) -> np.ndarray:
+            start, stop = spans[index]
+            return np.array(out[start:stop], copy=True)
+
+        def _restore(index: int, stored) -> int:
+            start, stop = spans[index]
+            out[start:stop] = stored
+            return stop - start
+
+        checkpoint.set_codec(_encode, _restore)
     run_sharded(
         _mc_shm_shard_task,
         [
@@ -348,6 +378,7 @@ def _monte_carlo_shm(
         retries=retries,
         label="variation.parallel_run",
         backend="shm",
+        checkpoint=checkpoint,
     )
     return np.array(out, copy=True)
 
@@ -363,6 +394,8 @@ def monte_carlo_delay_matrix(
     timeout: Optional[float] = None,
     retries: int = 1,
     backend: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> np.ndarray:
     """Sharded Monte-Carlo Elmore delays for **all** nodes, ``(B, N)``.
 
@@ -383,6 +416,12 @@ def monte_carlo_delay_matrix(
 
     ``timeout``/``retries`` bound each shard's wall clock and its
     re-submission budget (see :func:`repro.parallel.run_sharded`).
+
+    ``checkpoint_path`` journals each completed shard's rows to an
+    append-only crash-safe file (``repro.checkpoint/1``); with
+    ``resume=True`` a journal from an interrupted run with the same
+    tree/model/samples/seed skips its finished shards, and the resumed
+    matrix is bit-identical to an uninterrupted run on any backend.
     """
     if samples < 1:
         raise AnalysisError("need at least one sample")
@@ -391,36 +430,67 @@ def monte_carlo_delay_matrix(
     sr, sc = model.sigma_arrays(tree)
     _SAMPLES_DRAWN.inc(samples)
     shards = plan_shards(samples, shard_size=shard_size)
-    with _span("variation.monte_carlo_sharded", samples=samples,
-               shards=len(shards), N=tree.num_nodes,
-               backend=backend or "auto"):
-        if backend == "shm":
-            try:
-                return _monte_carlo_shm(
-                    topology, sr, sc, samples, seed, clip,
-                    jobs, shard_size, timeout, retries,
-                )
-            except ShmError as exc:
-                record_fallback("shm-unavailable")
-                logger.warning(
-                    "shm backend unavailable (%s); falling back to the "
-                    "fork transport", exc,
-                )
-                backend = "process"
-        seeds = spawn_shard_seeds(seed, len(shards))
-        blocks = run_sharded(
-            _mc_shard_task,
-            [
-                (topology, sr, sc, clip, shard.size, seeds[shard.index])
-                for shard in shards
-            ],
-            jobs=jobs,
-            timeout=timeout,
-            retries=retries,
-            label="variation.parallel_run",
-            backend=backend,
+    checkpoint = None
+    if checkpoint_path is not None:
+        from repro.resilience.checkpoint import (
+            open_checkpoint, run_fingerprint, tree_fingerprint,
         )
-    return np.concatenate(blocks, axis=0)
+
+        checkpoint = open_checkpoint(
+            checkpoint_path,
+            run_fingerprint(
+                "monte_carlo_delay_matrix",
+                tree=tree_fingerprint(tree),
+                sr=sr, sc=sc, samples=int(samples), seed=int(seed),
+                clip=float(clip), plan=[shard.size for shard in shards],
+            ),
+            len(shards),
+            meta={"kind": "monte_carlo_delay_matrix",
+                  "samples": int(samples), "seed": int(seed)},
+            resume=resume,
+        )
+    try:
+        with _span("variation.monte_carlo_sharded", samples=samples,
+                   shards=len(shards), N=tree.num_nodes,
+                   backend=backend or "auto"):
+            if backend == "shm":
+                try:
+                    return _monte_carlo_shm(
+                        topology, sr, sc, samples, seed, clip,
+                        jobs, shard_size, timeout, retries,
+                        checkpoint=checkpoint,
+                    )
+                except ShmError as exc:
+                    record_fallback("shm-unavailable")
+                    logger.warning(
+                        "shm backend unavailable (%s); falling back to "
+                        "the fork transport", exc,
+                    )
+                    if checkpoint is not None:
+                        # The pickled-row backends' task values *are*
+                        # the row blocks the journal stores — back to
+                        # the identity codec.
+                        checkpoint.set_codec()
+                    backend = "process"
+            seeds = spawn_shard_seeds(seed, len(shards))
+            blocks = run_sharded(
+                _mc_shard_task,
+                [
+                    (topology, sr, sc, clip, shard.size,
+                     seeds[shard.index])
+                    for shard in shards
+                ],
+                jobs=jobs,
+                timeout=timeout,
+                retries=retries,
+                label="variation.parallel_run",
+                backend=backend,
+                checkpoint=checkpoint,
+            )
+        return np.concatenate(blocks, axis=0)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
 
 
 def monte_carlo_elmore(

@@ -121,6 +121,8 @@ def verify_tree(
     jobs: Optional[int] = None,
     shard_size: Optional[int] = None,
     backend: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> TreeVerdict:
     """Check Lemmas 1-2, the Theorem and Corollary 1 on ``tree``.
 
@@ -160,20 +162,48 @@ def verify_tree(
     the mass lives) and a coarse grid out to the settle horizon.
     """
     target_nodes = list(nodes if nodes is not None else tree.node_names)
-    if jobs is not None or backend is not None:
+    if jobs is not None or backend is not None \
+            or checkpoint_path is not None:
         shards = plan_shards(len(target_nodes), shard_size=shard_size)
-        with _span("verify.tree", nodes=len(target_nodes),
-                   samples=samples, shards=len(shards)):
-            chunks = run_sharded(
-                _verify_shard_task,
-                [
-                    (tree, target_nodes[shard.start:shard.stop], samples)
-                    for shard in shards
-                ],
-                jobs=jobs,
-                label="verify.parallel_run",
-                backend=backend,
+        checkpoint = None
+        if checkpoint_path is not None:
+            from repro.resilience.checkpoint import (
+                open_checkpoint, run_fingerprint, tree_fingerprint,
             )
+
+            checkpoint = open_checkpoint(
+                checkpoint_path,
+                run_fingerprint(
+                    "verify_tree",
+                    tree=tree_fingerprint(tree),
+                    nodes=target_nodes,
+                    samples=int(samples),
+                    plan=[shard.size for shard in shards],
+                ),
+                len(shards),
+                meta={"kind": "verify_tree",
+                      "nodes": len(target_nodes),
+                      "samples": int(samples)},
+                resume=resume,
+            )
+        try:
+            with _span("verify.tree", nodes=len(target_nodes),
+                       samples=samples, shards=len(shards)):
+                chunks = run_sharded(
+                    _verify_shard_task,
+                    [
+                        (tree, target_nodes[shard.start:shard.stop],
+                         samples)
+                        for shard in shards
+                    ],
+                    jobs=jobs,
+                    label="verify.parallel_run",
+                    backend=backend,
+                    checkpoint=checkpoint,
+                )
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
         return TreeVerdict(
             nodes=[verdict for chunk in chunks for verdict in chunk]
         )
@@ -207,6 +237,8 @@ def verify_corpus(
     timeout: Optional[float] = None,
     retries: int = 1,
     backend: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> List[TreeVerdict]:
     """Verify every tree of a corpus, optionally sharded over trees.
 
@@ -220,25 +252,55 @@ def verify_corpus(
 
     ``timeout``/``retries`` bound each shard's wall clock and its
     re-submission budget (see :func:`repro.parallel.run_sharded`).
+
+    ``checkpoint_path`` journals each completed shard's verdicts to an
+    append-only crash-safe file (``repro.checkpoint/1``) keyed by the
+    corpus content + ``samples`` + the shard plan; with ``resume=True``
+    a journal from an interrupted run skips its finished shards, and
+    the resumed verdict list is identical to an uninterrupted run.
     """
     if not trees:
         return []
     shards = plan_shards(len(trees), shard_size=shard_size)
-    with _span("verify.corpus", trees=len(trees), shards=len(shards),
-               samples=samples):
-        chunks = run_sharded(
-            _corpus_shard_task,
-            [
-                (trees[shard.start:shard.stop], samples)
-                for shard in shards
-            ],
-            jobs=jobs,
-            timeout=timeout,
-            retries=retries,
-            label="verify.parallel_run",
-            backend=backend,
+    checkpoint = None
+    if checkpoint_path is not None:
+        from repro.resilience.checkpoint import (
+            open_checkpoint, run_fingerprint, tree_fingerprint,
         )
-    return [verdict for chunk in chunks for verdict in chunk]
+
+        checkpoint = open_checkpoint(
+            checkpoint_path,
+            run_fingerprint(
+                "verify_corpus",
+                trees=[tree_fingerprint(tree) for tree in trees],
+                samples=int(samples),
+                plan=[shard.size for shard in shards],
+            ),
+            len(shards),
+            meta={"kind": "verify_corpus", "trees": len(trees),
+                  "samples": int(samples)},
+            resume=resume,
+        )
+    try:
+        with _span("verify.corpus", trees=len(trees),
+                   shards=len(shards), samples=samples):
+            chunks = run_sharded(
+                _corpus_shard_task,
+                [
+                    (trees[shard.start:shard.stop], samples)
+                    for shard in shards
+                ],
+                jobs=jobs,
+                timeout=timeout,
+                retries=retries,
+                label="verify.parallel_run",
+                backend=backend,
+                checkpoint=checkpoint,
+            )
+        return [verdict for chunk in chunks for verdict in chunk]
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
 
 
 def _verify_node(

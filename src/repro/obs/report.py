@@ -235,12 +235,12 @@ def _render_metrics(metrics: Dict[str, Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
-def _reason_summary(state: Dict[str, Any]) -> str:
+def _reason_summary(state: Dict[str, Any], label: str = "reason") -> str:
     """``"reason-a ×2, reason-b"`` from a counter's labeled series (or
-    just the total when no per-reason breakdown was recorded)."""
+    just the total when no per-``label`` breakdown was recorded)."""
     parts = []
     for series in state.get("series") or []:
-        reason = (series.get("labels") or {}).get("reason")
+        reason = (series.get("labels") or {}).get(label)
         if reason is None:
             continue
         count = series.get("value", 0.0)
@@ -249,9 +249,9 @@ def _reason_summary(state: Dict[str, Any]) -> str:
 
 
 def _degradation_notices(metrics: Dict[str, Dict[str, Any]]) -> List[str]:
-    """One-line warnings when the run did not execute on the backend it
-    asked for (shm → process/serial fallback, shards degraded to
-    in-process after retries)."""
+    """One-line warnings when the run did not execute the way it asked
+    to (shm → process/serial fallback, shards degraded to in-process
+    after retries, checkpoint resume, injected faults)."""
     notices: List[str] = []
     fallback = metrics.get("parallel_shm_fallback_total")
     if fallback and fallback.get("value", 0.0) > 0:
@@ -265,6 +265,22 @@ def _degradation_notices(metrics: Dict[str, Dict[str, Any]]) -> List[str]:
             f"degraded: {degraded.get('value', 0):g} shard(s) fell back "
             "to in-process execution (worker deaths/timeouts exhausted "
             "retries, or no process pool could be created)"
+        )
+    resumed = metrics.get("resilience_checkpoint_shards_resumed_total")
+    if resumed and resumed.get("value", 0.0) > 0:
+        written = metrics.get(
+            "resilience_checkpoint_shards_written_total", {}
+        )
+        total = resumed.get("value", 0.0) + written.get("value", 0.0)
+        notices.append(
+            f"resumed: {resumed.get('value', 0):g}/{total:g} shard(s) "
+            "skipped from the checkpoint journal"
+        )
+    injected = metrics.get("resilience_faults_injected_total")
+    if injected and injected.get("value", 0.0) > 0:
+        notices.append(
+            f"fault injection: {injected.get('value', 0):g} fault(s) "
+            f"fired ({_reason_summary(injected, label='point')})"
         )
     return notices
 

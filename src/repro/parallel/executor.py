@@ -55,11 +55,13 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
+import random
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro._exceptions import ValidationError
 from repro.obs import aggregate as _aggregate
@@ -68,6 +70,7 @@ from repro.obs.metrics import histogram as _histogram
 from repro.obs.trace import get_tracer as _get_tracer
 from repro.obs.trace import span as _span
 from repro.parallel.pool import WarmPool, _init_pool_worker, lease_warm_pool
+from repro.resilience.faults import check as _fault_check
 
 __all__ = ["run_sharded", "resolve_jobs", "available_backends", "BACKENDS"]
 
@@ -95,6 +98,21 @@ _SHARD_SECONDS = _histogram(
     "parallel_shard_seconds",
     "Worker-measured wall-clock duration per shard",
 )
+_MALFORMED = _counter(
+    "parallel_malformed_results_total",
+    "Shard results rejected because the worker returned a payload "
+    "that is not the (value, elapsed, obs) triple",
+)
+_BACKOFF_SECONDS = _histogram(
+    "parallel_retry_backoff_seconds",
+    "Backoff slept between retry waves after a pool rebuild",
+)
+
+
+class _MalformedResultError(Exception):
+    """Internal: a worker handed back something other than the
+    ``(value, elapsed, obs)`` triple.  Treated like an infrastructure
+    failure (the shard retries on a fresh pool), never propagated."""
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -165,6 +183,44 @@ def available_backends() -> List[str]:
     return backends
 
 
+def _worker_entry_faults() -> None:
+    """Injectable fault points hit at worker shard entry (no-ops unless
+    a fault schedule is armed — see :mod:`repro.resilience.faults`)."""
+    if _fault_check("worker.kill") is not None:
+        # A hard exit, not an exception: the parent must see the real
+        # BrokenProcessPool recovery path, exactly as on an OOM kill.
+        os._exit(42)
+    rule = _fault_check("worker.hang")
+    if rule is not None:
+        time.sleep(rule.delay)
+    rule = _fault_check("shard.slow")
+    if rule is not None:
+        time.sleep(rule.delay)
+
+
+def _maybe_malform(result: Tuple[Any, float, Any]) -> Any:
+    """``result.malformed`` fault point: corrupt the shard triple so the
+    parent's acceptance validation has a real payload to reject."""
+    if _fault_check("result.malformed") is not None:
+        return ("injected-malformed-result",)
+    return result
+
+
+def _shard_result(out: Any) -> Tuple[Any, float, Any]:
+    """Validate a worker-returned payload before accepting it.
+
+    Every worker wraps its shard in :func:`_timed_task`, so anything
+    other than a 3-tuple means the transport (or an injected fault)
+    corrupted the result — rejected here rather than crashing the
+    parent on unpack, and retried like any infrastructure failure.
+    """
+    if not (isinstance(out, tuple) and len(out) == 3):
+        raise _MalformedResultError(
+            f"expected a (value, elapsed, obs) triple, got {type(out).__name__}"
+        )
+    return out
+
+
 def _timed_task(
     task: Callable[[Any], Any], payload: Any, capture: bool = False
 ) -> Any:
@@ -173,12 +229,13 @@ def _timed_task(
     spans and metric deltas into an obs payload
     (:class:`repro.obs.aggregate.ShardObsCapture`).  Returns
     ``(value, elapsed, obs_payload_or_None)``."""
+    _worker_entry_faults()
     if capture:
         with _aggregate.ShardObsCapture() as obs:
             start = time.perf_counter()
             value = task(payload)
             elapsed = time.perf_counter() - start
-        return value, elapsed, obs.payload()
+        return _maybe_malform((value, elapsed, obs.payload()))
     tracer = _get_tracer()
     if tracer.enabled:
         # A warm worker forked while the parent was tracing inherits an
@@ -189,19 +246,34 @@ def _timed_task(
         tracer.reset()
     start = time.perf_counter()
     value = task(payload)
-    return value, time.perf_counter() - start, None
+    return _maybe_malform((value, time.perf_counter() - start, None))
 
 
 def _run_shard_inline(
     task: Callable[[Any], Any], payload: Any, index: int
 ) -> Any:
     """Evaluate one shard in the parent process, under a span."""
+    rule = _fault_check("shard.slow")
+    if rule is not None:
+        time.sleep(rule.delay)
     with _span("parallel.shard", index=index, backend="serial"):
         start = time.perf_counter()
         value = task(payload)
     _SHARD_SECONDS.observe(time.perf_counter() - start)
     _SHARDS.inc()
     return value
+
+
+def _retry_backoff_delay(base: float, wave: int, label: str) -> float:
+    """Exponential backoff with deterministic jitter for retry waves.
+
+    Doubling per wave with a jitter drawn from an RNG seeded by
+    ``(label, wave)`` — reproducible run to run (no wall-clock or PID
+    entropy), yet de-synchronized across concurrent runs with distinct
+    labels.  Capped at 2 s so exhausted retries still degrade promptly.
+    """
+    rng = random.Random(f"{label}:backoff:{wave}")
+    return min(base * (2.0 ** (wave - 1)) * (1.0 + rng.random()), 2.0)
 
 
 def _kill_pool(pool: Optional[ProcessPoolExecutor]) -> None:
@@ -220,6 +292,8 @@ class _EphemeralPools:
 
     def acquire(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            if _fault_check("pool.fork") is not None:
+                raise RuntimeError("injected fault: pool.fork")
             methods = multiprocessing.get_all_start_methods()
             context = multiprocessing.get_context(
                 "fork" if "fork" in methods else None
@@ -272,6 +346,8 @@ def run_sharded(
     retries: int = 1,
     label: str = "parallel.run",
     backend: Optional[str] = None,
+    checkpoint: Any = None,
+    retry_backoff: float = 0.05,
 ) -> List[Any]:
     """Evaluate ``task`` over ``payloads``; results in payload order.
 
@@ -299,6 +375,18 @@ def run_sharded(
         :class:`~repro.parallel.pool.WarmPool` (the transport the
         zero-copy shm workloads run on).  Every backend returns the
         same bits for the same shard plan.
+    checkpoint:
+        Optional crash-safety journal (duck-typed; in practice a
+        :class:`repro.resilience.checkpoint.ShardCheckpoint`).  Shards
+        it already holds are restored instead of recomputed, and every
+        newly accepted shard result is journaled at acceptance — so a
+        killed run resumed from the journal is bit-identical to an
+        uninterrupted one (the shard plan is deterministic; which
+        process computed a shard never affects its bits).
+    retry_backoff:
+        Base seconds for the exponential backoff slept between retry
+        waves (deterministic jitter, see :func:`_retry_backoff_delay`);
+        ``0`` restores the legacy immediate re-submit.
     """
     jobs = resolve_jobs(jobs)
     backend = resolve_backend(backend)
@@ -306,9 +394,17 @@ def run_sharded(
         raise ValidationError(f"timeout must be > 0, got {timeout!r}")
     if retries < 0:
         raise ValidationError(f"retries must be >= 0, got {retries}")
+    if not retry_backoff >= 0.0:
+        raise ValidationError(
+            f"retry_backoff must be >= 0, got {retry_backoff!r}"
+        )
     payloads = list(payloads)
     if not payloads:
         return []
+    restored: Dict[int, Any] = (
+        checkpoint.restore_results(len(payloads))
+        if checkpoint is not None else {}
+    )
     effective_jobs = min(jobs, len(payloads))
     if backend == "serial" or effective_jobs == 1:
         chosen = "serial"
@@ -316,17 +412,27 @@ def run_sharded(
         chosen = backend or "process"
     with _span(label, shards=len(payloads), jobs=effective_jobs,
                backend=chosen) as sp:
+        if restored:
+            sp.set_attribute("resumed", len(restored))
         if chosen == "serial":
-            return [
-                _run_shard_inline(task, payload, index)
-                for index, payload in enumerate(payloads)
-            ]
+            out: List[Any] = []
+            for index, payload in enumerate(payloads):
+                if index in restored:
+                    out.append(restored[index])
+                    continue
+                value = _run_shard_inline(task, payload, index)
+                if checkpoint is not None:
+                    checkpoint.record(index, value)
+                out.append(value)
+            return out
         strategy = (
             _WarmPoolStrategy(effective_jobs) if chosen == "shm"
             else _EphemeralPools(effective_jobs)
         )
         return _run_process_backend(
-            task, payloads, timeout, retries, sp, strategy
+            task, payloads, timeout, retries, sp, strategy,
+            checkpoint=checkpoint, restored=restored,
+            retry_backoff=retry_backoff, label=label,
         )
 
 
@@ -337,10 +443,21 @@ def _run_process_backend(
     retries: int,
     run_span,
     strategy,
+    checkpoint: Any = None,
+    restored: Optional[Dict[int, Any]] = None,
+    retry_backoff: float = 0.05,
+    label: str = "parallel.run",
 ) -> List[Any]:
-    results: Dict[int, Any] = {}
+    results: Dict[int, Any] = dict(restored or {})
     attempts = {index: 0 for index in range(len(payloads))}
-    todo = list(range(len(payloads)))
+    todo = [index for index in range(len(payloads)) if index not in results]
+    wave = 0
+
+    def _accept(index: int, value: Any) -> None:
+        results[index] = value
+        if checkpoint is not None:
+            checkpoint.record(index, value)
+
     # Decided once, parent-side: workers capture their own spans/metric
     # deltas only while the parent tracer is recording.  Shards that
     # later degrade to _run_shard_inline run *in* the parent, where the
@@ -358,19 +475,21 @@ def _run_process_backend(
                 run_span.set_attribute("degraded", True)
                 for index in todo:
                     _DEGRADED.inc()
-                    results[index] = _run_shard_inline(
-                        task, payloads[index], index
+                    _accept(
+                        index,
+                        _run_shard_inline(task, payloads[index], index),
                     )
                 break
             failed = _submit_and_collect(
                 task, payloads, todo, pool, timeout, results,
-                capture, run_span,
+                capture, run_span, checkpoint,
             )
             if not failed:
                 break
             # The pool is suspect (a worker died or a shard hung in it):
             # recycle it so no poisoned worker serves the retries.
             strategy.invalidate()
+            wave += 1
             retry_round: List[int] = []
             for index in failed:
                 attempts[index] += 1
@@ -385,10 +504,15 @@ def _run_process_backend(
                     )
                     run_span.set_attribute("degraded", True)
                     _DEGRADED.inc()
-                    results[index] = _run_shard_inline(
-                        task, payloads[index], index
+                    _accept(
+                        index,
+                        _run_shard_inline(task, payloads[index], index),
                     )
             todo = retry_round
+            if todo and retry_backoff > 0.0:
+                delay = _retry_backoff_delay(retry_backoff, wave, label)
+                _BACKOFF_SECONDS.observe(delay)
+                time.sleep(delay)
     finally:
         strategy.release()
     return [results[index] for index in range(len(payloads))]
@@ -403,6 +527,7 @@ def _submit_and_collect(
     results: Dict[int, Any],
     capture: bool = False,
     run_span: Any = None,
+    checkpoint: Any = None,
 ) -> List[int]:
     """One submission wave; returns the shard indices needing a retry.
 
@@ -430,9 +555,22 @@ def _submit_and_collect(
         except (BrokenProcessPool, RuntimeError):
             broken = True
             failed.append(index)
+    def _accept(index: int, value: Any, elapsed: float, obs: Any) -> None:
+        results[index] = value
+        if checkpoint is not None:
+            checkpoint.record(index, value)
+        _SHARD_SECONDS.observe(elapsed)
+        _SHARDS.inc()
+        if capture:
+            _aggregate.merge_worker_payload(
+                obs, shard=index, run_span=run_span
+            )
+
     for index, future in futures.items():
         try:
-            value, elapsed, obs = future.result(timeout=timeout)
+            value, elapsed, obs = _shard_result(
+                future.result(timeout=timeout)
+            )
         except FuturesTimeoutError:
             logger.warning(
                 "shard %d exceeded its %.3gs timeout", index, timeout
@@ -449,14 +587,13 @@ def _submit_and_collect(
                     continue
                 exc = later.exception() if later.done() else None
                 if later.done() and exc is None:
-                    value, elapsed, obs = later.result()
-                    results[later_index] = value
-                    _SHARD_SECONDS.observe(elapsed)
-                    _SHARDS.inc()
-                    if capture:
-                        _aggregate.merge_worker_payload(
-                            obs, shard=later_index, run_span=run_span
-                        )
+                    try:
+                        value, elapsed, obs = _shard_result(later.result())
+                    except _MalformedResultError:
+                        _MALFORMED.inc()
+                        failed.append(later_index)
+                        continue
+                    _accept(later_index, value, elapsed, obs)
                 elif exc is not None and \
                         not isinstance(exc, BrokenProcessPool):
                     raise exc
@@ -467,11 +604,13 @@ def _submit_and_collect(
             logger.warning("worker died while evaluating shard %d", index)
             failed.append(index)
             continue
-        results[index] = value
-        _SHARD_SECONDS.observe(elapsed)
-        _SHARDS.inc()
-        if capture:
-            _aggregate.merge_worker_payload(
-                obs, shard=index, run_span=run_span
+        except _MalformedResultError as exc:
+            logger.warning(
+                "shard %d returned a malformed result payload (%s); "
+                "scheduling a retry", index, exc,
             )
+            _MALFORMED.inc()
+            failed.append(index)
+            continue
+        _accept(index, value, elapsed, obs)
     return failed

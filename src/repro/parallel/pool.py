@@ -166,6 +166,10 @@ class WarmPool:
         """
         with self._lock:
             if self._pool is None:
+                from repro.resilience.faults import check as _fault_check
+
+                if _fault_check("pool.fork") is not None:
+                    raise RuntimeError("injected fault: pool.fork")
                 methods = multiprocessing.get_all_start_methods()
                 context = multiprocessing.get_context(
                     "fork" if "fork" in methods else None

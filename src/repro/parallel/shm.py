@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import atexit
 import itertools
+import logging
 import os
 import threading
 import weakref
@@ -61,6 +62,9 @@ from repro._exceptions import ReproError
 from repro.obs.metrics import counter as _counter
 from repro.obs.metrics import gauge as _gauge
 from repro.obs.trace import span as _span
+from repro.resilience.faults import check as _fault_check
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "ShmError",
@@ -323,6 +327,8 @@ class ShmWorkspace:
         """
         if self._closed:
             raise ShmError(f"workspace {self._id} is closed")
+        if _fault_check("shm.publish") is not None:
+            raise ShmError("injected fault: shm.publish")
         array = _publishable(np.asarray(array))
         block = self._blocks.get(key)
         if block is not None:
@@ -396,6 +402,8 @@ class ShmWorkspace:
         """
         if self._closed:
             raise ShmError(f"workspace {self._id} is closed")
+        if _fault_check("shm.publish") is not None:
+            raise ShmError("injected fault: shm.publish")
         dtype = np.dtype(dtype)
         shape = tuple(int(s) for s in shape)
         block = self._blocks.get(key)
@@ -553,6 +561,22 @@ def attach_workspace(descriptor: WorkspaceDescriptor) -> AttachedWorkspace:
     Raises :class:`ShmError` when any named segment no longer exists —
     the caller's cue to fall back to a non-shm backend.
     """
+    if _fault_check("shm.attach") is not None:
+        raise ShmError("injected fault: shm.attach")
+    if _fault_check("shm.unlink") is not None:
+        # Yank a real segment out from under the attach (and drop any
+        # cached attachment that would mask it), so the *genuine*
+        # segment-gone branch below fires — not a synthetic raise.
+        with _ATTACH_LOCK:
+            stale = _ATTACHED.pop(descriptor.workspace_id, None)
+        if stale is not None:
+            stale.detach()
+        for spec in descriptor.arrays.values():
+            try:
+                os.unlink(f"/dev/shm/{spec.segment}")
+            except OSError:  # pragma: no cover - already gone
+                pass
+            break
     with _ATTACH_LOCK:
         cached = _ATTACHED.get(descriptor.workspace_id)
         if cached is not None:

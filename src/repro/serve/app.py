@@ -49,6 +49,7 @@ from repro.serve.batcher import (
     DeadlineExpiredError,
     DrainingError,
     QueueFullError,
+    StuckBatchError,
 )
 from repro.serve.engine import StatsEngine, evaluate_sta, evaluate_verify
 from repro.serve.schemas import (
@@ -120,6 +121,10 @@ class ServeConfig:
     io_timeout: float = 60.0
     #: Whether shutdown also tears down the process-global warm pool.
     manage_pool: bool = True
+    #: Seconds an in-flight sweep may run before the watchdog declares
+    #: the batch stuck, fails it 503, and recycles the sweep executor
+    #: plus the warm pool underneath (None = no watchdog).
+    watchdog: Optional[float] = None
 
 
 class ReproServer:
@@ -147,6 +152,8 @@ class ReproServer:
             window=self.config.batch_window,
             max_queue=self.config.max_queue,
             coalesce=self.config.coalesce,
+            watchdog_timeout=self.config.watchdog,
+            on_stuck=self._recycle_stuck_batch,
         )
         self._inflight = _metrics.InflightGauge()
         # Verify/sta backpressure: the aux executor's own work queue is
@@ -211,6 +218,25 @@ class ReproServer:
         await self._shutdown_event.wait()
         await self.shutdown()
 
+    def _recycle_stuck_batch(self, key: str) -> None:
+        """Watchdog recovery: the sweep thread may be wedged inside a
+        native call, so replace it — swap in a fresh single-thread
+        executor, point the batcher at it, abandon the old one without
+        waiting, and recycle the warm pool in case the wedge lives in a
+        worker process rather than the thread itself."""
+        logger.warning(
+            "recycling stuck sweep executor (topology key %s)", key
+        )
+        old = self._sweep_executor
+        self._sweep_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-sweep"
+        )
+        self.batcher.replace_executor(self._sweep_executor)
+        old.shutdown(wait=False, cancel_futures=True)
+        from repro.parallel.pool import shutdown_warm_pool
+
+        shutdown_warm_pool()
+
     async def shutdown(self) -> None:
         """Graceful drain: stop accepting, finish in-flight work (or
         fail it 503 after ``drain_timeout``), tear down executors and —
@@ -235,6 +261,12 @@ class ReproServer:
             )
         self._sweep_executor.shutdown(wait=True, cancel_futures=True)
         self._aux_executor.shutdown(wait=True, cancel_futures=True)
+        # Any checkpoint journal a drained verify/sta/MC run left open
+        # must hit disk before teardown: a SIGTERM'd service restarted
+        # with --resume picks up exactly where the drain stopped it.
+        from repro.resilience.checkpoint import close_open_journals
+
+        close_open_journals()
         if self.config.manage_pool:
             import repro.parallel
 
@@ -381,6 +413,10 @@ class ReproServer:
             return self._error(429, str(exc))
         except DrainingError as exc:
             return self._error(503, str(exc))
+        except StuckBatchError as exc:
+            # The sweep wedged and the watchdog already recycled the
+            # executor; the request is safe to retry immediately.
+            return self._error(503, str(exc))
         except DeadlineExpiredError as exc:
             return self._error(504, str(exc))
         except ValidationError as exc:
@@ -510,7 +546,10 @@ class ReproServer:
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {connection}\r\n"
         )
-        if status == 429:
+        if status in (429, 503):
+            # 429: back off the full queue.  503: draining or a
+            # watchdog-recycled batch — either way the client's right
+            # move is the same bounded retry.
             head += "Retry-After: 1\r\n"
         writer.write(head.encode("latin-1") + b"\r\n" + body)
         await writer.drain()

@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 
 from repro._exceptions import ReproError
+from repro.obs.metrics import counter as _counter
+from repro.resilience.faults import check as _fault_check
 from repro.serve import metrics as _metrics
 
 __all__ = [
@@ -47,9 +49,15 @@ __all__ = [
     "QueueFullError",
     "DeadlineExpiredError",
     "DrainingError",
+    "StuckBatchError",
 ]
 
 logger = logging.getLogger(__name__)
+
+_WATCHDOG_FIRED = _counter(
+    "resilience_watchdog_fired_total",
+    "Batches the serve watchdog declared stuck and recycled",
+)
 
 
 class QueueFullError(ReproError):
@@ -62,6 +70,15 @@ class DeadlineExpiredError(ReproError):
 
 class DrainingError(ReproError):
     """The server is shutting down and no longer accepts work."""
+
+
+class StuckBatchError(ReproError):
+    """The watchdog gave up on a batch that outlived its budget.
+
+    The sweep thread it was running on may still be wedged — the
+    ``on_stuck`` callback is expected to recycle the executor so the
+    *next* batch gets a live thread; this batch's requests fail with a
+    retryable 503."""
 
 
 @dataclass
@@ -86,6 +103,7 @@ class BatcherStats:
     rejected: int = 0
     expired: int = 0
     failed: int = 0
+    stuck: int = 0
     batch_sizes: List[int] = field(default_factory=list)
 
 
@@ -113,6 +131,17 @@ class Batcher:
     coalesce:
         ``False`` dispatches every request as its own batch (the
         comparison baseline ``bench_serve.py`` measures against).
+    watchdog_timeout:
+        Seconds an in-flight evaluation may run before the watchdog
+        declares the batch stuck: its requests fail with
+        :class:`StuckBatchError` (503) and ``on_stuck`` is invoked to
+        recycle the executor, instead of the wedged sweep thread
+        silently serializing every later batch behind it.  ``None``
+        (default) disables the watchdog.
+    on_stuck:
+        ``on_stuck(key)`` callback fired when the watchdog trips —
+        the server uses it to swap in a fresh sweep executor and
+        recycle the warm worker pool underneath.
     """
 
     def __init__(
@@ -122,22 +151,37 @@ class Batcher:
         window: float = 0.002,
         max_queue: int = 256,
         coalesce: bool = True,
+        watchdog_timeout: Optional[float] = None,
+        on_stuck: Optional[Callable[[str], None]] = None,
     ) -> None:
         if window < 0:
             raise ReproError(f"window must be >= 0, got {window}")
         if max_queue < 1:
             raise ReproError(f"max_queue must be >= 1, got {max_queue}")
+        if watchdog_timeout is not None and not watchdog_timeout > 0:
+            raise ReproError(
+                f"watchdog_timeout must be > 0, got {watchdog_timeout}"
+            )
         self._evaluate = evaluate
         self._executor = executor
         self._window = float(window)
         self._max_queue = int(max_queue)
         self._coalesce = bool(coalesce)
+        self._watchdog_timeout = (
+            None if watchdog_timeout is None else float(watchdog_timeout)
+        )
+        self._on_stuck = on_stuck
         self._pending: Dict[str, Deque[_Pending]] = {}
         self._dispatchers: Dict[str, asyncio.Task] = {}
         self._single_tasks: "set[asyncio.Task]" = set()
         self._depth = 0
         self._closed = False
         self.stats = BatcherStats()
+
+    def replace_executor(self, executor) -> None:
+        """Swap the evaluation executor (watchdog recovery: the old one
+        may have a wedged thread; later batches dispatch to this one)."""
+        self._executor = executor
 
     # -- submission ----------------------------------------------------
     @property
@@ -213,6 +257,15 @@ class Batcher:
             queue.clear()
             await self._dispatch(key, batch)
 
+    def _evaluate_batch(self, key: str, requests: List[Any]) -> List[Any]:
+        """Executor-thread entry around ``evaluate``; the ``batch.stuck``
+        fault point wedges the sweep here, exactly where a pathological
+        workload would, so the watchdog's recovery is testable."""
+        rule = _fault_check("batch.stuck")
+        if rule is not None:
+            time.sleep(rule.delay)
+        return self._evaluate(key, requests)
+
     async def _dispatch(self, key: str, batch: List[_Pending]) -> None:
         """Sweep one batch: drop expired/cancelled members, evaluate
         the survivors in the executor, deliver results or the shared
@@ -241,12 +294,36 @@ class Batcher:
         self.stats.batch_sizes.append(len(live))
         loop = asyncio.get_running_loop()
         try:
-            results = await loop.run_in_executor(
+            sweep = loop.run_in_executor(
                 self._executor,
-                self._evaluate,
+                self._evaluate_batch,
                 key,
                 [pending.request for pending in live],
             )
+            if self._watchdog_timeout is not None:
+                try:
+                    results = await asyncio.wait_for(
+                        asyncio.shield(sweep), self._watchdog_timeout
+                    )
+                except asyncio.TimeoutError:
+                    # The sweep thread is wedged; there is no way to
+                    # interrupt it, so abandon the batch (503) and let
+                    # on_stuck swap in a fresh executor for later ones.
+                    _WATCHDOG_FIRED.inc()
+                    self.stats.stuck += len(live)
+                    logger.warning(
+                        "watchdog: batch of %d request(s) on %s stuck "
+                        "for > %.3gs; recycling the sweep executor",
+                        len(live), key, self._watchdog_timeout,
+                    )
+                    if self._on_stuck is not None:
+                        self._on_stuck(key)
+                    raise StuckBatchError(
+                        "batch evaluation stuck beyond the watchdog "
+                        f"budget ({self._watchdog_timeout:g}s); retry"
+                    ) from None
+            else:
+                results = await sweep
             if len(results) != len(live):
                 raise ReproError(
                     f"evaluator returned {len(results)} results for "

@@ -111,6 +111,8 @@ def _precompute_elmore_batched(
     net_overrides,
     jobs: Optional[int] = None,
     backend: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> None:
     """Evaluate every net of the design through batched forest sweeps.
 
@@ -138,22 +140,50 @@ def _precompute_elmore_batched(
         if not order:
             return
         _NETS_EVALUATED.inc(len(order))
-        if jobs is not None or backend is not None:
+        if jobs is not None or backend is not None \
+                or checkpoint_path is not None:
             shards = plan_shards(len(order))
             sp.set_attribute("shards", len(shards))
-            chunks = run_sharded(
-                _sta_shard_task,
-                [
+            checkpoint = None
+            if checkpoint_path is not None:
+                from repro.resilience.checkpoint import (
+                    open_checkpoint, run_fingerprint, tree_fingerprint,
+                )
+
+                checkpoint = open_checkpoint(
+                    checkpoint_path,
+                    run_fingerprint(
+                        "sta.analyze",
+                        nets=[
+                            (name, tree_fingerprint(nets[name].tree),
+                             sorted((str(pin), node) for pin, node
+                                    in nets[name].sink_nodes.items()))
+                            for name in order
+                        ],
+                        plan=[shard.size for shard in shards],
+                    ),
+                    len(shards),
+                    meta={"kind": "sta.analyze", "nets": len(order)},
+                    resume=resume,
+                )
+            try:
+                chunks = run_sharded(
+                    _sta_shard_task,
                     [
-                        (name, nets[name].tree, nets[name].sink_nodes)
-                        for name in order[shard.start:shard.stop]
-                    ]
-                    for shard in shards
-                ],
-                jobs=jobs,
-                label="sta.parallel_run",
-                backend=backend,
-            )
+                        [
+                            (name, nets[name].tree, nets[name].sink_nodes)
+                            for name in order[shard.start:shard.stop]
+                        ]
+                        for shard in shards
+                    ],
+                    jobs=jobs,
+                    label="sta.parallel_run",
+                    backend=backend,
+                    checkpoint=checkpoint,
+                )
+            finally:
+                if checkpoint is not None:
+                    checkpoint.close()
             for chunk in chunks:
                 for net_name, (delays, mu2) in chunk.items():
                     cache = _delay_cache_of(nets[net_name])
@@ -317,6 +347,8 @@ def analyze(
     net_overrides: Optional[Dict[str, Tuple]] = None,
     jobs: Optional[int] = None,
     backend: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> TimingResult:
     """Run static timing analysis on ``design``.
 
@@ -345,22 +377,28 @@ def analyze(
         ``"process"`` or ``"shm"``; default auto).  ``"shm"`` selects
         the warm worker pool; net payloads are object tuples and still
         travel pickled.  Results stay bit-identical either way.
+    checkpoint_path, resume:
+        Crash-safe journaling of the forest fan-out's per-shard results
+        (``"elmore"`` model only; see
+        :mod:`repro.resilience.checkpoint`).  ``resume=True`` skips
+        shards an interrupted run already journaled.
     """
     if delay_model not in DELAY_MODELS:
         raise TimingGraphError(
             f"unknown delay model {delay_model!r}; "
             f"choose from {sorted(DELAY_MODELS)}"
         )
-    if (jobs is not None or backend is not None) \
-            and delay_model != "elmore":
+    if (jobs is not None or backend is not None
+            or checkpoint_path is not None) and delay_model != "elmore":
         raise TimingGraphError(
-            "jobs/backend are only supported with the 'elmore' delay "
-            "model (the other models evaluate nets lazily per arrival)"
+            "jobs/backend/checkpoint are only supported with the "
+            "'elmore' delay model (the other models evaluate nets "
+            "lazily per arrival)"
         )
     with _span("sta.analyze", model=delay_model) as sp:
         result = _analyze(design, delay_model, input_arrivals,
                           input_slews, wire_load, net_overrides, jobs,
-                          backend)
+                          backend, checkpoint_path, resume)
         sp.set_attribute("nets", len(result.nets))
         return result
 
@@ -374,6 +412,8 @@ def _analyze(
     net_overrides: Optional[Dict[str, Tuple]],
     jobs: Optional[int] = None,
     backend: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> TimingResult:
     model = DELAY_MODELS[delay_model]
     arrivals: Dict[Pin, float] = {}
@@ -386,7 +426,9 @@ def _analyze(
         # (one call, or sharded across workers when jobs is given)
         # before arrival propagation begins.
         _precompute_elmore_batched(design, nets, wire_load, net_overrides,
-                                   jobs=jobs, backend=backend)
+                                   jobs=jobs, backend=backend,
+                                   checkpoint_path=checkpoint_path,
+                                   resume=resume)
 
     for port in design.inputs:
         pin = Pin(Pin.PORT, port)

@@ -1,0 +1,92 @@
+"""Non-finite inputs must be rejected at the gate, not propagated.
+
+A NaN sigma slides through every ``< 0`` comparison and then poisons an
+entire (B, N) Monte-Carlo batch — the sweep returns NaN bounds with no
+error anywhere.  These tests pin the explicit finiteness guards on the
+batched hot path: the variation model, the batched parameter
+validation, and (in ``tests/serve``) the HTTP rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ValidationError
+from repro.circuit.rctree import RCTree
+from repro.core.batch import batch_elmore_delays, compile_topology
+from repro.core.variation import VariationModel
+
+NAN = float("nan")
+INF = float("inf")
+
+
+def chain_topology(n=4):
+    tree = RCTree("n0")
+    for i in range(1, n):
+        tree.add_node(f"n{i}", f"n{i - 1}", 1.0, 1.0)
+    return compile_topology(tree)
+
+
+class TestVariationModelGuards:
+    @pytest.mark.parametrize("kwargs", [
+        {"resistance_sigma": NAN},
+        {"resistance_sigma": INF},
+        {"capacitance_sigma": NAN},
+        {"capacitance_sigma": -INF},
+    ])
+    def test_nonfinite_global_sigma_rejected(self, kwargs):
+        with pytest.raises(ValidationError, match="finite"):
+            VariationModel(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"resistance_sigmas": {"n1": NAN}},
+        {"capacitance_sigmas": {"n2": INF}},
+    ])
+    def test_nonfinite_per_name_sigma_rejected(self, kwargs):
+        with pytest.raises(ValidationError, match="finite"):
+            VariationModel(**kwargs)
+
+    def test_negative_sigma_still_rejected(self):
+        with pytest.raises(ValidationError, match=">= 0"):
+            VariationModel(resistance_sigma=-0.1)
+        with pytest.raises(ValidationError, match=">= 0"):
+            VariationModel(capacitance_sigmas={"n1": -0.1})
+
+    def test_valid_models_still_construct(self):
+        VariationModel()
+        VariationModel(0.1, 0.2, resistance_sigmas={"n1": 0.3})
+
+
+class TestBatchedParameterGuards:
+    @pytest.mark.parametrize("bad", [NAN, INF, 0.0, -1.0])
+    def test_bad_resistance_entry_rejected(self, bad):
+        topology = chain_topology()
+        r = np.ones((2, topology.num_nodes))
+        r[1, 2] = bad
+        with pytest.raises(ValidationError,
+                           match="resistances must be finite"):
+            topology.broadcast_parameters(resistances=r)
+
+    @pytest.mark.parametrize("bad", [NAN, -INF, -0.5])
+    def test_bad_capacitance_entry_rejected(self, bad):
+        topology = chain_topology()
+        c = np.ones((2, topology.num_nodes))
+        c[0, 1] = bad
+        with pytest.raises(ValidationError,
+                           match="capacitances must be finite"):
+            topology.broadcast_parameters(capacitances=c)
+
+    def test_batch_elmore_rejects_nan_rows_end_to_end(self):
+        topology = chain_topology()
+        r = np.ones((3, topology.num_nodes))
+        r[2, 0] = NAN
+        with pytest.raises(ValidationError):
+            batch_elmore_delays(topology, r, None)
+
+    def test_finite_batch_returns_finite_delays(self):
+        topology = chain_topology()
+        out = batch_elmore_delays(
+            topology,
+            np.ones((2, topology.num_nodes)),
+            np.ones((2, topology.num_nodes)),
+        )
+        assert np.isfinite(out).all()

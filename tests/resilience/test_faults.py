@@ -1,0 +1,178 @@
+"""The deterministic fault-injection layer: spec grammar, schedules,
+activation plumbing, and the determinism contract (same seed + same
+check sequence -> same injected faults -> same counters)."""
+
+import pytest
+
+from repro._exceptions import ValidationError
+from repro.obs.metrics import counter
+from repro.resilience.faults import (
+    ENV_SEED,
+    ENV_SPEC,
+    FAULT_POINTS,
+    FaultRule,
+    FaultSchedule,
+    active_schedule,
+    check,
+    clear_faults,
+    install_faults,
+    parse_fault_spec,
+    reset,
+)
+
+
+class TestSpecGrammar:
+    def test_single_point_defaults(self):
+        (rule,) = parse_fault_spec("worker.kill")
+        assert rule.point == "worker.kill"
+        assert rule.probability == 1.0
+        assert rule.times == 1
+        assert rule.after == 0
+
+    def test_full_parameterization(self):
+        (rule,) = parse_fault_spec(
+            "shard.slow:p=0.25,times=inf,after=3,delay=0.02"
+        )
+        assert rule.probability == 0.25
+        assert rule.times is None
+        assert rule.after == 3
+        assert rule.delay == 0.02
+
+    def test_param_aliases(self):
+        (rule,) = parse_fault_spec("worker.hang:probability=0.5,n=7")
+        assert rule.probability == 0.5
+        assert rule.times == 7
+
+    def test_multiple_clauses(self):
+        rules = parse_fault_spec("worker.kill:times=2;shm.publish")
+        assert [r.point for r in rules] == ["worker.kill", "shm.publish"]
+
+    @pytest.mark.parametrize("spec", [
+        "no.such.point",
+        "worker.kill:bogus=1",
+        "worker.kill:p",
+        "worker.kill:p=notafloat",
+        "worker.kill:times=1.5",
+        "",
+        ";;",
+    ])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ValidationError):
+            parse_fault_spec(spec)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"probability": -0.1},
+        {"probability": 1.5},
+        {"times": -1},
+        {"after": -1},
+        {"delay": -0.5},
+        {"delay": float("nan")},
+    ])
+    def test_rule_bounds_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            FaultRule(point="worker.kill", **kwargs)
+
+    def test_every_compiled_point_parses(self):
+        rules = parse_fault_spec(";".join(FAULT_POINTS))
+        assert [r.point for r in rules] == list(FAULT_POINTS)
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_decisions(self):
+        spec = "shard.slow:p=0.5,times=inf"
+        a = FaultSchedule(spec, seed=7)
+        b = FaultSchedule(spec, seed=7)
+        decisions_a = [a.check("shard.slow") is not None
+                       for _ in range(50)]
+        decisions_b = [b.check("shard.slow") is not None
+                       for _ in range(50)]
+        assert decisions_a == decisions_b
+        assert a.fired() == b.fired() > 0
+
+    def test_different_seed_different_decisions(self):
+        spec = "shard.slow:p=0.5,times=inf"
+        a = FaultSchedule(spec, seed=1)
+        b = FaultSchedule(spec, seed=2)
+        decisions_a = [a.check("shard.slow") is not None
+                       for _ in range(100)]
+        decisions_b = [b.check("shard.slow") is not None
+                       for _ in range(100)]
+        assert decisions_a != decisions_b
+
+    def test_point_streams_independent(self):
+        """A point's decisions only depend on (seed, point) — arming
+        extra rules must not perturb them."""
+        alone = FaultSchedule("shard.slow:p=0.5,times=inf", seed=3)
+        paired = FaultSchedule(
+            "worker.kill:p=0.5,times=inf;shard.slow:p=0.5,times=inf",
+            seed=3,
+        )
+        for _ in range(10):
+            paired.check("worker.kill")  # interleave the other stream
+        decisions_alone = [alone.check("shard.slow") is not None
+                           for _ in range(40)]
+        decisions_paired = [paired.check("shard.slow") is not None
+                            for _ in range(40)]
+        assert decisions_alone == decisions_paired
+
+    def test_times_budget_caps_activations(self):
+        schedule = FaultSchedule("worker.kill:times=2", seed=0)
+        fired = sum(schedule.check("worker.kill") is not None
+                    for _ in range(10))
+        assert fired == 2
+        assert schedule.fired("worker.kill") == 2
+
+    def test_after_skips_leading_checks(self):
+        schedule = FaultSchedule("worker.kill:after=3,times=inf", seed=0)
+        decisions = [schedule.check("worker.kill") is not None
+                     for _ in range(6)]
+        assert decisions == [False, False, False, True, True, True]
+
+    def test_unarmed_point_is_never_hit(self):
+        schedule = FaultSchedule("worker.kill", seed=0)
+        assert schedule.check("shm.publish") is None
+        assert schedule.rule("shm.publish") is None
+
+    def test_counters_track_firings(self):
+        injected = counter("resilience_faults_injected_total")
+        labeled = injected.labels(point="result.malformed")
+        before_total, before_point = injected.value, labeled.value
+        schedule = install_faults("result.malformed:times=3")
+        for _ in range(5):
+            check("result.malformed")
+        assert schedule.fired() == 3
+        assert injected.value == before_total + 3
+        assert labeled.value == before_point + 3
+
+
+class TestActivation:
+    def test_install_and_clear(self):
+        schedule = install_faults("worker.kill")
+        assert active_schedule() is schedule
+        assert check("worker.kill") is not None
+        clear_faults()
+        assert active_schedule() is None
+        assert check("worker.kill") is None
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv(ENV_SPEC, "shard.slow:times=inf,delay=0")
+        monkeypatch.setenv(ENV_SEED, "11")
+        reset()  # drop the once-per-process latch so env is re-read
+        schedule = active_schedule()
+        assert schedule is not None
+        assert schedule.seed == 11
+        assert schedule.points == ["shard.slow"]
+
+    def test_malformed_env_spec_ignored(self, monkeypatch):
+        monkeypatch.setenv(ENV_SPEC, "no.such.point")
+        reset()
+        assert active_schedule() is None
+
+    def test_install_exports_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_SPEC, raising=False)
+        install_faults("worker.hang:delay=0", seed=5, export_env=True)
+        import os
+        assert os.environ[ENV_SPEC] == "worker.hang:delay=0"
+        assert os.environ[ENV_SEED] == "5"
+        clear_faults()
+        assert ENV_SPEC not in os.environ

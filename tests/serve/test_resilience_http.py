@@ -1,0 +1,149 @@
+"""Serve-side resilience: the batch watchdog, stuck-batch recycling,
+``Retry-After`` on shed responses, and the NaN row guard over HTTP.
+
+The ``batch.stuck`` fault point stalls an evaluation inside the sweep
+executor; the watchdog must fail the waiting requests with a 503 (and a
+``Retry-After`` hint), recycle the executor, and serve the next request
+normally.
+"""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.metrics import counter
+from repro.resilience.faults import clear_faults, install_faults
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.batcher import Batcher, StuckBatchError
+
+
+@pytest.fixture(autouse=True)
+def fault_gate():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+def _evaluate(key, requests):
+    return [f"{key}:{request}" for request in requests]
+
+
+def _post(url, path, payload):
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60.0) as response:
+            return response.status, dict(response.headers), \
+                json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+class TestBatcherWatchdog:
+    def test_stuck_batch_fails_fast_and_recovers(self):
+        fired = counter("resilience_watchdog_fired_total")
+        f0 = fired.value
+        stuck_keys = []
+
+        async def scenario():
+            old = ThreadPoolExecutor(max_workers=1)
+            fresh = ThreadPoolExecutor(max_workers=1)
+            batcher = Batcher(
+                _evaluate, executor=old, window=0.005,
+                watchdog_timeout=0.15, on_stuck=stuck_keys.append,
+            )
+            install_faults("batch.stuck:delay=1.5")
+            try:
+                with pytest.raises(StuckBatchError):
+                    await batcher.submit("k", "r0")
+                assert batcher.stats.stuck == 1
+                assert stuck_keys == ["k"]
+                # The recovery the app performs: a fresh executor (the
+                # old one is still occupied by the abandoned sweep).
+                batcher.replace_executor(fresh)
+                assert await batcher.submit("k", "r1") == "k:r1"
+            finally:
+                batcher.close()
+                await batcher.drain(timeout=10.0)
+                old.shutdown(wait=True)
+                fresh.shutdown(wait=True)
+
+        asyncio.run(scenario())
+        assert fired.value == f0 + 1
+
+    def test_watchdog_validation(self):
+        from repro._exceptions import ReproError
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            with pytest.raises(ReproError, match="watchdog_timeout"):
+                Batcher(_evaluate, executor=executor,
+                        watchdog_timeout=0.0)
+
+    def test_no_watchdog_waits_out_a_slow_batch(self):
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = Batcher(_evaluate, executor=executor,
+                                  window=0.005)
+                install_faults("batch.stuck:delay=0.1")
+                try:
+                    assert await batcher.submit("k", "r0") == "k:r0"
+                    assert batcher.stats.stuck == 0
+                finally:
+                    batcher.close()
+                    await batcher.drain(timeout=10.0)
+
+        asyncio.run(scenario())
+
+
+class TestServeWatchdogHttp:
+    @pytest.fixture()
+    def server(self):
+        config = ServeConfig(port=0, batch_window=0.001,
+                             manage_pool=False, watchdog=0.15)
+        with ServerThread(config) as thread:
+            yield thread
+
+    def test_stuck_batch_returns_503_with_retry_after(self, server):
+        install_faults("batch.stuck:delay=1.5")
+        status, headers, body = _post(server.url, "/v1/stats",
+                                      {"workload": "fig1"})
+        assert status == 503
+        assert headers.get("Retry-After") == "1"
+        assert "stuck" in body["error"]["message"]
+        # The executor was recycled: the very next request is served.
+        status, _, body = _post(server.url, "/v1/stats",
+                                {"workload": "fig1"})
+        assert status == 200
+        assert "nodes" in body
+
+
+class TestHttpNanGuard:
+    @pytest.fixture(scope="class")
+    def server(self):
+        with ServerThread(ServeConfig(port=0, batch_window=0.001,
+                                      manage_pool=False)) as thread:
+            yield thread
+
+    def test_nan_rscale_row_rejected_with_400(self, server):
+        # json.dumps emits a bare NaN literal (allow_nan=True default)
+        # and the server's parser accepts it — the schema guard must be
+        # the layer that refuses.
+        status, _, body = _post(
+            server.url, "/v1/stats",
+            {"workload": "fig1", "rscale": [1.0, float("nan")]},
+        )
+        assert status == 400
+        assert "finite" in body["error"]["message"]
+
+    def test_infinite_cscale_rejected_with_400(self, server):
+        status, _, body = _post(
+            server.url, "/v1/stats",
+            {"workload": "fig1", "cscale": [float("inf")]},
+        )
+        assert status == 400

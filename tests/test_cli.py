@@ -260,3 +260,58 @@ class TestObservabilityFlags:
         assert main(["analyze", netlist_path, "--nodes", "n5"]) == 0
         err = capsys.readouterr().err
         assert err == ""
+
+
+class TestResilienceFlags:
+    def test_stats_checkpoint_resume_round_trip(self, netlist_path,
+                                                tmp_path, capsys):
+        journal = str(tmp_path / "stats.ckpt")
+        base = ["stats", netlist_path, "--samples", "16", "--seed", "5"]
+
+        assert main(base + ["--checkpoint", journal]) == 0
+        reference = capsys.readouterr().out
+        assert "monte carlo" in reference
+
+        # Simulate a kill after the first journaled shard, then resume:
+        # the printed table must be identical to the uninterrupted run.
+        with open(journal, "rb") as handle:
+            lines = handle.readlines()
+        assert len(lines) >= 2  # header + at least one shard record
+        with open(journal, "wb") as handle:
+            handle.writelines(lines[:2])
+        assert main(base + ["--checkpoint", journal, "--resume"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_resume_refuses_foreign_journal(self, netlist_path,
+                                            tmp_path, capsys):
+        journal = str(tmp_path / "stats.ckpt")
+        assert main(["stats", netlist_path, "--samples", "16",
+                     "--seed", "5", "--checkpoint", journal]) == 0
+        capsys.readouterr()
+        # Same journal, different seed => different fingerprint.
+        assert main(["stats", netlist_path, "--samples", "16",
+                     "--seed", "6", "--checkpoint", journal,
+                     "--resume"]) == 1
+        assert "different run" in capsys.readouterr().err
+
+    def test_inject_faults_runs_and_disarms(self, netlist_path, capsys):
+        import os
+
+        from repro.resilience.faults import ENV_SPEC, active_schedule
+
+        assert main(["verify", netlist_path]) == 0
+        reference = capsys.readouterr().out
+        # A benign fault (zero-delay slow shards) must not change one
+        # output character, and the schedule must be disarmed on exit.
+        assert main(["verify", netlist_path, "--jobs", "1",
+                     "--inject-faults",
+                     "shard.slow:times=inf,delay=0",
+                     "--fault-seed", "3"]) == 0
+        assert capsys.readouterr().out == reference
+        assert active_schedule() is None
+        assert ENV_SPEC not in os.environ
+
+    def test_bad_fault_spec_is_a_clean_error(self, netlist_path, capsys):
+        assert main(["verify", netlist_path, "--inject-faults",
+                     "no.such.point"]) == 1
+        assert "unknown fault point" in capsys.readouterr().err

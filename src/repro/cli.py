@@ -341,6 +341,80 @@ def _cmd_sta(args) -> int:
     return 0
 
 
+def _cmd_ssta(args) -> int:
+    from repro.core.variation import VariationModel
+    from repro.sta.ssta import (
+        ProcessModel, analyze_ssta, validate_against_monte_carlo,
+    )
+    from repro.workloads import random_design
+
+    design = random_design(
+        layers=args.layers, width=args.width, seed=args.seed
+    )
+    model = ProcessModel(
+        variation=VariationModel(
+            resistance_sigma=args.rsigma, capacitance_sigma=args.csigma
+        ),
+        rho_r=args.correlation, rho_c=args.correlation,
+        cell_sigma=args.cell_sigma, rho_cell=args.correlation,
+    )
+    report = analyze_ssta(
+        design, model, jobs=args.jobs, backend=args.backend,
+        checkpoint_path=args.checkpoint, resume=args.resume,
+    )
+    sharded = f", {args.jobs} jobs" if args.jobs is not None else ""
+    print(
+        f"design: {args.layers}x{args.width} random combinational "
+        f"(seed {args.seed}): {len(design.instances)} gates, "
+        f"{len(design.nets)} nets{sharded}"
+    )
+    critical = report.critical
+    print(
+        f"critical delay: mu {_format_ns(critical.mu)} ns, "
+        f"sigma {_format_ns(critical.sigma)} ns "
+        f"(rsigma {args.rsigma:g}, csigma {args.csigma:g}, "
+        f"cell {args.cell_sigma:g}, rho {args.correlation:g})"
+    )
+    corners = report.sigma_corners((1.0, 2.0, 3.0))
+    print(
+        "sigma corners:"
+        + "".join(
+            f"  +{k:.0f}s {_format_ns(v)}" for k, v in corners.items()
+        )
+        + "   (ns)"
+    )
+    print(f"{'output':>12} {'mu':>9} {'sigma':>9} {'+3s':>9} "
+          f"{'crit%':>6}   (ns)")
+    for port, form in report.outputs.items():
+        print(
+            f"{port:>12} {_format_ns(form.mu):>9} "
+            f"{_format_ns(form.sigma):>9} "
+            f"{_format_ns(form.sigma_corner(3.0)):>9} "
+            f"{100.0 * report.criticality[port]:>5.1f}%"
+        )
+    if args.required is not None:
+        print(
+            f"required {_format_ns(args.required)} ns: "
+            f"yield {100.0 * report.yield_at(args.required):.2f}%, "
+            f"P(slack<0) {report.fail_probability(args.required):.4f}"
+        )
+    if args.samples > 0:
+        val = validate_against_monte_carlo(
+            design, model, report=report, samples=args.samples,
+            seed=args.mc_seed, jobs=args.jobs, backend=args.backend,
+        )
+        print(
+            f"monte-carlo oracle ({args.samples} samples): "
+            f"max mean err {100.0 * val.max_mean_rel_err:.3f}% "
+            f"(tol 1%), max sigma err "
+            f"{100.0 * val.max_sigma_rel_err:.3f}% (tol 5%)"
+        )
+        if not val.within(0.01, 0.05):
+            print("WARNING: canonical model outside documented tolerances")
+            return 1
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.serve import ServeConfig, run_server
 
@@ -581,6 +655,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="design-generator seed (default 3)",
     )
     sta.set_defaults(func=_cmd_sta)
+
+    ssta = sub.add_parser(
+        "ssta", parents=[common, sharded],
+        help="statistical STA (canonical forms + Clark max) on a seeded "
+             "random design, with optional Monte-Carlo cross-check",
+    )
+    ssta.add_argument(
+        "--layers", type=_int_arg("--layers", minimum=1), default=6,
+        help="logic depth of the generated design (default 6)",
+    )
+    ssta.add_argument(
+        "--width", type=_int_arg("--width", minimum=1), default=15,
+        help="gates per layer (default 15)",
+    )
+    ssta.add_argument(
+        "--seed", type=_int_arg("--seed"), default=3,
+        help="design-generator seed (default 3)",
+    )
+    ssta.add_argument(
+        "--rsigma", type=_float_arg("--rsigma", minimum=0.0),
+        default=0.08,
+        help="relative sigma of every resistance (default 0.08)",
+    )
+    ssta.add_argument(
+        "--csigma", type=_float_arg("--csigma", minimum=0.0),
+        default=0.08,
+        help="relative sigma of every capacitance (default 0.08)",
+    )
+    ssta.add_argument(
+        "--cell-sigma", type=_float_arg("--cell-sigma", minimum=0.0),
+        default=0.05,
+        help="relative sigma of every gate stage delay (default 0.05)",
+    )
+    ssta.add_argument(
+        "--correlation", type=_float_arg("--correlation", minimum=0.0),
+        default=0.5,
+        help="shared (chip-wide) fraction of each variance, in [0, 1] "
+             "(default 0.5)",
+    )
+    ssta.add_argument(
+        "--required", type=_float_arg("--required", minimum=0.0),
+        default=None,
+        help="required arrival time in seconds: print parametric yield "
+             "and P(slack<0)",
+    )
+    ssta.add_argument(
+        "--samples", type=_int_arg("--samples", minimum=0), default=0,
+        help="Monte-Carlo oracle samples for the cross-check (0 = skip; "
+             "exits 1 if outside the 1%%/5%% tolerances)",
+    )
+    ssta.add_argument(
+        "--mc-seed", type=_int_arg("--mc-seed"), default=0,
+        help="Monte-Carlo oracle seed (default 0)",
+    )
+    ssta.set_defaults(func=_cmd_ssta)
 
     serve = sub.add_parser(
         "serve", parents=[common, sharded],

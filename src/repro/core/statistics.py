@@ -23,7 +23,37 @@ __all__ = [
     "numeric_median",
     "numeric_mode",
     "numeric_raw_moments",
+    "UNDERSHOOT_TOLERANCE",
 ]
+
+#: Largest tolerated negative (undershoot) mass, relative to the positive
+#: mass, before a sampled waveform is rejected as not-a-density.
+UNDERSHOOT_TOLERANCE = 1e-6
+
+
+def _clamp_undershoot(
+    times: np.ndarray, values: np.ndarray, tol: float
+) -> np.ndarray:
+    """Clamp negative density samples to zero.
+
+    Sampled step-response derivatives can undershoot slightly near
+    ``t = 0``; negative samples make the trapezoidal CDF locally
+    decreasing, which breaks monotone inversion (``searchsorted`` picks a
+    wrong bracket).  Undershoot mass beyond ``tol`` of the positive mass
+    means the waveform is not usably a density.
+    """
+    if not np.any(values < 0.0):
+        return values
+    clamped = np.maximum(values, 0.0)
+    positive = float(_trapezoid(clamped, times))
+    lost = positive - float(_trapezoid(values, times))
+    if positive <= 0.0 or lost > tol * positive:
+        raise AnalysisError(
+            "density undershoot removes too much mass "
+            f"({lost:.3e} of {positive:.3e} positive mass, "
+            f"tolerance {tol:.1e})"
+        )
+    return clamped
 
 
 def is_unimodal(values: np.ndarray, rel_tol: float = 1e-9) -> bool:
@@ -61,21 +91,34 @@ def numeric_mode(times: np.ndarray, values: np.ndarray) -> float:
         return float(times[k])
     t0, t1, t2 = times[k - 1 : k + 2]
     v0, v1, v2 = values[k - 1 : k + 2]
-    denom = (v0 - 2.0 * v1 + v2)
+    h1 = t1 - t0
+    h2 = t2 - t1
+    # General nonuniform three-point parabola vertex.  The curvature sign
+    # is the sign of ``denom``; on a uniform grid this reduces to the
+    # classic ``t1 + 0.5*h*(v0 - v2)/(v0 - 2 v1 + v2)`` refinement.
+    denom = (v0 - v1) * h2 + (v2 - v1) * h1
     if denom >= 0.0:  # flat or non-concave: keep the raw sample
         return float(times[k])
-    # Uniform-grid parabola vertex.
-    h = 0.5 * (t2 - t0)
-    shift = 0.5 * (v0 - v2) / denom
-    return float(t1 + shift * h)
+    shift = 0.5 * ((v0 - v1) * h2 * h2 - (v2 - v1) * h1 * h1) / denom
+    return float(np.clip(t1 + shift, t0, t2))
 
 
-def numeric_median(times: np.ndarray, values: np.ndarray) -> float:
-    """Median of the sampled density via trapezoidal CDF inversion."""
+def numeric_median(
+    times: np.ndarray,
+    values: np.ndarray,
+    undershoot_tol: float = UNDERSHOOT_TOLERANCE,
+) -> float:
+    """Median of the sampled density via trapezoidal CDF inversion.
+
+    Negative samples (undershoot) are clamped to zero so the CDF is
+    monotone; undershoot mass beyond ``undershoot_tol`` of the positive
+    mass raises :class:`AnalysisError`.
+    """
     times = np.asarray(times, dtype=np.float64)
     values = np.asarray(values, dtype=np.float64)
     if times.shape != values.shape or times.ndim != 1 or times.shape[0] < 2:
         raise AnalysisError("need matching 1-D times/values (len >= 2)")
+    values = _clamp_undershoot(times, values, undershoot_tol)
     increments = 0.5 * (values[1:] + values[:-1]) * np.diff(times)
     cdf = np.concatenate(([0.0], np.cumsum(increments)))
     total = cdf[-1]
@@ -129,16 +172,30 @@ class WaveformStats:
     unimodal: bool
 
     @property
+    def mu2_clamped(self) -> float:
+        """``mu2`` with roundoff-scale values snapped to exactly 0.
+
+        ``mu2 = m2 - mean**2`` suffers catastrophic cancellation for
+        near-degenerate densities: anything below a few ulps of
+        ``mean**2`` is noise and may land on either side of zero.  Both
+        :attr:`sigma` and :attr:`skewness` derive from this single
+        clamped value so they can never disagree about degeneracy.
+        """
+        floor = 8.0 * np.finfo(np.float64).eps * self.mean * self.mean
+        return float(self.mu2) if self.mu2 > floor else 0.0
+
+    @property
     def sigma(self) -> float:
-        """``sqrt(mu2)``."""
-        return float(np.sqrt(max(self.mu2, 0.0)))
+        """``sqrt(mu2)`` (from the shared :attr:`mu2_clamped`)."""
+        return float(np.sqrt(self.mu2_clamped))
 
     @property
     def skewness(self) -> float:
-        """``mu3 / mu2^(3/2)`` (0 when the variance vanishes)."""
-        if self.mu2 <= 0.0:
+        """``mu3 / mu2^(3/2)`` (0 exactly when :attr:`sigma` is 0)."""
+        mu2 = self.mu2_clamped
+        if mu2 == 0.0:
             return 0.0
-        return float(self.mu3 / self.mu2**1.5)
+        return float(self.mu3 / mu2**1.5)
 
     @property
     def ordering_holds(self) -> bool:
@@ -150,13 +207,25 @@ class WaveformStats:
         )
 
 
-def waveform_stats(times: np.ndarray, values: np.ndarray) -> WaveformStats:
+def waveform_stats(
+    times: np.ndarray,
+    values: np.ndarray,
+    undershoot_tol: float = UNDERSHOOT_TOLERANCE,
+) -> WaveformStats:
     """Measure mean/median/mode/central moments of a sampled density.
 
     The density need not be normalized; moments are normalized by the
-    measured mass.  Accuracy is limited by the sampling grid — these
-    numbers are for *verifying* the analytic machinery, not replacing it.
+    measured mass.  Negative undershoot is clamped to zero (beyond
+    ``undershoot_tol`` relative mass loss it raises
+    :class:`AnalysisError`), so every statistic sees the same
+    nonnegative density.  Accuracy is limited by the sampling grid —
+    these numbers are for *verifying* the analytic machinery, not
+    replacing it.
     """
+    times = np.asarray(times, dtype=np.float64)
+    values = _clamp_undershoot(
+        times, np.asarray(values, dtype=np.float64), undershoot_tol
+    )
     raw = numeric_raw_moments(times, values, 3)
     mass = raw[0]
     if mass <= 0.0:

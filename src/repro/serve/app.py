@@ -9,6 +9,8 @@ long-lived system:
 * ``POST /v1/verify`` — theorem-check a tree against the transient
   oracle;
 * ``POST /v1/sta``    — netlist timing via :func:`repro.sta.timing.analyze`;
+* ``POST /v1/ssta``   — statistical netlist timing via
+  :func:`repro.sta.ssta.analyze_ssta` (canonical first-order forms);
 * ``GET /healthz`` / ``/metrics`` / ``/spans`` — the same payloads the
   :mod:`repro.obs.server` side endpoint exposes, rendered by the shared
   helpers there.
@@ -51,8 +53,14 @@ from repro.serve.batcher import (
     QueueFullError,
     StuckBatchError,
 )
-from repro.serve.engine import StatsEngine, evaluate_sta, evaluate_verify
+from repro.serve.engine import (
+    StatsEngine,
+    evaluate_ssta,
+    evaluate_sta,
+    evaluate_verify,
+)
 from repro.serve.schemas import (
+    parse_ssta_request,
     parse_sta_request,
     parse_stats_request,
     parse_verify_request,
@@ -77,7 +85,7 @@ _JSON_TYPE = "application/json; charset=utf-8"
 #: metrics/spans so scanner traffic cannot grow label cardinality.
 _ENDPOINTS = frozenset(
     {"/healthz", "/metrics", "/spans", "/v1/stats", "/v1/verify",
-     "/v1/sta"}
+     "/v1/sta", "/v1/ssta"}
 )
 
 
@@ -406,6 +414,9 @@ class ReproServer:
             if path == "/v1/sta":
                 self._require(method, "POST")
                 return 200, self._json(await self._handle_sta(body))
+            if path == "/v1/ssta":
+                self._require(method, "POST")
+                return 200, self._json(await self._handle_ssta(body))
             return self._error(404, f"no such endpoint {path!r}")
         except _HttpError as exc:
             return self._error(exc.status, str(exc))
@@ -517,6 +528,10 @@ class ReproServer:
     async def _handle_sta(self, body: bytes) -> Dict[str, Any]:
         request = parse_sta_request(self._parse_body(body))
         return await self._handle_aux(evaluate_sta, request)
+
+    async def _handle_ssta(self, body: bytes) -> Dict[str, Any]:
+        request = parse_ssta_request(self._parse_body(body))
+        return await self._handle_aux(evaluate_ssta, request)
 
     # -- response writing ----------------------------------------------
     @staticmethod

@@ -32,9 +32,15 @@ from repro.core.batch import TreeTopology, batch_transfer_moments, \
     compile_topology
 from repro.obs.trace import span as _span
 from repro.parallel import plan_shards, run_sharded
-from repro.serve.schemas import StaRequest, StatsRequest, VerifyRequest
+from repro.serve.schemas import (
+    SstaRequest,
+    StaRequest,
+    StatsRequest,
+    VerifyRequest,
+)
 
-__all__ = ["StatsEngine", "evaluate_verify", "evaluate_sta"]
+__all__ = ["StatsEngine", "evaluate_verify", "evaluate_sta",
+           "evaluate_ssta"]
 
 logger = logging.getLogger(__name__)
 
@@ -281,3 +287,91 @@ def evaluate_sta(
             for element in result.critical_path()
         ],
     }
+
+
+def evaluate_ssta(
+    request: SstaRequest,
+    jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Statistically time a seeded random design
+    (:func:`repro.sta.ssta.analyze_ssta`); runs in an executor thread."""
+    from repro.core.variation import VariationModel
+    from repro.sta.ssta import (
+        ProcessModel,
+        analyze_ssta,
+        validate_against_monte_carlo,
+    )
+    from repro.workloads import random_design
+
+    design = random_design(
+        layers=request.layers, width=request.width, seed=request.seed
+    )
+    model = ProcessModel(
+        variation=VariationModel(
+            resistance_sigma=request.rsigma,
+            capacitance_sigma=request.csigma,
+        ),
+        rho_r=request.correlation,
+        rho_c=request.correlation,
+        cell_sigma=request.cell_sigma,
+        rho_cell=request.correlation,
+    )
+    report = analyze_ssta(design, model, jobs=jobs, backend=backend)
+    response: Dict[str, Any] = {
+        "design": {
+            "layers": request.layers,
+            "width": request.width,
+            "seed": request.seed,
+            "gates": len(design.instances),
+            "nets": len(design.nets),
+        },
+        "model": {
+            "rsigma": request.rsigma,
+            "csigma": request.csigma,
+            "cell_sigma": request.cell_sigma,
+            "correlation": request.correlation,
+        },
+        "units": "seconds",
+        "critical": {
+            "mean": float(report.critical.mu),
+            "sigma": float(report.critical.sigma),
+            "corners": {
+                f"{level:g}s": float(value)
+                for level, value in report.sigma_corners(
+                    (1.0, 2.0, 3.0)
+                ).items()
+            },
+        },
+        "outputs": {
+            port: {
+                "mean": float(form.mu),
+                "sigma": float(form.sigma),
+                "criticality": float(report.criticality[port]),
+            }
+            for port, form in report.outputs.items()
+        },
+    }
+    if request.required is not None:
+        response["required"] = request.required
+        response["yield"] = float(report.yield_at(request.required))
+        response["fail_probability"] = float(
+            report.fail_probability(request.required)
+        )
+    if request.samples > 0:
+        validation = validate_against_monte_carlo(
+            design,
+            model,
+            report=report,
+            samples=request.samples,
+            seed=request.mc_seed,
+            jobs=jobs,
+            backend=backend,
+        )
+        response["monte_carlo"] = {
+            "samples": request.samples,
+            "max_mean_rel_err": float(validation.max_mean_rel_err),
+            "max_sigma_rel_err": float(validation.max_sigma_rel_err),
+            "within_tolerance": bool(validation.within(0.01, 0.05)),
+        }
+    return response

@@ -414,6 +414,23 @@ class StaRequest:
     timeout_s: Optional[float] = None
 
 
+@dataclass
+class SstaRequest:
+    """A validated ``POST /v1/ssta`` request."""
+
+    layers: int = 6
+    width: int = 15
+    seed: int = 3
+    rsigma: float = 0.08
+    csigma: float = 0.08
+    cell_sigma: float = 0.05
+    correlation: float = 0.5
+    required: Optional[float] = None
+    samples: int = 0
+    mc_seed: int = 0
+    timeout_s: Optional[float] = None
+
+
 def parse_stats_request(payload: Any) -> StatsRequest:
     """Validate a ``/v1/stats`` body into a :class:`StatsRequest`."""
     payload = _require_mapping(payload, "request body")
@@ -493,5 +510,48 @@ def parse_sta_request(payload: Any) -> StaRequest:
         width=int(width),
         seed=int(seed),
         delay_model=str(delay_model),
+        timeout_s=_timeout_seconds(payload),
+    )
+
+
+def parse_ssta_request(payload: Any) -> SstaRequest:
+    """Validate a ``/v1/ssta`` body into a :class:`SstaRequest`."""
+    payload = _require_mapping(payload, "request body")
+    _reject_unknown_keys(
+        payload,
+        ("layers", "width", "seed", "rsigma", "csigma", "cell_sigma",
+         "correlation", "required", "samples", "mc_seed", "timeout_ms"),
+        "ssta request",
+    )
+    layers = _number(payload, "layers", minimum=1, maximum=64,
+                     integer=True, default=6)
+    width = _number(payload, "width", minimum=1, maximum=256,
+                    integer=True, default=15)
+    seed = _number(payload, "seed", minimum=0, maximum=2**32 - 1,
+                   integer=True, default=3)
+    rsigma = _number(payload, "rsigma", minimum=0.0, maximum=0.5,
+                     default=0.08)
+    csigma = _number(payload, "csigma", minimum=0.0, maximum=0.5,
+                     default=0.08)
+    cell_sigma = _number(payload, "cell_sigma", minimum=0.0, maximum=0.5,
+                         default=0.05)
+    correlation = _number(payload, "correlation", minimum=0.0,
+                          maximum=1.0, default=0.5)
+    required = _number(payload, "required", minimum=0.0)
+    samples = _number(payload, "samples", minimum=0, maximum=100_000,
+                      integer=True, default=0)
+    mc_seed = _number(payload, "mc_seed", minimum=0, maximum=2**32 - 1,
+                      integer=True, default=0)
+    return SstaRequest(
+        layers=int(layers),
+        width=int(width),
+        seed=int(seed),
+        rsigma=float(rsigma),
+        csigma=float(csigma),
+        cell_sigma=float(cell_sigma),
+        correlation=float(correlation),
+        required=None if required is None else float(required),
+        samples=int(samples),
+        mc_seed=int(mc_seed),
         timeout_s=_timeout_seconds(payload),
     )

@@ -9,6 +9,14 @@ from repro.sta.interconnect import ElaboratedNet, WireLoadModel, elaborate_net
 from repro.sta.library import Cell, CellLibrary, default_library
 from repro.sta.netlist import Design, Instance, Net, Pin
 from repro.sta.slack import SlackReport, compute_slacks
+from repro.sta.ssta import (
+    ProcessModel,
+    SSTAReport,
+    SSTAValidation,
+    analyze_ssta,
+    monte_carlo_arrivals,
+    validate_against_monte_carlo,
+)
 from repro.sta.timing import DELAY_MODELS, PathElement, TimingResult, analyze
 
 __all__ = [
@@ -28,6 +36,12 @@ __all__ = [
     "DELAY_MODELS",
     "SlackReport",
     "compute_slacks",
+    "ProcessModel",
+    "SSTAReport",
+    "SSTAValidation",
+    "analyze_ssta",
+    "monte_carlo_arrivals",
+    "validate_against_monte_carlo",
     "CharacterizationResult",
     "characterize_driver",
     "lumped_load_delay_oracle",

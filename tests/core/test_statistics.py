@@ -5,6 +5,7 @@ import pytest
 
 from repro._exceptions import AnalysisError
 from repro.core.statistics import (
+    WaveformStats,
     is_unimodal,
     numeric_median,
     numeric_mode,
@@ -84,6 +85,133 @@ class TestNumericMoments:
             numeric_median(np.array([0.0, 1.0]), np.array([0.0, 0.0]))
         with pytest.raises(AnalysisError):
             numeric_median(np.arange(3.0), np.arange(4.0))
+
+
+class TestNonuniformMode:
+    """Regressions for the nonuniform-grid parabola vertex (the old code
+    assumed a uniform grid via ``h = 0.5*(t2 - t0)``)."""
+
+    def test_parabola_vertex_exact_on_skewed_grid(self):
+        # A parabola sampled on a deliberately nonuniform grid: the
+        # three-point fit is exact, so the refined mode must recover the
+        # true vertex.  The uniform-grid formula lands at ~0.33 here.
+        t = np.array([0.0, 0.30, 0.45, 1.0])
+        v = 1.0 - (t - 0.52) ** 2
+        assert numeric_mode(t, v) == pytest.approx(0.52, abs=1e-12)
+
+    def test_skewed_grid_pinned_to_dense_uniform_reference(self):
+        # verify_tree-style two-scale grid (union of a coarse linear and
+        # a geometric grid) for h(t) = t e^{-t}, true mode = 1.  The
+        # dense-uniform reference is the ground truth; the uniform-grid
+        # formula is ~8e-3 off on this grid, the nonuniform vertex ~1e-3.
+        base = np.linspace(0.0, 12.0, 60)
+        extra = np.geomspace(0.05, 12.0, 40)
+        t = np.unique(np.concatenate((base, extra)))
+        dense = np.linspace(0.0, 12.0, 200001)
+        ref = numeric_mode(dense, dense * np.exp(-dense))
+        assert numeric_mode(t, t * np.exp(-t)) == pytest.approx(ref, abs=2e-3)
+
+    def test_uniform_grid_unchanged(self):
+        # On uniform grids the general vertex reduces to the classic
+        # refinement bit for bit.
+        t = np.linspace(0.0, 2.0, 101)
+        f = np.exp(-((t - 0.97) ** 2) / 0.1)
+        k = int(np.argmax(f))
+        v0, v1, v2 = f[k - 1 : k + 2]
+        h = 0.5 * (t[k + 1] - t[k - 1])
+        legacy = t[k] + 0.5 * (v0 - v2) / (v0 - 2.0 * v1 + v2) * h
+        assert numeric_mode(t, f) == pytest.approx(legacy, abs=1e-15)
+
+    def test_vertex_clipped_into_bracket(self):
+        # Whatever roundoff does, the refined mode stays inside the
+        # three-sample bracket.
+        t = np.array([0.0, 1.0, 1.5, 4.0])
+        v = np.array([0.1, 1.0, 0.999999, 0.1])
+        assert t[0] <= numeric_mode(t, v) <= t[2]
+
+
+class TestUndershootClamp:
+    """Regressions for negative-undershoot handling in the CDF path."""
+
+    def test_small_undershoot_clamped_to_density_median(self):
+        # A tiny negative dip right before the median bracket used to
+        # leak into the segment inversion (negative v0 in the quadratic
+        # solve) and shift the median by ~1e-4; clamped, the median is
+        # exactly 2.0 by construction.
+        t = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        v = np.array([0.5, 0.5, -1e-8, 0.5, 0.5])
+        assert numeric_median(t, v) == pytest.approx(2.0, abs=1e-9)
+
+    def test_small_undershoot_matches_explicit_clamp(self):
+        t = np.linspace(0.0, 40.0, 20001)
+        f = np.exp(-t)
+        f[:2] = -1e-9
+        clamped = np.maximum(f, 0.0)
+        assert numeric_median(t, f) == numeric_median(t, clamped)
+        stats = waveform_stats(t, f)
+        ref = waveform_stats(t, clamped)
+        assert stats.mean == ref.mean
+        assert stats.median == ref.median
+        assert stats.mu2 == ref.mu2
+
+    def test_deep_undershoot_rejected(self):
+        # ~1% negative mass: not usably a density -> AnalysisError from
+        # both rungs instead of a silently wrong searchsorted bracket.
+        t = np.linspace(0.0, 10.0, 2001)
+        f = np.exp(-t)
+        mask = (t > 0.65) & (t < 0.75)
+        f[mask] -= 1.2 * np.exp(-0.7)
+        with pytest.raises(AnalysisError, match="undershoot"):
+            numeric_median(t, f)
+        with pytest.raises(AnalysisError, match="undershoot"):
+            waveform_stats(t, f)
+
+    def test_all_negative_rejected(self):
+        t = np.linspace(0.0, 1.0, 11)
+        with pytest.raises(AnalysisError):
+            numeric_median(t, -np.ones(11))
+
+
+class TestDegenerateMu2:
+    """sigma and skewness must derive from one clamped mu2."""
+
+    def test_roundoff_mu2_pair_consistency(self):
+        # Pre-fix: sigma clamps (1e-15) while skewness divides by the
+        # raw roundoff-scale mu2 and explodes to ~1e23.
+        stats = WaveformStats(
+            mass=1.0, mean=1.0, median=1.0, mode=1.0,
+            mu2=1e-30, mu3=1e-22, unimodal=True,
+        )
+        assert stats.mu2_clamped == 0.0
+        assert stats.sigma == 0.0
+        assert stats.skewness == 0.0
+
+    def test_negative_roundoff_mu2(self):
+        stats = WaveformStats(
+            mass=1.0, mean=5.0, median=5.0, mode=5.0,
+            mu2=-1e-18, mu3=-1e-16, unimodal=True,
+        )
+        assert stats.sigma == 0.0
+        assert stats.skewness == 0.0
+
+    def test_genuine_mu2_not_clamped(self):
+        stats = WaveformStats(
+            mass=1.0, mean=1.0, median=0.7, mode=0.0,
+            mu2=1.0, mu3=2.0, unimodal=True,
+        )
+        assert stats.sigma == 1.0
+        assert stats.skewness == pytest.approx(2.0)
+
+    def test_near_degenerate_density(self):
+        # A delta-like density: whatever side of zero cancellation lands
+        # on, sigma and skewness agree about degeneracy.
+        t = np.array([0.0, 5.0 - 1e-9, 5.0, 5.0 + 1e-9, 10.0])
+        v = np.array([0.0, 0.0, 1e9, 0.0, 0.0])
+        stats = waveform_stats(t, v)
+        assert stats.mean == pytest.approx(5.0, rel=1e-12)
+        assert (stats.sigma == 0.0) == (stats.skewness == 0.0)
+        assert abs(stats.skewness) < 10.0
+        assert stats.ordering_holds
 
 
 class TestWaveformStats:

@@ -155,6 +155,68 @@ class TestStaEndpoint:
         assert arrivals == sorted(arrivals)
 
 
+class TestSstaEndpoint:
+    def test_ssta_round_trip(self, server):
+        status, body = _post(
+            server.url, "/v1/ssta",
+            {"layers": 3, "width": 4, "seed": 1, "required": 1.0},
+        )
+        assert status == 200
+        assert body["critical"]["sigma"] > 0
+        assert body["critical"]["corners"]["3s"] == pytest.approx(
+            body["critical"]["mean"] + 3 * body["critical"]["sigma"]
+        )
+        assert sum(
+            out["criticality"] for out in body["outputs"].values()
+        ) == pytest.approx(1.0)
+        # A 1-second requirement is unmeetable to miss: full yield.
+        assert body["yield"] == pytest.approx(1.0)
+        assert body["fail_probability"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_ssta_matches_direct_library_evaluation(self, server):
+        from repro.core.variation import VariationModel
+        from repro.sta.ssta import ProcessModel, analyze_ssta
+        from repro.workloads import random_design
+
+        status, body = _post(
+            server.url, "/v1/ssta",
+            {"layers": 3, "width": 4, "seed": 2, "rsigma": 0.1,
+             "correlation": 0.4},
+        )
+        assert status == 200
+        report = analyze_ssta(
+            random_design(layers=3, width=4, seed=2),
+            ProcessModel(
+                VariationModel(resistance_sigma=0.1,
+                               capacitance_sigma=0.08),
+                rho_r=0.4, rho_c=0.4, cell_sigma=0.05, rho_cell=0.4,
+            ),
+        )
+        assert body["critical"]["mean"] == report.critical.mu
+        assert body["critical"]["sigma"] == report.critical.sigma
+
+    def test_ssta_monte_carlo_cross_check(self, server):
+        status, body = _post(
+            server.url, "/v1/ssta",
+            {"layers": 3, "width": 4, "samples": 1500},
+        )
+        assert status == 200
+        mc = body["monte_carlo"]
+        assert mc["samples"] == 1500
+        assert mc["within_tolerance"] is True
+        assert mc["max_mean_rel_err"] <= 0.01
+        assert mc["max_sigma_rel_err"] <= 0.05
+
+    def test_ssta_validation_errors(self, server):
+        status, body = _post(server.url, "/v1/ssta",
+                             {"correlation": 1.5})
+        assert status == 400
+        assert "correlation" in body["error"]["message"]
+        status, body = _post(server.url, "/v1/ssta", {"bogus": 1})
+        assert status == 400
+        assert "unknown" in body["error"]["message"]
+
+
 class TestErrorContract:
     @pytest.mark.parametrize("payload,fragment", [
         ({"workload": "nope"}, "unknown workload"),

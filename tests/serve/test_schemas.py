@@ -6,6 +6,7 @@ import pytest
 from repro._exceptions import ValidationError
 from repro.serve.schemas import (
     MAX_ROWS_PER_REQUEST,
+    parse_ssta_request,
     parse_sta_request,
     parse_stats_request,
     parse_verify_request,
@@ -239,3 +240,22 @@ class TestVerifyAndSta:
     def test_sta_unknown_field(self):
         with pytest.raises(ValidationError, match="unknown"):
             parse_sta_request({"depth": 3})
+
+    def test_ssta_defaults(self):
+        req = parse_ssta_request({})
+        assert (req.layers, req.width, req.seed) == (6, 15, 3)
+        assert req.rsigma == req.csigma == pytest.approx(0.08)
+        assert req.cell_sigma == pytest.approx(0.05)
+        assert req.correlation == pytest.approx(0.5)
+        assert req.required is None
+        assert req.samples == 0
+
+    def test_ssta_bounds(self):
+        with pytest.raises(ValidationError, match="correlation"):
+            parse_ssta_request({"correlation": 2.0})
+        with pytest.raises(ValidationError, match="rsigma"):
+            parse_ssta_request({"rsigma": -0.1})
+        with pytest.raises(ValidationError, match="samples"):
+            parse_ssta_request({"samples": 200_000})
+        with pytest.raises(ValidationError, match="unknown"):
+            parse_ssta_request({"sigma": 0.1})

@@ -112,6 +112,72 @@ class TestFanoutSlack:
             compute_slacks(fanout, result, {"fast": 1e-9})
 
 
+class TestDictRequired:
+    def test_missing_output_error_names_the_outputs(self, fanout):
+        result = analyze(fanout)
+        with pytest.raises(TimingGraphError,
+                           match=r"required times missing for outputs: "
+                                 r"\['slow'\]"):
+            compute_slacks(fanout, result, {"fast": 1e-9})
+        # Unknown extra keys don't mask the missing ones.
+        with pytest.raises(TimingGraphError, match="missing"):
+            compute_slacks(fanout, result, {"fast": 1e-9, "ghost": 1e-9})
+
+    def test_per_output_map_tighter_than_scalar(self, fanout):
+        result = analyze(fanout)
+        scalar = compute_slacks(fanout, result, 1e-9)
+        mapped = compute_slacks(
+            fanout, result, {"fast": 1e-9, "slow": 0.3e-9}
+        )
+        # Tightening one output can only shrink slacks, and must shrink
+        # that output's own endpoint slack by exactly the delta.
+        assert mapped.worst_slack <= scalar.worst_slack
+        for pin, s in mapped.slack.items():
+            assert s <= scalar.slack[pin] + 1e-18
+        delta = 1e-9 - 0.3e-9
+        assert mapped.slack[Pin(Pin.PORT, "slow")] == pytest.approx(
+            scalar.slack[Pin(Pin.PORT, "slow")] - delta, rel=1e-12
+        )
+        # The untouched disjoint endpoint keeps its scalar slack.
+        assert mapped.slack[Pin(Pin.PORT, "fast")] == pytest.approx(
+            scalar.slack[Pin(Pin.PORT, "fast")], rel=1e-12
+        )
+
+    def test_equal_map_matches_scalar_exactly(self, fanout):
+        result = analyze(fanout)
+        scalar = compute_slacks(fanout, result, 1e-9)
+        mapped = compute_slacks(
+            fanout, result, {"fast": 1e-9, "slow": 1e-9}
+        )
+        assert mapped.slack == scalar.slack
+        assert mapped.worst_pin == scalar.worst_pin
+
+
+class TestCriticalPinsMargin:
+    def test_zero_margin_keeps_ties(self, chain):
+        # A single path carries one uniform slack: margin=0 must return
+        # every pin, not just the arbitrary worst_pin tie-break winner.
+        result = analyze(chain)
+        report = compute_slacks(chain, result, 1e-9)
+        pins = report.critical_pins(margin=0.0)
+        assert set(pins) == set(report.slack)
+        assert report.worst_pin in pins
+
+    def test_margin_widens_monotonically(self, fanout):
+        result = analyze(fanout)
+        report = compute_slacks(
+            fanout, result, {"fast": 0.2e-9, "slow": 10e-9}
+        )
+        tight = set(report.critical_pins(margin=0.0))
+        sorted_slacks = sorted(report.slack.values())
+        widest = sorted_slacks[-1] - report.worst_slack
+        wide = set(report.critical_pins(margin=widest))
+        assert tight <= wide
+        assert wide == set(report.slack)
+        # The slack-10ns branch endpoint is not critical at zero margin.
+        assert Pin(Pin.PORT, "slow") not in tight
+
+
 class TestConsistencyWithForward:
     def test_output_slack_matches_result_slack(self, chain):
         result = analyze(chain)

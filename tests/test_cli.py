@@ -315,3 +315,29 @@ class TestResilienceFlags:
         assert main(["verify", netlist_path, "--inject-faults",
                      "no.such.point"]) == 1
         assert "unknown fault point" in capsys.readouterr().err
+
+
+class TestSstaCommand:
+    def test_round_trip_with_oracle(self, capsys):
+        assert main(["ssta", "--layers", "3", "--width", "4",
+                     "--samples", "1200", "--required", "2.5e-10"]) == 0
+        out = capsys.readouterr().out
+        assert "critical delay: mu" in out and "sigma" in out
+        assert "sigma corners:" in out
+        assert "yield" in out and "P(slack<0)" in out
+        assert "monte-carlo oracle (1200 samples)" in out
+        assert "WARNING" not in out
+
+    def test_sharded_matches_serial(self, capsys):
+        assert main(["ssta", "--layers", "3", "--width", "4"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["ssta", "--layers", "3", "--width", "4",
+                     "--jobs", "2", "--backend", "shm"]) == 0
+        sharded = capsys.readouterr().out
+        # Identical numbers; only the "N jobs" banner differs.
+        strip = ", 2 jobs"
+        assert sharded.replace(strip, "") == serial
+
+    def test_bad_correlation_rejected(self, capsys):
+        assert main(["ssta", "--correlation", "1.5"]) != 0
+        assert "correlation fraction" in capsys.readouterr().err
